@@ -1,0 +1,285 @@
+//! An AvantGuard-style **connection migration** baseline (Shin et al.,
+//! CCS 2013): the switch datapath answers TCP SYNs itself with a proxied
+//! SYN-ACK and only reports flows that complete the handshake to the
+//! controller.
+//!
+//! This defeats TCP SYN floods entirely — but, as the FloodGuard paper
+//! argues (§II-D, §III), it is *protocol-dependent*: UDP/ICMP floods pass
+//! straight through to the controller. The `protocol_independence` example
+//! and integration tests demonstrate exactly that contrast.
+
+use std::collections::HashMap;
+
+use netsim::packet::{Packet, Payload, Transport};
+use netsim::switch::{MissHook, MissOverride};
+
+/// Statistics of the SYN proxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynProxyStats {
+    /// SYNs answered by the proxy.
+    pub syns_proxied: u64,
+    /// Handshakes completed and reported to the controller.
+    pub handshakes_validated: u64,
+    /// ACKs with no pending handshake (dropped).
+    pub stray_acks: u64,
+    /// Non-TCP misses passed through unprotected.
+    pub passed_through: u64,
+    /// Pending entries evicted by capacity.
+    pub evicted: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowKey {
+    src: std::net::Ipv4Addr,
+    dst: std::net::Ipv4Addr,
+    sport: u16,
+    dport: u16,
+}
+
+/// The SYN-proxy datapath hook.
+#[derive(Debug)]
+pub struct SynProxy {
+    pending: HashMap<FlowKey, f64>,
+    capacity: usize,
+    handshake_timeout: f64,
+    /// Live counters.
+    pub stats: SynProxyStats,
+}
+
+impl SynProxy {
+    /// Creates a proxy holding at most `capacity` pending handshakes, each
+    /// expiring after `handshake_timeout` seconds.
+    pub fn new(capacity: usize, handshake_timeout: f64) -> SynProxy {
+        SynProxy {
+            pending: HashMap::new(),
+            capacity,
+            handshake_timeout,
+            stats: SynProxyStats::default(),
+        }
+    }
+
+    /// Pending (unacknowledged) handshakes.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn key_of(packet: &Packet) -> Option<FlowKey> {
+        match packet.payload {
+            Payload::Ipv4 {
+                src,
+                dst,
+                transport:
+                    Transport::Tcp {
+                        src_port, dst_port, ..
+                    },
+                ..
+            } => Some(FlowKey {
+                src,
+                dst,
+                sport: src_port,
+                dport: dst_port,
+            }),
+            _ => None,
+        }
+    }
+
+    fn expire(&mut self, now: f64) {
+        let timeout = self.handshake_timeout;
+        self.pending.retain(|_, t| now - *t < timeout);
+    }
+
+    fn syn_ack_for(packet: &Packet) -> Packet {
+        match packet.payload {
+            Payload::Ipv4 {
+                src,
+                dst,
+                transport:
+                    Transport::Tcp {
+                        src_port, dst_port, ..
+                    },
+                ..
+            } => Packet::tcp(
+                packet.dst_mac,
+                packet.src_mac,
+                dst,
+                src,
+                dst_port,
+                src_port,
+                Transport::TCP_SYN | Transport::TCP_ACK,
+                64,
+            ),
+            _ => unreachable!("guarded by key_of"),
+        }
+    }
+}
+
+impl MissHook for SynProxy {
+    fn on_miss(&mut self, packet: &Packet, _in_port: u16, now: f64) -> Option<MissOverride> {
+        let Some(key) = Self::key_of(packet) else {
+            // Not TCP: AvantGuard offers no protection here.
+            self.stats.passed_through += 1;
+            return None;
+        };
+        self.expire(now);
+        let flags = match packet.payload {
+            Payload::Ipv4 {
+                transport: Transport::Tcp { flags, .. },
+                ..
+            } => flags,
+            _ => 0,
+        };
+        if flags & Transport::TCP_SYN != 0 && flags & Transport::TCP_ACK == 0 {
+            // Answer the SYN in the datapath.
+            if self.pending.len() >= self.capacity {
+                // Oldest entries will expire; until then, shed.
+                self.stats.evicted += 1;
+                return Some(MissOverride::Drop);
+            }
+            self.pending.insert(key, now);
+            self.stats.syns_proxied += 1;
+            Some(MissOverride::Reply(Self::syn_ack_for(packet)))
+        } else if flags & Transport::TCP_ACK != 0 {
+            // Handshake completion: expose the flow to the controller.
+            if self.pending.remove(&key).is_some() {
+                self.stats.handshakes_validated += 1;
+                Some(MissOverride::PacketIn)
+            } else {
+                self.stats.stray_acks += 1;
+                Some(MissOverride::Drop)
+            }
+        } else {
+            // Mid-stream TCP without state: drop (no handshake seen).
+            self.stats.stray_acks += 1;
+            Some(MissOverride::Drop)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofproto::types::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn syn(sport: u16) -> Packet {
+        Packet::tcp(
+            MacAddr::from_u64(1),
+            MacAddr::from_u64(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            sport,
+            80,
+            Transport::TCP_SYN,
+            64,
+        )
+    }
+
+    fn ack(sport: u16) -> Packet {
+        Packet::tcp(
+            MacAddr::from_u64(1),
+            MacAddr::from_u64(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            sport,
+            80,
+            Transport::TCP_ACK,
+            64,
+        )
+    }
+
+    #[test]
+    fn syn_answered_in_datapath() {
+        let mut proxy = SynProxy::new(1000, 5.0);
+        match proxy.on_miss(&syn(1234), 1, 0.0) {
+            Some(MissOverride::Reply(reply)) => match reply.payload {
+                Payload::Ipv4 {
+                    transport: Transport::Tcp { flags, src_port, dst_port, .. },
+                    ..
+                } => {
+                    assert_eq!(flags, Transport::TCP_SYN | Transport::TCP_ACK);
+                    assert_eq!((src_port, dst_port), (80, 1234));
+                }
+                other => panic!("unexpected payload {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(proxy.stats.syns_proxied, 1);
+        assert_eq!(proxy.pending(), 1);
+    }
+
+    #[test]
+    fn completed_handshake_reaches_controller() {
+        let mut proxy = SynProxy::new(1000, 5.0);
+        proxy.on_miss(&syn(1234), 1, 0.0);
+        match proxy.on_miss(&ack(1234), 1, 0.1) {
+            Some(MissOverride::PacketIn) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(proxy.stats.handshakes_validated, 1);
+        assert_eq!(proxy.pending(), 0);
+    }
+
+    #[test]
+    fn syn_flood_never_reaches_controller() {
+        let mut proxy = SynProxy::new(100_000, 5.0);
+        for i in 0..10_000u16 {
+            let r = proxy.on_miss(&syn(i), 1, f64::from(i) * 1e-4);
+            assert!(
+                matches!(r, Some(MissOverride::Reply(_))),
+                "spoofed SYNs must be absorbed"
+            );
+        }
+        assert_eq!(proxy.stats.handshakes_validated, 0);
+    }
+
+    #[test]
+    fn stray_acks_dropped() {
+        let mut proxy = SynProxy::new(1000, 5.0);
+        assert!(matches!(
+            proxy.on_miss(&ack(9), 1, 0.0),
+            Some(MissOverride::Drop)
+        ));
+        assert_eq!(proxy.stats.stray_acks, 1);
+    }
+
+    #[test]
+    fn udp_passes_through_unprotected() {
+        // The FloodGuard paper's core criticism of AvantGuard.
+        let mut proxy = SynProxy::new(1000, 5.0);
+        let udp = Packet::udp(
+            MacAddr::from_u64(1),
+            MacAddr::from_u64(2),
+            Ipv4Addr::new(9, 9, 9, 9),
+            Ipv4Addr::new(8, 8, 8, 8),
+            1,
+            2,
+            64,
+        );
+        assert!(proxy.on_miss(&udp, 1, 0.0).is_none());
+        assert_eq!(proxy.stats.passed_through, 1);
+    }
+
+    #[test]
+    fn pending_entries_expire() {
+        let mut proxy = SynProxy::new(1000, 1.0);
+        proxy.on_miss(&syn(1), 1, 0.0);
+        assert_eq!(proxy.pending(), 1);
+        // Much later the ACK is stray: the entry timed out.
+        assert!(matches!(
+            proxy.on_miss(&ack(1), 1, 5.0),
+            Some(MissOverride::Drop)
+        ));
+    }
+
+    #[test]
+    fn capacity_sheds_new_syns() {
+        let mut proxy = SynProxy::new(2, 100.0);
+        proxy.on_miss(&syn(1), 1, 0.0);
+        proxy.on_miss(&syn(2), 1, 0.0);
+        assert!(matches!(
+            proxy.on_miss(&syn(3), 1, 0.0),
+            Some(MissOverride::Drop)
+        ));
+        assert_eq!(proxy.stats.evicted, 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! # baselines — comparison defenses for the FloodGuard evaluation
+//!
+//! Three comparators the paper discusses:
+//!
+//! * [`vanilla`] — the undefended reactive controller ("existing OpenFlow
+//!   network", the no-defense series of Figs. 10–12);
+//! * [`naive_drop`] — drop all table-miss packets during an attack, the
+//!   strawman the paper rejects because it sacrifices benign new flows
+//!   (§I, §IV-C);
+//! * [`avantguard`] — an AvantGuard-style SYN-proxy connection-migration
+//!   datapath hook (Shin et al., CCS 2013), which stops TCP floods but is
+//!   blind to other protocols — the paper's protocol-independence foil.
+
+#![warn(missing_docs)]
+
+pub mod avantguard;
+pub mod naive_drop;
+pub mod vanilla;
+
+pub use avantguard::{SynProxy, SynProxyStats};
+pub use naive_drop::{NaiveDrop, NaiveDropStats};
+pub use vanilla::Vanilla;

@@ -1,0 +1,33 @@
+//! The undefended baseline: the bare reactive controller platform, exactly
+//! as the paper's "existing OpenFlow network" scenario runs it.
+//!
+//! [`controller::ControllerPlatform`] already implements
+//! [`netsim::ControlPlane`]; this module exists to name the baseline and to
+//! provide a convenience constructor mirroring the other defenses.
+
+use controller::platform::ControllerPlatform;
+use policy::Program;
+
+/// The undefended controller: a type alias making comparisons explicit.
+pub type Vanilla = ControllerPlatform;
+
+/// Builds an undefended controller running the given applications.
+pub fn with_apps(programs: impl IntoIterator<Item = Program>) -> Vanilla {
+    let mut platform = ControllerPlatform::new();
+    for program in programs {
+        platform.register(program);
+    }
+    platform
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use controller::apps;
+
+    #[test]
+    fn builds_with_requested_apps() {
+        let vanilla = with_apps([apps::hub::program(), apps::l2_learning::program()]);
+        assert_eq!(vanilla.apps().len(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion companion to Fig. 13: proactive-flow-rule generation time per
+//! application (Algorithm 2), plus the offline Algorithm 1 cost and the
+//! scaling of conversion with state size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use controller::apps;
+use controller::platform::App;
+use floodguard::analyzer::Analyzer;
+use ofproto::types::MacAddr;
+use symexec::generate_path_conditions;
+
+fn seeded_apps() -> Vec<(&'static str, App)> {
+    let mut l2 = App::new(apps::l2_learning::program());
+    for i in 0..60u64 {
+        apps::l2_learning::learn_host(&mut l2.env, MacAddr::from_u64(0x1000 + i), (i % 8 + 1) as u16);
+    }
+    let mut l3 = App::new(apps::l3_learning::program());
+    for i in 0..60u32 {
+        apps::l3_learning::learn_host(
+            &mut l3.env,
+            std::net::Ipv4Addr::from(0x0a00_0100 + i),
+            (i % 8 + 1) as u16,
+        );
+    }
+    let balancer = App::new(apps::ip_balancer::program());
+    let mut firewall = App::new(apps::of_firewall::program());
+    apps::of_firewall::seed(&mut firewall.env, 400);
+    let mut blocker = App::new(apps::mac_blocker::program());
+    apps::mac_blocker::seed(&mut blocker.env, 60);
+    vec![
+        ("l2_learning", l2),
+        ("ip_balancer", balancer),
+        ("l3_learning", l3),
+        ("of_firewall", firewall),
+        ("mac_blocker", blocker),
+    ]
+}
+
+fn bench_fig13_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_rule_generation");
+    for (name, app) in seeded_apps() {
+        let apps_slice = std::slice::from_ref(&app);
+        let mut analyzer = Analyzer::offline(apps_slice);
+        group.bench_function(name, |b| {
+            b.iter(|| analyzer.convert(std::hint::black_box(apps_slice)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_symbolic_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_offline");
+    for program in apps::evaluation_apps() {
+        group.bench_function(program.name.clone(), |b| {
+            b.iter(|| generate_path_conditions(std::hint::black_box(&program)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversion_scaling(c: &mut Criterion) {
+    // Rule generation is linear in the learned state; this pins the curve.
+    let mut group = c.benchmark_group("conversion_scaling_l2");
+    for n in [10u64, 100, 1000] {
+        let mut app = App::new(apps::l2_learning::program());
+        for i in 0..n {
+            apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(1 + i), (i % 8 + 1) as u16);
+        }
+        let apps_slice = std::slice::from_ref(&app);
+        let mut analyzer = Analyzer::offline(apps_slice);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| analyzer.convert(std::hint::black_box(apps_slice)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig13_generation,
+    bench_offline_symbolic_execution,
+    bench_conversion_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation of the data plane cache's scheduling design (paper §IV-C2):
+//! round-robin over four protocol queues versus a single shared queue, and
+//! drop-from-front versus classic tail drop on overflow.
+//!
+//! The metric benchmarked is the cache's packet-handling throughput; the
+//! *fairness* consequence (a TCP newcomer's wait under a UDP flood) is
+//! asserted in the integration tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::Ipv4Addr;
+
+use floodguard::cache::{new_handle, DataPlaneCache};
+use floodguard::CacheConfig;
+use netsim::iface::{DataPlaneDevice, DeviceOutput};
+use netsim::packet::Packet;
+use ofproto::types::MacAddr;
+
+fn tagged_udp(i: u32) -> Packet {
+    let mut p = Packet::udp(
+        MacAddr::from_u64(u64::from(i)),
+        MacAddr::from_u64(u64::from(i) + 1),
+        Ipv4Addr::from(i),
+        Ipv4Addr::from(i.wrapping_add(7)),
+        1,
+        2,
+        64,
+    );
+    p.set_tos((i % 3 + 1) as u8);
+    p
+}
+
+fn run_cache(config: CacheConfig, packets: u32) -> u64 {
+    let handle = new_handle(&config);
+    handle.lock().control.intake_enabled = true;
+    let mut cache = DataPlaneCache::new(config, handle.clone());
+    let mut out = DeviceOutput::new();
+    for i in 0..packets {
+        cache.on_packet(tagged_udp(i), f64::from(i) * 1e-4, &mut out);
+    }
+    let mut emitted = 0u64;
+    let mut t = 1.0;
+    for _ in 0..200 {
+        let mut out = DeviceOutput::new();
+        cache.on_tick(t, &mut out);
+        emitted += out.to_controller.len() as u64;
+        t += 1e-3;
+    }
+    emitted
+}
+
+fn bench_cache_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_intake_and_drain");
+    group.bench_function("drop_front", |b| {
+        b.iter(|| run_cache(CacheConfig::default(), std::hint::black_box(500)))
+    });
+    group.bench_function("tail_drop", |b| {
+        b.iter(|| {
+            run_cache(
+                CacheConfig {
+                    drop_front: false,
+                    ..CacheConfig::default()
+                },
+                std::hint::black_box(500),
+            )
+        })
+    });
+    group.bench_function("small_queues_overflowing", |b| {
+        b.iter(|| {
+            run_cache(
+                CacheConfig {
+                    queue_capacity: 64,
+                    ..CacheConfig::default()
+                },
+                std::hint::black_box(500),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_throughput);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end defense benchmark: wall-clock cost of simulating the Fig. 10
+//! scenario (software environment, 300 PPS flood) under each defense. This
+//! doubles as a regression guard on simulator performance and as the
+//! Criterion companion to Figs. 10–11.
+
+use bench::{run, Defense, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use floodguard::FloodGuardConfig;
+
+fn short_scenario(defense: Defense) -> Scenario {
+    let mut s = Scenario::software().with_defense(defense).with_attack(300.0);
+    s.duration = 2.0;
+    s.attack_start = 0.5;
+    s.attack_stop = 2.0;
+    s
+}
+
+fn bench_defenses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scenario_300pps");
+    group.sample_size(10);
+    group.bench_function("no_defense", |b| {
+        b.iter(|| run(std::hint::black_box(&short_scenario(Defense::None))))
+    });
+    group.bench_function("floodguard", |b| {
+        b.iter(|| {
+            run(std::hint::black_box(&short_scenario(Defense::FloodGuard(
+                FloodGuardConfig::default(),
+            ))))
+        })
+    });
+    group.bench_function("naive_drop", |b| {
+        b.iter(|| run(std::hint::black_box(&short_scenario(Defense::NaiveDrop))))
+    });
+    group.bench_function("avantguard", |b| {
+        b.iter(|| run(std::hint::black_box(&short_scenario(Defense::AvantGuard))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenses);
+criterion_main!(benches);

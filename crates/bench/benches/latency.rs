@@ -1,0 +1,71 @@
+//! Criterion companion to Table IV: the cost of the components on a new
+//! flow's first-packet path — switch miss handling, controller handling of
+//! one `packet_in`, and the FloodGuard re-raise path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::Ipv4Addr;
+
+use controller::apps;
+use controller::platform::ControllerPlatform;
+use netsim::packet::{Packet, Transport};
+use netsim::profile::SwitchProfile;
+use netsim::switch::Switch;
+use netsim::{ControlOutput, ControlPlane};
+use ofproto::messages::{OfBody, OfMessage, PacketIn, PacketInReason};
+use ofproto::types::{DatapathId, MacAddr, PortNo, Xid};
+
+fn syn_packet(i: u64) -> Packet {
+    Packet::tcp(
+        MacAddr::from_u64(0xa),
+        MacAddr::from_u64(0xb),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        (40000 + i % 20000) as u16,
+        80,
+        Transport::TCP_SYN,
+        64,
+    )
+}
+
+fn bench_switch_miss_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_components");
+    group.bench_function("switch_miss_processing", |b| {
+        let mut sw = Switch::new(DatapathId(1), SwitchProfile::hardware(), vec![1, 2, 3]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            sw.process(1, std::hint::black_box(syn_packet(i)), i as f64 * 1e-3)
+        })
+    });
+    group.bench_function("controller_packet_in_l2", |b| {
+        let mut platform = ControllerPlatform::new();
+        platform.register(apps::l2_learning::program());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pkt = syn_packet(i);
+            let data = pkt.to_bytes();
+            let mut out = ControlOutput::new();
+            platform.on_message(
+                DatapathId(1),
+                OfMessage::new(
+                    Xid(i as u32),
+                    OfBody::PacketIn(PacketIn {
+                        buffer_id: None,
+                        total_len: data.len() as u16,
+                        in_port: PortNo::Physical(1),
+                        reason: PacketInReason::NoMatch,
+                        data,
+                    }),
+                ),
+                i as f64 * 1e-3,
+                &mut out,
+            );
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch_miss_path);
+criterion_main!(benches);

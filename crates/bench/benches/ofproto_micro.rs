@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the OpenFlow substrate: wire codec round-trips and
+//! flow-table lookup under growing rule counts (the cost the saturation
+//! attack inflates on software switches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofproto::actions::Action;
+use ofproto::flow_match::{FlowKeys, OfMatch};
+use ofproto::flow_mod::FlowMod;
+use ofproto::flow_table::FlowTable;
+use ofproto::messages::{OfBody, OfMessage, PacketIn, PacketInReason};
+use ofproto::types::{BufferId, MacAddr, PortNo, Xid};
+use ofproto::wire::{decode, encode};
+
+fn bench_codec(c: &mut Criterion) {
+    let flow_mod = OfMessage::new(
+        Xid(1),
+        OfBody::FlowMod(
+            FlowMod::add(
+                OfMatch::any()
+                    .with_in_port(1)
+                    .with_dl_dst(MacAddr::from_u64(0xa)),
+                vec![Action::SetNwTos(3), Action::Output(PortNo::Physical(2))],
+            )
+            .with_idle_timeout(10),
+        ),
+    );
+    let packet_in = OfMessage::new(
+        Xid(2),
+        OfBody::PacketIn(PacketIn {
+            buffer_id: Some(BufferId(7)),
+            total_len: 1500,
+            in_port: PortNo::Physical(3),
+            reason: PacketInReason::NoMatch,
+            data: {
+                let pkt = netsim::packet::Packet::udp(
+                    MacAddr::from_u64(1),
+                    MacAddr::from_u64(2),
+                    std::net::Ipv4Addr::new(10, 0, 0, 1),
+                    std::net::Ipv4Addr::new(10, 0, 0, 2),
+                    1,
+                    2,
+                    128,
+                );
+                pkt.to_bytes()
+            },
+        }),
+    );
+    let mut group = c.benchmark_group("wire_codec");
+    for (name, msg) in [("flow_mod", &flow_mod), ("packet_in", &packet_in)] {
+        let bytes = encode(msg);
+        group.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| encode(std::hint::black_box(msg)))
+        });
+        group.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| decode(std::hint::black_box(&bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table_lookup");
+    for rules in [16usize, 256, 4096] {
+        let mut table = FlowTable::new(None);
+        for i in 0..rules {
+            table
+                .apply(
+                    &FlowMod::add(
+                        OfMatch::any().with_dl_dst(MacAddr::from_u64(i as u64 + 1)),
+                        vec![Action::Output(PortNo::Physical((i % 8 + 1) as u16))],
+                    )
+                    .with_priority(100),
+                    0.0,
+                )
+                .unwrap();
+        }
+        // A miss scans every rule — the software-switch pathology.
+        let miss_keys = FlowKeys {
+            dl_dst: MacAddr::from_u64(0xdead_beef),
+            ..FlowKeys::default()
+        };
+        let hit_keys = FlowKeys {
+            dl_dst: MacAddr::from_u64(1),
+            ..FlowKeys::default()
+        };
+        group.bench_with_input(BenchmarkId::new("hit", rules), &rules, |b, _| {
+            b.iter(|| table.lookup(std::hint::black_box(&hit_keys), 1.0, 64).is_some())
+        });
+        group.bench_with_input(BenchmarkId::new("miss", rules), &rules, |b, _| {
+            b.iter(|| table.lookup(std::hint::black_box(&miss_keys), 1.0, 64).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_flow_table);
+criterion_main!(benches);

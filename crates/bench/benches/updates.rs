@@ -1,0 +1,50 @@
+//! Ablation of the rule-update strategy (paper §IV-D): refreshing proactive
+//! rules on every state change versus batched versus fixed-interval — the
+//! accuracy/performance tradeoff the paper describes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use controller::apps;
+use controller::platform::App;
+use floodguard::analyzer::Analyzer;
+use floodguard::UpdateStrategy;
+use ofproto::types::MacAddr;
+
+/// Simulates `changes` learning events under a strategy, counting how many
+/// full conversions run; returns (conversions, wall time proxy via work).
+fn run_strategy(strategy: UpdateStrategy, changes: u64) -> u64 {
+    let mut app = App::new(apps::l2_learning::program());
+    let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+    // Baseline.
+    let rules = analyzer.convert(std::slice::from_ref(&app));
+    analyzer.dispatch(rules, 1, 0.0);
+    let mut conversions = 0;
+    for i in 0..changes {
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(1 + i), (i % 8 + 1) as u16);
+        let now = i as f64 * 0.05;
+        let changed = analyzer.detect_changes(std::slice::from_ref(&app));
+        if analyzer.should_update(changed, strategy, now) {
+            let rules = analyzer.convert(std::slice::from_ref(&app));
+            analyzer.dispatch(rules, 1, now);
+            conversions += 1;
+        }
+    }
+    conversions
+}
+
+fn bench_update_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_strategy_100_changes");
+    group.bench_function("every_change", |b| {
+        b.iter(|| run_strategy(UpdateStrategy::EveryChange, std::hint::black_box(100)))
+    });
+    group.bench_function("batched_10", |b| {
+        b.iter(|| run_strategy(UpdateStrategy::Batched(10), std::hint::black_box(100)))
+    });
+    group.bench_function("interval_500ms", |b| {
+        b.iter(|| run_strategy(UpdateStrategy::Interval(0.5), std::hint::black_box(100)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_strategies);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates **Table III — The State Sensitive Variables in
+//! Applications**: for each evaluation application, the global variables
+//! the application tracker must watch, with descriptions.
+
+use controller::apps;
+
+fn main() {
+    println!("# Table III — State Sensitive Variables in Applications");
+    println!("{:<14} {:<18} description", "application", "variable");
+    for program in apps::evaluation_apps() {
+        for global in &program.globals {
+            if global.state_sensitive {
+                println!(
+                    "{:<14} {:<18} {}",
+                    program.name, global.name, global.description
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Table IV — Average Delay of the First Packet in Each New
+//! Flow**: the time to process and forward a new benign TCP flow's first
+//! packet, in the hardware environment, with and without FloodGuard while a
+//! UDP flood runs.
+//!
+//! Each sample comes from a fresh simulation (one probe per run) so every
+//! probe genuinely takes the table-miss path, exactly as the paper forces
+//! it ("by not installing relevant proactive flow rules").
+//!
+//! Paper: OpenFlow 130 ms; OpenFlow+FloodGuard 157 ms total, split into
+//! ~30 ms in the data plane cache and ~127 ms after migration — about
+//! +27 ms (20.8%) added. Our substrate's controller is much faster than
+//! POX-on-Python, so the *absolute base* differs; the added overhead and
+//! the cache component are the comparable quantities.
+
+use bench::{run, Defense, Scenario};
+use floodguard::FloodGuardConfig;
+
+const RUNS: u64 = 8;
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+/// Runs `RUNS` single-probe simulations of `template`, returning
+/// (delays_ms, lost_count, cache_waits_ms).
+fn sample(template: &Scenario) -> (Vec<f64>, usize, Vec<f64>) {
+    let mut delays = Vec::new();
+    let mut cache_waits = Vec::new();
+    let mut lost = 0;
+    for seed in 0..RUNS {
+        let mut scenario = template.clone();
+        scenario.seed = 100 + seed;
+        scenario.probes = vec![2.0];
+        let outcome = run(&scenario);
+        match outcome.probe_delays[0].1 {
+            Some(delay) => delays.push(delay * 1e3),
+            None => lost += 1,
+        }
+        if let Some(handle) = &outcome.cache {
+            let shared = handle.lock();
+            cache_waits.extend(
+                shared
+                    .probes
+                    .iter()
+                    .filter_map(|p| p.emitted.map(|e| (e - p.arrived) * 1e3)),
+            );
+        }
+    }
+    (delays, lost, cache_waits)
+}
+
+fn main() {
+    let mut base = Scenario::hardware();
+    base.bulk = false;
+    base.attack_pps = 0.0;
+    base.duration = 4.0;
+
+    let mut flooded = base.clone();
+    flooded.attack_pps = 400.0;
+    flooded.attack_start = 0.5;
+    flooded.attack_stop = 4.0;
+
+    let mut guarded = flooded.clone();
+    guarded.defense = Defense::FloodGuard(FloodGuardConfig::default());
+
+    let (base_delays, _, _) = sample(&base);
+    let (flood_delays, flood_lost, _) = sample(&flooded);
+    let (fg_delays, fg_lost, cache_waits) = sample(&guarded);
+
+    let base_ms = mean(&base_delays);
+    let fg_ms = mean(&fg_delays);
+    let cache_ms = mean(&cache_waits);
+
+    println!("# Table IV — Average Delay of the First Packet in Each New Flow (hardware env)");
+    println!("# paper: OpenFlow 130 ms | +FloodGuard 157 ms = 30 ms cache + 127 ms after migration (+27 ms, 20.8%)");
+    println!("# ({RUNS} fresh single-probe runs per configuration)");
+    println!();
+    println!("{:<40} {:>14}", "configuration", "delay");
+    println!("{:<40} {:>11.1} ms", "OpenFlow (no attack)", base_ms);
+    if flood_delays.is_empty() {
+        println!(
+            "{:<40} {:>14}",
+            "OpenFlow (under 400 PPS flood)", "infinite (all probes lost)"
+        );
+    } else {
+        println!(
+            "{:<40} {:>11.1} ms  ({flood_lost}/{RUNS} probes lost)",
+            "OpenFlow (under 400 PPS flood)",
+            mean(&flood_delays)
+        );
+    }
+    println!(
+        "{:<40} {:>11.1} ms  ({fg_lost}/{RUNS} probes lost)",
+        "OpenFlow + FloodGuard (under flood)", fg_ms
+    );
+    println!("{:<40} {:>11.1} ms", "  of which: data plane cache", cache_ms);
+    println!("{:<40} {:>11.1} ms", "  of which: after migration", fg_ms - cache_ms);
+    println!(
+        "{:<40} {:>11.1} ms ({:+.1}%)",
+        "added overhead vs no-attack base",
+        fg_ms - base_ms,
+        (fg_ms - base_ms) / base_ms * 100.0
+    );
+}

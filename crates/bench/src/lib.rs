@@ -1,0 +1,15 @@
+//! # bench — experiment harnesses for every table and figure
+//!
+//! The [`scenario`] module builds the paper's Fig. 9 topology and runs
+//! attack scenarios; the `src/bin/*` binaries regenerate each figure/table
+//! of the evaluation (run e.g. `cargo run -p bench --release --bin fig10`),
+//! and `benches/` holds Criterion micro-benchmarks of the components.
+
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+pub use scenario::{
+    bandwidth_sweep, human_bps, run, AttackProtocol, Defense, Outcome, Scenario, CACHE_PORT,
+    H1_IP, H1_MAC, H2_IP, H2_MAC, H3_IP, H3_MAC,
+};

@@ -1,0 +1,416 @@
+//! The shared experiment harness: builds the paper's Fig. 9 test topology
+//! (two benign clients, one attacker, one OpenFlow switch, a controller and
+//! — with FloodGuard — a data plane cache) and runs attack scenarios.
+//!
+//! Every figure/table harness, integration test and example builds on this
+//! module so all results come from the same machinery.
+
+use std::net::Ipv4Addr;
+
+use baselines::avantguard::SynProxy;
+use baselines::naive_drop::NaiveDrop;
+use controller::apps;
+use controller::platform::ControllerPlatform;
+use floodguard::cache::CacheHandle;
+use floodguard::state::Transition;
+use floodguard::{FloodGuard, FloodGuardConfig, MonitorHandle};
+use netsim::engine::Simulation;
+use netsim::host::{BulkSender, MixedFlood, NewFlowProbe, SynFlood, UdpFlood};
+use netsim::packet::{FlowTag, Payload, Transport};
+use netsim::profile::SwitchProfile;
+use ofproto::types::MacAddr;
+use policy::Program;
+
+/// MAC of benign sender h1 (port 1).
+pub const H1_MAC: MacAddr = MacAddr([0, 0, 0, 0, 0, 0x0a]);
+/// MAC of benign receiver h2 (port 2).
+pub const H2_MAC: MacAddr = MacAddr([0, 0, 0, 0, 0, 0x0b]);
+/// MAC of the attacker h3 (port 3).
+pub const H3_MAC: MacAddr = MacAddr([0, 0, 0, 0, 0, 0x0c]);
+/// IP of h1.
+pub const H1_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// IP of h2.
+pub const H2_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+/// IP of h3.
+pub const H3_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+/// Switch port the data plane cache hangs off.
+pub const CACHE_PORT: u16 = 99;
+
+/// Which defense protects the network.
+#[derive(Debug, Clone)]
+pub enum Defense {
+    /// Bare reactive controller (the paper's "existing OpenFlow network").
+    None,
+    /// FloodGuard with the given configuration.
+    FloodGuard(FloodGuardConfig),
+    /// The naive drop-all strawman.
+    NaiveDrop,
+    /// AvantGuard-style SYN proxy in the switch datapath.
+    AvantGuard,
+}
+
+/// Which flood the attacker sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackProtocol {
+    /// Spoofed UDP flood (the paper's §V attack).
+    Udp,
+    /// Spoofed TCP SYN flood (what AvantGuard can stop).
+    TcpSyn,
+    /// Cycling UDP/TCP/ICMP flood (the §IV-C2 scheduling-aware attacker).
+    Mixed,
+}
+
+/// A full scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Switch resource model.
+    pub profile: SwitchProfile,
+    /// Defense under test.
+    pub defense: Defense,
+    /// Applications on the controller (default: l2_learning).
+    pub apps: Vec<Program>,
+    /// Attack rate in packets per second (0 disables).
+    pub attack_pps: f64,
+    /// Attack start time.
+    pub attack_start: f64,
+    /// Attack stop time.
+    pub attack_stop: f64,
+    /// Attack protocol.
+    pub attack_protocol: AttackProtocol,
+    /// Run the closed-loop bulk (iperf) pair h1→h2.
+    pub bulk: bool,
+    /// Packets per simulated bulk batch (event-count control).
+    pub bulk_batch: u32,
+    /// New-flow probe times (h1→h2 TCP SYNs; Table IV measurement).
+    pub probes: Vec<f64>,
+    /// Total simulated duration.
+    pub duration: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Controller machine model override (`None` uses the default).
+    pub controller: Option<netsim::ControllerProfile>,
+}
+
+impl Scenario {
+    /// A software-environment scenario (Fig. 10 conditions).
+    pub fn software() -> Scenario {
+        Scenario {
+            profile: SwitchProfile::software(),
+            defense: Defense::None,
+            apps: vec![apps::l2_learning::program()],
+            attack_pps: 0.0,
+            attack_start: 1.0,
+            attack_stop: 4.0,
+            attack_protocol: AttackProtocol::Udp,
+            bulk: true,
+            bulk_batch: 50,
+            probes: Vec::new(),
+            duration: 4.0,
+            seed: 42,
+            controller: None,
+        }
+    }
+
+    /// A hardware-environment scenario (Fig. 11 conditions).
+    pub fn hardware() -> Scenario {
+        Scenario {
+            profile: SwitchProfile::hardware(),
+            bulk_batch: 5,
+            ..Scenario::software()
+        }
+    }
+
+    /// Sets the defense.
+    #[must_use]
+    pub fn with_defense(mut self, defense: Defense) -> Scenario {
+        self.defense = defense;
+        self
+    }
+
+    /// Sets the attack rate.
+    #[must_use]
+    pub fn with_attack(mut self, pps: f64) -> Scenario {
+        self.attack_pps = pps;
+        self
+    }
+
+    /// Sets the applications.
+    #[must_use]
+    pub fn with_apps(mut self, apps: Vec<Program>) -> Scenario {
+        self.apps = apps;
+        self
+    }
+}
+
+/// The measurements a scenario run produces.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The simulation (inspect hosts, switch, recorder).
+    pub sim: Simulation,
+    /// Goodput of the bulk flow at h2 over the attack window, bits/s.
+    pub bandwidth_bps: f64,
+    /// Baseline goodput before the attack window, bits/s.
+    pub baseline_bps: f64,
+    /// Per-probe first-packet delay: `(probe id, seconds)`; `None` when the
+    /// probe never arrived.
+    pub probe_delays: Vec<(u32, Option<f64>)>,
+    /// FloodGuard state transitions (empty for other defenses).
+    pub fg_transitions: Vec<Transition>,
+    /// FloodGuard stats (defaults for other defenses).
+    pub fg_stats: floodguard::FloodGuardStats,
+    /// Controller messages processed / dropped / CPU seconds.
+    pub controller: netsim::engine::ControllerStats,
+    /// FloodGuard's cache handle (probe residency log, live stats), when
+    /// the defense was FloodGuard.
+    pub cache: Option<CacheHandle>,
+}
+
+/// Runs a scenario to completion.
+pub fn run(scenario: &Scenario) -> Outcome {
+    let mut sim = Simulation::new(scenario.seed);
+    if let Some(profile) = scenario.controller {
+        sim.set_controller_profile(profile);
+    }
+    let sw = sim.add_switch(scenario.profile, vec![1, 2, 3, CACHE_PORT]);
+    let h1 = sim.add_host(sw, 1, H1_MAC, H1_IP);
+    let h2 = sim.add_host(sw, 2, H2_MAC, H2_IP);
+    let h3 = sim.add_host(sw, 3, H3_MAC, H3_IP);
+
+    // Control plane.
+    let mut platform = ControllerPlatform::new();
+    for program in &scenario.apps {
+        platform.register(program.clone());
+    }
+    let mut fg_handle = None;
+    let mut fg_monitor: Option<MonitorHandle> = None;
+    match &scenario.defense {
+        Defense::None => sim.set_control_plane(Box::new(platform)),
+        Defense::FloodGuard(config) => {
+            let mut fg = FloodGuard::new(platform, *config, CACHE_PORT);
+            let cache = fg.build_cache();
+            fg_handle = Some(fg.cache_handle());
+            fg_monitor = Some(fg.monitor_handle());
+            sim.attach_device(
+                sw,
+                CACHE_PORT,
+                Box::new(cache),
+                scenario.profile.channel_bandwidth,
+                scenario.profile.channel_latency,
+                1e-3,
+            );
+            sim.set_control_plane(Box::new(fg));
+        }
+        Defense::NaiveDrop => {
+            let nd = NaiveDrop::new(platform, floodguard::DetectionConfig::default());
+            sim.set_control_plane(Box::new(nd));
+        }
+        Defense::AvantGuard => {
+            sim.switch_mut(sw)
+                .set_miss_hook(Box::new(SynProxy::new(100_000, 5.0)));
+            sim.set_control_plane(Box::new(platform));
+        }
+    }
+
+    // Workloads.
+    if scenario.bulk {
+        sim.host_mut(h1).add_source(Box::new(BulkSender::new(
+            H1_MAC,
+            H1_IP,
+            H2_MAC,
+            H2_IP,
+            1,
+            8,
+            scenario.bulk_batch,
+            1500,
+            0.05,
+        )));
+    }
+    if scenario.attack_pps > 0.0 {
+        match scenario.attack_protocol {
+            AttackProtocol::Udp => {
+                sim.host_mut(h3).add_source(Box::new(UdpFlood::new(
+                    H3_MAC,
+                    scenario.attack_pps,
+                    scenario.attack_start,
+                    scenario.attack_stop,
+                    64,
+                )));
+            }
+            AttackProtocol::TcpSyn => {
+                sim.host_mut(h3).add_source(Box::new(SynFlood::new(
+                    H3_MAC,
+                    scenario.attack_pps,
+                    scenario.attack_start,
+                    scenario.attack_stop,
+                )));
+            }
+            AttackProtocol::Mixed => {
+                sim.host_mut(h3).add_source(Box::new(MixedFlood::new(
+                    H3_MAC,
+                    scenario.attack_pps,
+                    scenario.attack_start,
+                    scenario.attack_stop,
+                )));
+            }
+        }
+    }
+    let mut probe_ids = Vec::new();
+    for (i, &at) in scenario.probes.iter().enumerate() {
+        let id = i as u32 + 1;
+        probe_ids.push((id, at));
+        sim.host_mut(h1)
+            .add_source(Box::new(NewFlowProbe::new(H1_MAC, H1_IP, H2_MAC, H2_IP, id, at)));
+    }
+
+    sim.run_until(scenario.duration);
+
+    // Measurements.
+    let attack_window = (
+        scenario.attack_start.min(scenario.duration),
+        scenario.attack_stop.min(scenario.duration),
+    );
+    let bandwidth_bps = sim.host(h2).meter.bps_in(
+        attack_window.0 + 0.2 * (attack_window.1 - attack_window.0),
+        attack_window.1,
+    );
+    let baseline_bps = sim.host(h2).meter.bps_in(0.3, scenario.attack_start.min(scenario.duration));
+    let probe_delays = probe_ids
+        .iter()
+        .map(|&(id, at)| {
+            // Match by tag when the packet came straight through the data
+            // plane, or by the probe's deterministic TCP port signature
+            // when it detoured through controller bytes (tags do not
+            // survive serialization).
+            let source_port = NewFlowProbe::source_port(id);
+            let delivered = sim
+                .host(h2)
+                .deliveries
+                .iter()
+                .find(|(p, _)| {
+                    p.tag == FlowTag::NewFlow { id }
+                        || matches!(
+                            p.payload,
+                            Payload::Ipv4 {
+                                transport: Transport::Tcp { src_port, dst_port, flags, .. },
+                                ..
+                            } if src_port == source_port
+                                && dst_port == 80
+                                && flags == Transport::TCP_SYN
+                        )
+                })
+                .map(|(_, t)| *t - at);
+            (id, delivered)
+        })
+        .collect();
+    let controller = sim.ctrl_stats;
+    let (fg_transitions, fg_stats) = fg_monitor
+        .map(|m| {
+            let monitor = m.lock();
+            (monitor.transitions.clone(), monitor.stats)
+        })
+        .unwrap_or_default();
+    Outcome {
+        bandwidth_bps,
+        baseline_bps,
+        probe_delays,
+        fg_transitions,
+        fg_stats,
+        controller,
+        cache: fg_handle,
+        sim,
+    }
+}
+
+/// Sweeps attack rates and reports `(pps, bandwidth_bps)` — the series of
+/// Figs. 10 and 11.
+pub fn bandwidth_sweep(base: &Scenario, rates: &[f64]) -> Vec<(f64, f64)> {
+    rates
+        .iter()
+        .map(|&pps| {
+            let outcome = run(&base.clone().with_attack(pps));
+            (pps, outcome.bandwidth_bps)
+        })
+        .collect()
+}
+
+/// Formats bits/s with an SI suffix.
+pub fn human_bps(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} Gbps", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.2} Mbps", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.2} Kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_baseline_near_line_rate() {
+        let outcome = run(&Scenario {
+            duration: 2.0,
+            attack_pps: 0.0,
+            ..Scenario::software()
+        });
+        assert!(
+            outcome.bandwidth_bps > 1.2e9,
+            "got {}",
+            human_bps(outcome.bandwidth_bps)
+        );
+    }
+
+    #[test]
+    fn hardware_baseline_near_8mbps() {
+        let outcome = run(&Scenario {
+            duration: 2.0,
+            ..Scenario::hardware()
+        });
+        assert!(
+            (6e6..10e6).contains(&outcome.bandwidth_bps),
+            "got {}",
+            human_bps(outcome.bandwidth_bps)
+        );
+    }
+
+    #[test]
+    fn attack_collapses_undefended_software_switch() {
+        let clean = run(&Scenario::software()).bandwidth_bps;
+        let attacked = run(&Scenario::software().with_attack(500.0)).bandwidth_bps;
+        assert!(
+            attacked < clean * 0.15,
+            "clean {} attacked {}",
+            human_bps(clean),
+            human_bps(attacked)
+        );
+    }
+
+    #[test]
+    fn floodguard_preserves_software_bandwidth() {
+        let scenario = Scenario::software()
+            .with_defense(Defense::FloodGuard(FloodGuardConfig::default()))
+            .with_attack(500.0);
+        let outcome = run(&scenario);
+        assert!(
+            outcome.bandwidth_bps > 1.2e9,
+            "got {}",
+            human_bps(outcome.bandwidth_bps)
+        );
+    }
+
+    #[test]
+    fn probe_measures_first_packet_delay() {
+        let outcome = run(&Scenario {
+            probes: vec![0.5],
+            duration: 2.0,
+            ..Scenario::software()
+        });
+        let (_, delay) = outcome.probe_delays[0];
+        let delay = delay.expect("probe delivered");
+        assert!(delay > 0.0 && delay < 0.5, "delay {delay}");
+    }
+}

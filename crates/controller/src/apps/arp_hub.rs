@@ -1,0 +1,89 @@
+//! The Table I `arp_hub` application: drop all LLDP packets and broadcast
+//! all ARP packets. Both policies are *static* — they never change with
+//! network state, so their proactive flow rules are always derivable.
+
+use ofproto::types::ethertype;
+use policy::builder::*;
+use policy::stmt::{ActionTemplate, MatchTemplate, RuleTemplate};
+use policy::Program;
+
+/// Builds the arp_hub application.
+pub fn program() -> Program {
+    Program::new(
+        "arp_hub",
+        vec![],
+        vec![
+            if_then(
+                eq(field(Field::DlType), constant(u64::from(ethertype::LLDP))),
+                vec![emit(Decision::InstallRule(RuleTemplate::new(
+                    vec![MatchTemplate::Exact(Field::DlType, field(Field::DlType))],
+                    vec![], // empty action list: drop
+                )))],
+            ),
+            if_then(
+                eq(field(Field::DlType), constant(u64::from(ethertype::ARP))),
+                vec![emit(Decision::InstallRule(RuleTemplate::new(
+                    vec![MatchTemplate::Exact(Field::DlType, field(Field::DlType))],
+                    vec![ActionTemplate::Flood],
+                )))],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofproto::flow_match::FlowKeys;
+    use policy::interp::{execute, ConcreteDecision};
+
+    fn keys(dl_type: u16) -> FlowKeys {
+        FlowKeys {
+            dl_type,
+            ..FlowKeys::default()
+        }
+    }
+
+    #[test]
+    fn lldp_installs_drop_rule() {
+        let p = program();
+        let mut env = p.initial_env();
+        let r = execute(&p, &keys(ethertype::LLDP), &mut env).unwrap();
+        match r.decision {
+            ConcreteDecision::Install(rule) => {
+                assert!(rule.actions.is_empty(), "drop");
+                assert_eq!(rule.of_match.keys.dl_type, ethertype::LLDP);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arp_installs_flood_rule() {
+        let p = program();
+        let mut env = p.initial_env();
+        let r = execute(&p, &keys(ethertype::ARP), &mut env).unwrap();
+        match r.decision {
+            ConcreteDecision::Install(rule) => {
+                assert_eq!(
+                    rule.actions,
+                    vec![ofproto::actions::Action::Output(ofproto::types::PortNo::Flood)]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn other_traffic_ignored() {
+        let p = program();
+        let mut env = p.initial_env();
+        let r = execute(&p, &keys(ethertype::IPV4), &mut env).unwrap();
+        assert_eq!(r.decision, ConcreteDecision::NoOp);
+    }
+
+    #[test]
+    fn static_app_has_no_state_sensitive_vars() {
+        assert!(program().state_sensitive_vars().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! The trivial hub: flood every packet, learn nothing.
+//!
+//! The paper's §I notes a hub is the *least* vulnerable app — no dynamic
+//! state, minimal per-packet work — making it the baseline for comparing
+//! saturation impact across applications.
+
+use policy::builder::*;
+use policy::Program;
+
+/// Builds the hub application.
+pub fn program() -> Program {
+    Program::new("hub", vec![], vec![emit(Decision::PacketOutFlood)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofproto::flow_match::FlowKeys;
+    use policy::interp::{execute, ConcreteDecision};
+
+    #[test]
+    fn always_floods() {
+        let p = program();
+        let mut env = p.initial_env();
+        for in_port in [1u16, 2, 7] {
+            let keys = FlowKeys {
+                in_port,
+                ..FlowKeys::default()
+            };
+            let r = execute(&p, &keys, &mut env).unwrap();
+            assert_eq!(r.decision, ConcreteDecision::PacketOutFlood);
+        }
+        assert_eq!(env.version(), 0, "hub never mutates state");
+    }
+
+    #[test]
+    fn has_no_state_sensitive_vars() {
+        assert!(program().state_sensitive_vars().is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # controller — a reactive OpenFlow controller platform
+//!
+//! A POX-like reactive controller: applications written in the `policy` IR
+//! register `packet_in` handlers; the platform dispatches every message to
+//! every application, executes their handlers concretely, charges CPU per
+//! application, and answers the data plane with flow-mods and packet-outs.
+//!
+//! The [`apps`] module provides the paper's evaluation applications
+//! (l2_learning, ip_balancer, l3_learning, of_firewall, mac_blocker) and
+//! the Table I samples (arp_hub, route) plus a hub.
+//!
+//! ## Example
+//!
+//! ```
+//! use controller::apps;
+//! use controller::platform::ControllerPlatform;
+//!
+//! let mut platform = ControllerPlatform::new();
+//! for program in apps::evaluation_apps() {
+//!     platform.register(program);
+//! }
+//! assert_eq!(platform.apps().len(), 5);
+//! assert_eq!(
+//!     platform.app("l2_learning").unwrap().program.state_sensitive_vars(),
+//!     vec!["macToPort"],
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod platform;
+
+pub use platform::{App, ControllerPlatform, DEFAULT_NODE_COST};

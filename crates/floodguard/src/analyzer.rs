@@ -1,0 +1,299 @@
+//! The proactive flow rule analyzer (paper §IV-B, Fig. 4): symbolic
+//! execution engine (offline), application tracker and proactive flow rule
+//! dispatcher (runtime).
+
+use std::collections::HashMap;
+
+use controller::platform::App;
+use ofproto::flow_mod::FlowMod;
+use policy::ProactiveRule;
+use symexec::{convert_to_rules, generate_path_conditions, ConversionStats, PathConditions};
+
+use crate::config::UpdateStrategy;
+
+/// The analyzer: holds each application's offline path conditions, tracks
+/// the live values of their state-sensitive variables, and dispatches
+/// proactive flow rules.
+#[derive(Debug)]
+pub struct Analyzer {
+    path_conditions: Vec<PathConditions>,
+    last_versions: HashMap<String, u64>,
+    installed: Vec<ProactiveRule>,
+    pending_changes: u64,
+    last_update_at: f64,
+    /// Cumulative conversion statistics.
+    pub last_stats: ConversionStats,
+    /// Number of conversions run.
+    pub conversions: u64,
+}
+
+/// The flow-mod batch a dispatch produces.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RuleUpdate {
+    /// Rules to install.
+    pub to_add: Vec<FlowMod>,
+    /// Rules to remove (strict deletes).
+    pub to_remove: Vec<FlowMod>,
+}
+
+impl RuleUpdate {
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.to_add.is_empty() && self.to_remove.is_empty()
+    }
+
+    /// Total flow-mods in the update.
+    pub fn len(&self) -> usize {
+        self.to_add.len() + self.to_remove.len()
+    }
+}
+
+impl Analyzer {
+    /// Runs the offline phase (Algorithm 1) over every registered
+    /// application.
+    ///
+    /// The paper runs this "in advance" — it is the expensive part (symbolic
+    /// execution) and adds no runtime overhead.
+    pub fn offline(apps: &[App]) -> Analyzer {
+        let path_conditions = apps
+            .iter()
+            .map(|app| generate_path_conditions(&app.program))
+            .collect();
+        Analyzer {
+            path_conditions,
+            last_versions: HashMap::new(),
+            installed: Vec::new(),
+            pending_changes: 0,
+            last_update_at: f64::NEG_INFINITY,
+            last_stats: ConversionStats::default(),
+            conversions: 0,
+        }
+    }
+
+    /// The per-application path conditions.
+    pub fn path_conditions(&self) -> &[PathConditions] {
+        &self.path_conditions
+    }
+
+    /// Application tracker: returns `true` when any app's globals changed
+    /// since the last call (its env version moved).
+    pub fn detect_changes(&mut self, apps: &[App]) -> bool {
+        let mut changed = false;
+        for app in apps {
+            let version = app.env.version();
+            let entry = self.last_versions.entry(app.program.name.clone()).or_insert(u64::MAX);
+            if *entry != version {
+                if *entry != u64::MAX {
+                    changed = true;
+                }
+                *entry = version;
+            }
+        }
+        if changed {
+            self.pending_changes += 1;
+        }
+        changed
+    }
+
+    /// Whether the update strategy says to regenerate now.
+    ///
+    /// Call after [`Analyzer::detect_changes`]; `changed` is its result.
+    pub fn should_update(&self, changed: bool, strategy: UpdateStrategy, now: f64) -> bool {
+        match strategy {
+            UpdateStrategy::EveryChange => changed,
+            UpdateStrategy::Batched(n) => self.pending_changes >= n,
+            UpdateStrategy::Interval(secs) => {
+                self.pending_changes > 0 && now - self.last_update_at >= secs
+            }
+        }
+    }
+
+    /// Runs Algorithm 2 over every application with its current globals,
+    /// producing the full proactive rule set.
+    pub fn convert(&mut self, apps: &[App]) -> Vec<ProactiveRule> {
+        let mut rules = Vec::new();
+        let mut stats = ConversionStats::default();
+        for (pcs, app) in self.path_conditions.iter().zip(apps) {
+            debug_assert_eq!(pcs.app, app.program.name);
+            // The conversion reflects this exact state: baseline the
+            // tracker here so later mutations are seen as changes.
+            self.last_versions
+                .insert(app.program.name.clone(), app.env.version());
+            let conversion = convert_to_rules(pcs, &app.env);
+            stats.paths_total += conversion.stats.paths_total;
+            stats.paths_modify_state += conversion.stats.paths_modify_state;
+            stats.paths_converted += conversion.stats.paths_converted;
+            stats.paths_skipped += conversion.stats.paths_skipped;
+            stats.candidates_rejected += conversion.stats.candidates_rejected;
+            stats.truncated |= conversion.stats.truncated;
+            rules.extend(conversion.rules);
+        }
+        self.last_stats = stats;
+        self.conversions += 1;
+        rules
+    }
+
+    /// Dispatcher: diffs `new_rules` against the installed set and returns
+    /// the flow-mods realizing the difference, stamping them with `cookie`.
+    ///
+    /// §IV-D: "The variation should be quite simple as adding or removing a
+    /// few matching rules."
+    pub fn dispatch(&mut self, new_rules: Vec<ProactiveRule>, cookie: u64, now: f64) -> RuleUpdate {
+        let mut update = RuleUpdate::default();
+        for rule in &self.installed {
+            if !new_rules.contains(rule) {
+                update
+                    .to_remove
+                    .push(FlowMod::delete_strict(rule.of_match, rule.priority));
+            }
+        }
+        for rule in &new_rules {
+            if !self.installed.contains(rule) {
+                update.to_add.push(rule.to_flow_mod().with_cookie(cookie));
+            }
+        }
+        self.installed = new_rules;
+        self.pending_changes = 0;
+        self.last_update_at = now;
+        update
+    }
+
+    /// The currently installed proactive rules.
+    pub fn installed(&self) -> &[ProactiveRule] {
+        &self.installed
+    }
+
+    /// Forgets the installed set (rules may have aged out of the switch
+    /// since the last defense round); the next dispatch re-adds everything.
+    pub fn reset_installed(&mut self) {
+        self.installed.clear();
+    }
+
+    /// Strict deletes removing every installed proactive rule.
+    pub fn teardown(&mut self) -> Vec<FlowMod> {
+        let mods = self
+            .installed
+            .iter()
+            .map(|r| FlowMod::delete_strict(r.of_match, r.priority))
+            .collect();
+        self.installed.clear();
+        mods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use controller::apps;
+    use ofproto::types::MacAddr;
+
+    fn l2_app() -> App {
+        App::new(apps::l2_learning::program())
+    }
+
+    #[test]
+    fn offline_builds_path_conditions_per_app() {
+        let apps = vec![l2_app(), App::new(apps::hub::program())];
+        let analyzer = Analyzer::offline(&apps);
+        assert_eq!(analyzer.path_conditions().len(), 2);
+        assert_eq!(analyzer.path_conditions()[0].app, "l2_learning");
+        assert_eq!(analyzer.path_conditions()[0].paths.len(), 3);
+    }
+
+    #[test]
+    fn tracker_sees_learning() {
+        let mut app = l2_app();
+        let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+        // First observation establishes the baseline.
+        assert!(!analyzer.detect_changes(std::slice::from_ref(&app)));
+        assert!(!analyzer.detect_changes(std::slice::from_ref(&app)));
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xa), 1);
+        assert!(analyzer.detect_changes(std::slice::from_ref(&app)));
+        assert!(!analyzer.detect_changes(std::slice::from_ref(&app)), "no further change");
+    }
+
+    #[test]
+    fn convert_and_dispatch_adds_then_diffs() {
+        let mut app = l2_app();
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xa), 1);
+        let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+        let rules = analyzer.convert(std::slice::from_ref(&app));
+        assert_eq!(rules.len(), 1);
+        let update = analyzer.dispatch(rules, 0xc0de, 0.0);
+        assert_eq!(update.to_add.len(), 1);
+        assert!(update.to_remove.is_empty());
+        assert_eq!(update.to_add[0].cookie, 0xc0de);
+        // Learn another host: the diff adds exactly one rule.
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xb), 2);
+        let rules = analyzer.convert(std::slice::from_ref(&app));
+        assert_eq!(rules.len(), 2);
+        let update = analyzer.dispatch(rules, 0xc0de, 1.0);
+        assert_eq!(update.to_add.len(), 1);
+        assert!(update.to_remove.is_empty());
+        assert_eq!(analyzer.installed().len(), 2);
+    }
+
+    #[test]
+    fn dispatch_removes_stale_rules() {
+        // The §IV-D ip_balancer scenario: swapping replicas changes rules.
+        let mut app = App::new(apps::ip_balancer::program());
+        let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+        let rules = analyzer.convert(std::slice::from_ref(&app));
+        assert_eq!(rules.len(), 2, "one rule per source half");
+        analyzer.dispatch(rules, 1, 0.0);
+        apps::ip_balancer::configure(
+            &mut app.env,
+            apps::ip_balancer::DEFAULT_VIP,
+            (apps::ip_balancer::DEFAULT_REPLICA_B, 2),
+            (apps::ip_balancer::DEFAULT_REPLICA_A, 1),
+        );
+        let rules = analyzer.convert(std::slice::from_ref(&app));
+        let update = analyzer.dispatch(rules, 1, 1.0);
+        assert_eq!(update.to_add.len(), 2, "both halves re-targeted");
+        assert_eq!(update.to_remove.len(), 2);
+    }
+
+    #[test]
+    fn unchanged_state_is_empty_diff() {
+        let mut app = l2_app();
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xa), 1);
+        let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+        let rules = analyzer.convert(std::slice::from_ref(&app));
+        analyzer.dispatch(rules, 1, 0.0);
+        let rules = analyzer.convert(std::slice::from_ref(&app));
+        let update = analyzer.dispatch(rules, 1, 1.0);
+        assert!(update.is_empty());
+        assert_eq!(update.len(), 0);
+    }
+
+    #[test]
+    fn update_strategies() {
+        let app = l2_app();
+        let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+        analyzer.pending_changes = 1;
+        assert!(analyzer.should_update(true, UpdateStrategy::EveryChange, 0.0));
+        assert!(!analyzer.should_update(false, UpdateStrategy::EveryChange, 0.0));
+        assert!(!analyzer.should_update(true, UpdateStrategy::Batched(3), 0.0));
+        analyzer.pending_changes = 3;
+        assert!(analyzer.should_update(true, UpdateStrategy::Batched(3), 0.0));
+        analyzer.last_update_at = 0.0;
+        assert!(!analyzer.should_update(true, UpdateStrategy::Interval(1.0), 0.5));
+        assert!(analyzer.should_update(true, UpdateStrategy::Interval(1.0), 1.5));
+    }
+
+    #[test]
+    fn teardown_removes_all() {
+        let mut app = l2_app();
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xa), 1);
+        let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+        let rules = analyzer.convert(std::slice::from_ref(&app));
+        analyzer.dispatch(rules, 1, 0.0);
+        let mods = analyzer.teardown();
+        assert_eq!(mods.len(), 1);
+        assert!(analyzer.installed().is_empty());
+        assert_eq!(
+            mods[0].command,
+            ofproto::flow_mod::FlowModCommand::DeleteStrict
+        );
+    }
+}

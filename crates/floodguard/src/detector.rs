@@ -1,0 +1,205 @@
+//! Saturation-attack detection (paper §IV-C1).
+//!
+//! Pure rate thresholds are easy to game by slow-ramping attackers, so the
+//! detector combines the real-time `packet_in` rate with infrastructure
+//! utilization (switch buffer memory and controller CPU) into a weighted
+//! anomaly score.
+
+use std::collections::VecDeque;
+
+use crate::config::DetectionConfig;
+
+/// The attack detector.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    config: DetectionConfig,
+    arrivals: VecDeque<f64>,
+    buffer_utilization: f64,
+    datapath_utilization: f64,
+    controller_utilization: f64,
+    calm_since: Option<f64>,
+    last_score: f64,
+}
+
+impl Detector {
+    /// Creates a detector.
+    pub fn new(config: DetectionConfig) -> Detector {
+        Detector {
+            config,
+            arrivals: VecDeque::new(),
+            buffer_utilization: 0.0,
+            datapath_utilization: 0.0,
+            controller_utilization: 0.0,
+            calm_since: None,
+            last_score: 0.0,
+        }
+    }
+
+    /// Records one `packet_in` arrival (or one migrated-packet arrival at
+    /// the cache once migration is active).
+    pub fn record_packet_in(&mut self, now: f64) {
+        self.arrivals.push_back(now);
+        self.evict(now);
+    }
+
+    /// Feeds infrastructure utilization from telemetry.
+    pub fn record_utilization(&mut self, buffer: f64, datapath: f64, controller: f64) {
+        self.buffer_utilization = buffer.clamp(0.0, 1.0);
+        self.datapath_utilization = datapath.clamp(0.0, 1.0);
+        self.controller_utilization = controller.clamp(0.0, 1.0);
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&t) = self.arrivals.front() {
+            if now - t > self.config.window {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The current `packet_in` rate over the sliding window, packets/s.
+    pub fn rate(&mut self, now: f64) -> f64 {
+        self.evict(now);
+        self.arrivals.len() as f64 / self.config.window
+    }
+
+    /// The current anomaly score in [0, 1+]: weighted sum of normalized
+    /// rate, buffer utilization and controller utilization.
+    pub fn score(&mut self, now: f64) -> f64 {
+        let rate_term = (self.rate(now) / self.config.rate_capacity_pps).min(2.0);
+        let score = self.config.rate_weight * rate_term
+            + self.config.buffer_weight * self.buffer_utilization
+            + self.config.datapath_weight * self.datapath_utilization
+            + self.config.controller_weight * self.controller_utilization;
+        self.last_score = score;
+        score
+    }
+
+    /// Whether the anomaly score currently signals an attack.
+    pub fn is_attack(&mut self, now: f64) -> bool {
+        self.score(now) >= self.config.score_threshold
+    }
+
+    /// Attack-end test against an externally observed flooding rate (once
+    /// migration is active, the cache sees the flood, not the controller).
+    ///
+    /// Returns `true` when the rate has stayed below the end threshold for
+    /// the configured hysteresis.
+    pub fn is_over(&mut self, observed_rate_pps: f64, now: f64) -> bool {
+        let calm = observed_rate_pps < self.config.end_fraction * self.config.rate_capacity_pps;
+        match (calm, self.calm_since) {
+            (false, _) => {
+                self.calm_since = None;
+                false
+            }
+            (true, None) => {
+                self.calm_since = Some(now);
+                false
+            }
+            (true, Some(since)) => now - since >= self.config.end_hysteresis,
+        }
+    }
+
+    /// Resets end-of-attack hysteresis (on re-entering defense).
+    pub fn reset_end_tracking(&mut self) {
+        self.calm_since = None;
+    }
+
+    /// The most recently computed score.
+    pub fn last_score(&self) -> f64 {
+        self.last_score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> Detector {
+        Detector::new(DetectionConfig::default())
+    }
+
+    #[test]
+    fn idle_is_not_attack() {
+        let mut d = detector();
+        assert!(!d.is_attack(0.0));
+        assert_eq!(d.rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn flooding_rate_triggers() {
+        let mut d = detector();
+        // 200 pps for a window's worth of packets.
+        for i in 0..50 {
+            d.record_packet_in(i as f64 * 0.005);
+        }
+        assert!(d.rate(0.25) > 150.0);
+        assert!(d.is_attack(0.25));
+    }
+
+    #[test]
+    fn benign_rate_does_not_trigger() {
+        let mut d = detector();
+        for i in 0..5 {
+            d.record_packet_in(f64::from(i) * 0.05);
+        }
+        assert!(!d.is_attack(0.25));
+    }
+
+    #[test]
+    fn slow_attack_caught_via_utilization() {
+        // The paper's point: a slow flood still fills buffers; the score
+        // combines both signals.
+        let mut d = detector();
+        for i in 0..8 {
+            d.record_packet_in(f64::from(i) * 0.03);
+        }
+        assert!(!d.is_attack(0.25), "rate alone below threshold");
+        d.record_utilization(0.95, 0.9, 0.9);
+        assert!(d.is_attack(0.25), "utilization pushes the score over");
+    }
+
+    #[test]
+    fn window_eviction() {
+        let mut d = detector();
+        for i in 0..100 {
+            d.record_packet_in(f64::from(i) * 0.001);
+        }
+        assert!(d.rate(0.1) > 300.0);
+        // Much later the window is empty again.
+        assert_eq!(d.rate(10.0), 0.0);
+        assert!(!d.is_attack(10.0));
+    }
+
+    #[test]
+    fn end_detection_requires_hysteresis() {
+        let mut d = detector();
+        // Calm at t=1.0 — not over yet.
+        assert!(!d.is_over(1.0, 1.0));
+        // Still calm but hysteresis (0.3 s) not yet elapsed.
+        assert!(!d.is_over(1.0, 1.2));
+        // Calm long enough.
+        assert!(d.is_over(1.0, 1.35));
+    }
+
+    #[test]
+    fn end_detection_resets_on_resurgence() {
+        let mut d = detector();
+        assert!(!d.is_over(0.0, 1.0));
+        // Flood resumes: calm clock resets.
+        assert!(!d.is_over(500.0, 1.2));
+        assert!(!d.is_over(0.0, 1.3));
+        assert!(!d.is_over(0.0, 1.5));
+        assert!(d.is_over(0.0, 1.61));
+    }
+
+    #[test]
+    fn reset_end_tracking_clears_calm() {
+        let mut d = detector();
+        assert!(!d.is_over(0.0, 1.0));
+        d.reset_end_tracking();
+        assert!(!d.is_over(0.0, 1.31), "clock restarted");
+    }
+}

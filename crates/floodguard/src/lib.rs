@@ -1,0 +1,734 @@
+//! # floodguard — a DoS attack prevention extension for SDN
+//!
+//! Reproduction of *FloodGuard: A DoS Attack Prevention Extension in
+//! Software-Defined Networks* (Wang, Xu, Gu — DSN 2015).
+//!
+//! FloodGuard defends reactive OpenFlow networks against the
+//! **data-to-control plane saturation attack** with two mechanisms:
+//!
+//! * a **proactive flow rule analyzer** ([`analyzer`]) that symbolically
+//!   executes every controller application offline (Algorithm 1, in the
+//!   `symexec` crate) and, when an attack is detected, substitutes the live
+//!   values of the applications' state-sensitive variables to derive and
+//!   install *proactive flow rules* (Algorithm 2), preserving the network's
+//!   main functionality; and
+//! * **packet migration** ([`migration`], [`cache`]): per-ingress-port
+//!   wildcard rules tag the INPORT into the TOS byte and redirect all
+//!   remaining table-miss packets to a **data plane cache**, which buffers
+//!   them in four protocol queues and re-submits them to the controller as
+//!   rate-limited, round-robin-scheduled `packet_in`s — so benign new flows
+//!   are delayed instead of dropped.
+//!
+//! A four-state machine ([`state`]) governs the lifecycle:
+//! Idle → Init → Defense → Finish → Idle.
+//!
+//! The [`FloodGuard`] type wraps a [`controller::ControllerPlatform`] and
+//! implements [`netsim::ControlPlane`], so it drops into a simulation in
+//! place of the bare controller — transparent to the applications, as the
+//! paper requires.
+//!
+//! ## Example
+//!
+//! ```
+//! use controller::apps;
+//! use controller::platform::ControllerPlatform;
+//! use floodguard::{FloodGuard, FloodGuardConfig};
+//!
+//! let mut platform = ControllerPlatform::new();
+//! platform.register(apps::l2_learning::program());
+//! let mut fg = FloodGuard::new(platform, FloodGuardConfig::default(), 99);
+//! // The cache device shares state with the controller-side agent:
+//! let cache = fg.build_cache();
+//! assert_eq!(fg.state(), floodguard::State::Idle);
+//! # let _ = cache;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod cache;
+pub mod config;
+pub mod detector;
+pub mod migration;
+pub mod state;
+
+use controller::platform::ControllerPlatform;
+use ofproto::actions::Action;
+use ofproto::messages::{OfBody, OfMessage};
+use ofproto::types::{DatapathId, PortNo};
+
+use netsim::iface::{ControlOutput, ControlPlane, DeviceId, Telemetry};
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::analyzer::Analyzer;
+use crate::cache::{new_handle, CacheHandle, DataPlaneCache};
+use crate::detector::Detector;
+use crate::migration::MigrationAgent;
+use crate::state::Transition;
+
+pub use crate::config::{
+    CacheConfig, DetectionConfig, FloodGuardConfig, RulePlacement, UpdateStrategy,
+};
+pub use crate::state::{State, StateMachine};
+
+/// Module name under which FloodGuard's own CPU time is accounted.
+pub const MODULE_NAME: &str = "floodguard";
+
+/// Aggregate counters describing a FloodGuard run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FloodGuardStats {
+    /// Attacks detected (Idle/Finish → Init transitions).
+    pub attacks_detected: u64,
+    /// Attack-over events (Defense → Finish transitions).
+    pub attacks_ended: u64,
+    /// Proactive rules installed over the lifetime.
+    pub proactive_installed: u64,
+    /// Proactive rules removed by dispatch diffs.
+    pub proactive_removed: u64,
+    /// Rule-update rounds run while defending.
+    pub updates: u64,
+    /// `packet_in`s re-raised from the data plane cache.
+    pub reraised: u64,
+}
+
+/// A live snapshot of FloodGuard's externally observable state, shared
+/// through [`FloodGuard::monitor_handle`] so harnesses can read it after a
+/// simulation consumed the boxed control plane.
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    /// Current FSM state.
+    pub state: Option<State>,
+    /// Transition log so far.
+    pub transitions: Vec<Transition>,
+    /// Lifetime counters.
+    pub stats: FloodGuardStats,
+}
+
+/// Shared handle to [`Monitor`].
+pub type MonitorHandle = Arc<Mutex<Monitor>>;
+
+/// The FloodGuard control-plane extension.
+pub struct FloodGuard {
+    platform: ControllerPlatform,
+    config: FloodGuardConfig,
+    sm: StateMachine,
+    detector: Detector,
+    analyzer: Analyzer,
+    agent: MigrationAgent,
+    cache_handle: CacheHandle,
+    switch_ports: Vec<(DatapathId, Vec<u16>)>,
+    /// Datapath each cache device serves, in device-attachment order.
+    device_dpids: Vec<DatapathId>,
+    monitor: MonitorHandle,
+    /// Lifetime counters.
+    pub stats: FloodGuardStats,
+}
+
+impl std::fmt::Debug for FloodGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FloodGuard")
+            .field("state", &self.sm.state())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FloodGuard {
+    /// Wraps `platform`, protecting switches whose cache device hangs off
+    /// physical port `cache_port`.
+    ///
+    /// Runs the offline symbolic-execution phase (Algorithm 1) over every
+    /// registered application immediately — the paper's "preparation work"
+    /// before the Idle state.
+    pub fn new(platform: ControllerPlatform, config: FloodGuardConfig, cache_port: u16) -> FloodGuard {
+        let analyzer = Analyzer::offline(platform.apps());
+        let cache_handle = new_handle(&config.cache);
+        let agent = MigrationAgent::new(config, cache_handle.clone(), cache_port);
+        FloodGuard {
+            platform,
+            config,
+            sm: StateMachine::new(),
+            detector: Detector::new(config.detection),
+            analyzer,
+            agent,
+            cache_handle,
+            switch_ports: Vec::new(),
+            device_dpids: Vec::new(),
+            monitor: Arc::new(Mutex::new(Monitor::default())),
+            stats: FloodGuardStats::default(),
+        }
+    }
+
+    /// A shared monitor reflecting the FSM state, transition log and
+    /// counters; refreshed on every telemetry tick.
+    pub fn monitor_handle(&self) -> MonitorHandle {
+        self.monitor.clone()
+    }
+
+    /// Builds the data plane cache device sharing this instance's handle.
+    ///
+    /// Attach it to the protected switch's cache port via
+    /// [`netsim::Simulation::attach_device`]. In a single-switch deployment
+    /// this is all you need; multi-switch deployments use
+    /// [`FloodGuard::build_cache_for`] instead.
+    pub fn build_cache(&mut self) -> DataPlaneCache {
+        self.device_dpids.push(DatapathId(1));
+        DataPlaneCache::new(self.config.cache, self.cache_handle.clone())
+    }
+
+    /// Builds a dedicated cache for switch `dpid` (§IV-E: "a set of data
+    /// plane caches, with each in charge of a subset of switches").
+    ///
+    /// Caches must be attached to the simulation **in the order they are
+    /// built** — the engine numbers devices by attachment order and
+    /// FloodGuard maps device ids back to datapaths positionally.
+    pub fn build_cache_for(&mut self, dpid: DatapathId) -> DataPlaneCache {
+        let handle = if self.device_dpids.is_empty() {
+            self.cache_handle.clone()
+        } else {
+            let handle = new_handle(&self.config.cache);
+            self.agent.register_cache(handle.clone());
+            handle
+        };
+        self.device_dpids.push(dpid);
+        DataPlaneCache::new(self.config.cache, handle)
+    }
+
+    /// The shared cache handle (rate knob + live statistics).
+    pub fn cache_handle(&self) -> CacheHandle {
+        self.cache_handle.clone()
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> State {
+        self.sm.state()
+    }
+
+    /// The state-machine transition log.
+    pub fn transitions(&self) -> &[state::Transition] {
+        self.sm.log()
+    }
+
+    /// The wrapped controller platform.
+    pub fn platform(&self) -> &ControllerPlatform {
+        &self.platform
+    }
+
+    /// Mutable access to the wrapped platform (seed application state).
+    pub fn platform_mut(&mut self) -> &mut ControllerPlatform {
+        &mut self.platform
+    }
+
+    /// The analyzer (path conditions, installed proactive rules).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// CPU cost charged for one rule-generation round: a base plus a
+    /// per-state-entry term, the deterministic stand-in for the measured
+    /// generation times of Fig. 13.
+    /// Rewrites `Flood`/`All` outputs in outgoing packet-outs into explicit
+    /// port lists that exclude the cache port.
+    ///
+    /// The cache hangs off a physical port, so a plain flood would hand
+    /// every broadcast to the cache, which would re-raise it — traffic
+    /// looping through the controller forever. Excluding the cache port
+    /// preserves flood semantics for real hosts.
+    fn rewrite_floods(&self, out: &mut ControlOutput) {
+        let cache_port = self.agent.cache_port();
+        for (dpid, msg) in &mut out.messages {
+            let OfBody::PacketOut(po) = &mut msg.body else {
+                continue;
+            };
+            let Some((_, ports)) = self.switch_ports.iter().find(|(d, _)| d == dpid) else {
+                continue;
+            };
+            let in_port = po.in_port.physical();
+            let mut actions = Vec::with_capacity(po.actions.len());
+            for action in &po.actions {
+                match action {
+                    Action::Output(PortNo::Flood | PortNo::All) => {
+                        for &p in ports {
+                            if p != cache_port && Some(p) != in_port {
+                                actions.push(Action::Output(PortNo::Physical(p)));
+                            }
+                        }
+                    }
+                    other => actions.push(*other),
+                }
+            }
+            po.actions = actions;
+        }
+    }
+
+    fn conversion_cost(&self) -> f64 {
+        let entries: usize = self
+            .platform
+            .apps()
+            .iter()
+            .map(|a| a.env.state_size())
+            .sum();
+        1e-4 + entries as f64 * 2e-6
+    }
+
+    fn enter_init(&mut self, now: f64, out: &mut ControlOutput) {
+        self.stats.attacks_detected += 1;
+        self.analyzer.reset_installed();
+        // Migrate: per-port wildcard rules on every protected switch.
+        let targets = self.switch_ports.clone();
+        for (dpid, ports) in &targets {
+            for fm in self.agent.install_migration(*dpid, ports) {
+                out.send(*dpid, OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)));
+            }
+        }
+        out.charge(MODULE_NAME, 2e-4);
+        self.detector.reset_end_tracking();
+        let _ = now;
+    }
+
+    fn run_update(&mut self, now: f64, out: &mut ControlOutput) {
+        let rules = self.analyzer.convert(self.platform.apps());
+        let update = self.analyzer.dispatch(rules, self.config.cookie, now);
+        self.stats.proactive_installed += update.to_add.len() as u64;
+        self.stats.proactive_removed += update.to_remove.len() as u64;
+        if !update.is_empty() {
+            self.stats.updates += 1;
+        }
+        out.charge(MODULE_NAME, self.conversion_cost());
+        match self.config.rule_placement {
+            RulePlacement::Switch => {
+                for (dpid, _) in self.switch_ports.clone() {
+                    for fm in update.to_remove.iter().chain(update.to_add.iter()) {
+                        out.send(
+                            dpid,
+                            OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm.clone())),
+                        );
+                    }
+                }
+            }
+            RulePlacement::Cache => {
+                // §IV-E TCAM-limited option: rules live in the cache; it
+                // gives matching packets priority instead of the switch
+                // forwarding them directly.
+                if !update.is_empty() {
+                    self.cache_handle.lock().proactive = self
+                        .analyzer
+                        .installed()
+                        .iter()
+                        .map(|r| r.of_match)
+                        .collect();
+                }
+            }
+        }
+    }
+
+    fn enter_finish(&mut self, out: &mut ControlOutput) {
+        self.stats.attacks_ended += 1;
+        for (dpid, fm) in self.agent.remove_migration() {
+            out.send(dpid, OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)));
+        }
+        out.charge(MODULE_NAME, 2e-4);
+    }
+
+    fn enter_idle(&mut self, out: &mut ControlOutput) {
+        if self.config.remove_proactive_on_idle {
+            let mods = self.analyzer.teardown();
+            for (dpid, _) in self.switch_ports.clone() {
+                for fm in &mods {
+                    out.send(
+                        dpid,
+                        OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm.clone())),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl ControlPlane for FloodGuard {
+    fn on_switch_connect(
+        &mut self,
+        dpid: DatapathId,
+        features: ofproto::messages::FeaturesReply,
+        now: f64,
+        out: &mut ControlOutput,
+    ) {
+        let ports: Vec<u16> = features
+            .ports
+            .iter()
+            .filter_map(|p| p.physical())
+            .collect();
+        self.switch_ports.push((dpid, ports));
+        self.platform.on_switch_connect(dpid, features, now, out);
+    }
+
+    fn on_message(&mut self, dpid: DatapathId, msg: OfMessage, now: f64, out: &mut ControlOutput) {
+        if matches!(msg.body, OfBody::PacketIn(_)) {
+            self.detector.record_packet_in(now);
+            // The always-on monitor is deliberately cheap (the framework's
+            // "lightweight under normal circumstances" requirement).
+            out.charge(MODULE_NAME, 5e-6);
+        }
+        self.platform.on_message(dpid, msg, now, out);
+        self.rewrite_floods(out);
+    }
+
+    fn on_device_message(
+        &mut self,
+        _device: DeviceId,
+        msg: OfMessage,
+        now: f64,
+        out: &mut ControlOutput,
+    ) {
+        let _device = _device;
+        // Cache-generated packet_in: re-raise with the original datapath so
+        // applications cannot tell it detoured through the cache.
+        if let OfBody::PacketIn(pi) = &msg.body {
+            self.stats.reraised += 1;
+            out.charge(MODULE_NAME, 2e-5);
+            let dpid = self
+                .device_dpids
+                .get(_device.0)
+                .copied()
+                .or_else(|| self.switch_ports.first().map(|(d, _)| *d));
+            if let Some(dpid) = dpid {
+                self.platform.handle_packet_in(dpid, msg.xid, pi, out);
+            }
+            self.rewrite_floods(out);
+        }
+        let _ = now;
+    }
+
+    fn on_telemetry(&mut self, telemetry: &Telemetry, now: f64, out: &mut ControlOutput) {
+        let buffer = telemetry
+            .switches
+            .iter()
+            .map(|s| s.buffer_utilization)
+            .fold(0.0_f64, f64::max);
+        let datapath = telemetry
+            .switches
+            .iter()
+            .map(|s| s.datapath_utilization)
+            .fold(0.0_f64, f64::max);
+        self.detector
+            .record_utilization(buffer, datapath, telemetry.controller_utilization);
+        match self.sm.state() {
+            State::Idle => {
+                if self.detector.is_attack(now) && self.sm.transition(State::Init, now) {
+                    self.enter_init(now, out);
+                }
+            }
+            State::Init => {
+                // Proactive rules become ready one telemetry period after
+                // migration starts (conversion latency).
+                self.run_update(now, out);
+                self.sm.transition(State::Defense, now);
+            }
+            State::Defense => {
+                // Track application state and refresh rules per strategy.
+                let changed = self.analyzer.detect_changes(self.platform.apps());
+                if self
+                    .analyzer
+                    .should_update(changed, self.config.update_strategy, now)
+                {
+                    self.run_update(now, out);
+                }
+                // Steer the cache submission rate.
+                self.agent.adapt_rate(telemetry.controller_utilization);
+                // Attack over? The cache sees the flood now.
+                let arrival = self.agent.cache_arrival_rate(now);
+                if self.detector.is_over(arrival, now) && self.sm.transition(State::Finish, now) {
+                    self.enter_finish(out);
+                }
+            }
+            State::Finish => {
+                if self.agent.cache_backlog() == 0 && self.sm.transition(State::Idle, now) {
+                    self.enter_idle(out);
+                    self.detector.reset_end_tracking();
+                } else if self.detector.is_attack(now) && self.sm.transition(State::Init, now) {
+                    // A renewed flood during drain re-enters defense.
+                    self.enter_init(now, out);
+                }
+            }
+        }
+        out.charge(MODULE_NAME, 1e-5);
+        let mut monitor = self.monitor.lock();
+        monitor.state = Some(self.sm.state());
+        monitor.transitions = self.sm.log().to_vec();
+        monitor.stats = self.stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use controller::apps;
+    use netsim::iface::SwitchTelemetry;
+    use ofproto::messages::{FeaturesReply, PacketIn, PacketInReason};
+    use ofproto::types::{MacAddr, PortNo, Xid};
+    use std::net::Ipv4Addr;
+
+    fn fg_with_l2() -> FloodGuard {
+        let mut platform = ControllerPlatform::new();
+        platform.register(apps::l2_learning::program());
+        let mut fg = FloodGuard::new(platform, FloodGuardConfig::default(), 99);
+        let mut out = ControlOutput::new();
+        fg.on_switch_connect(
+            DatapathId(1),
+            FeaturesReply {
+                datapath_id: DatapathId(1),
+                n_buffers: 256,
+                n_tables: 1,
+                ports: vec![
+                    PortNo::Physical(1),
+                    PortNo::Physical(2),
+                    PortNo::Physical(3),
+                    PortNo::Physical(99),
+                ],
+            },
+            0.0,
+            &mut out,
+        );
+        fg
+    }
+
+    fn flood_packet_in(fg: &mut FloodGuard, now: f64, n: usize) {
+        for i in 0..n {
+            let pkt = netsim::packet::Packet::udp(
+                MacAddr::from_u64(1000 + i as u64),
+                MacAddr::from_u64(2000 + i as u64),
+                Ipv4Addr::from(i as u32),
+                Ipv4Addr::from(0xffff - i as u32),
+                1,
+                2,
+                64,
+            );
+            let data = pkt.to_bytes();
+            let mut out = ControlOutput::new();
+            fg.on_message(
+                DatapathId(1),
+                OfMessage::new(
+                    Xid(i as u32),
+                    OfBody::PacketIn(PacketIn {
+                        buffer_id: None,
+                        total_len: data.len() as u16,
+                        in_port: PortNo::Physical(3),
+                        reason: PacketInReason::NoMatch,
+                        data,
+                    }),
+                ),
+                now,
+                &mut out,
+            );
+        }
+    }
+
+    fn telemetry() -> Telemetry {
+        Telemetry {
+            switches: vec![SwitchTelemetry {
+                dpid: DatapathId(1),
+                buffer_utilization: 0.0,
+                datapath_utilization: 0.0,
+                ingress_len: 0,
+                misses: 0,
+                flow_count: 0,
+            }],
+            controller_queue: 0,
+            controller_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn idle_until_attack() {
+        let mut fg = fg_with_l2();
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 0.1, &mut out);
+        assert_eq!(fg.state(), State::Idle);
+        assert!(out.messages.is_empty());
+    }
+
+    #[test]
+    fn attack_walks_the_state_machine() {
+        let mut fg = fg_with_l2();
+        // Learn a host so proactive rules exist.
+        apps::l2_learning::learn_host(
+            &mut fg.platform_mut().app_mut("l2_learning").unwrap().env,
+            MacAddr::from_u64(0xa),
+            1,
+        );
+        flood_packet_in(&mut fg, 1.0, 60);
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 1.05, &mut out);
+        assert_eq!(fg.state(), State::Init);
+        assert_eq!(fg.stats.attacks_detected, 1);
+        // Migration rules for ports 1,2,3 (not the cache port).
+        let flow_mods: Vec<_> = out
+            .messages
+            .iter()
+            .filter(|(_, m)| matches!(m.body, OfBody::FlowMod(_)))
+            .collect();
+        assert_eq!(flow_mods.len(), 3);
+        assert!(fg.cache_handle().lock().control.intake_enabled);
+        // Next telemetry: proactive rules installed, Defense reached.
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 1.1, &mut out);
+        assert_eq!(fg.state(), State::Defense);
+        // 61 rules: the seeded host plus 60 spoofed sources l2_learning
+        // learned from the flood before migration engaged (POX would too).
+        assert_eq!(fg.analyzer().installed().len(), 61);
+        assert!(out
+            .messages
+            .iter()
+            .any(|(_, m)| matches!(&m.body, OfBody::FlowMod(fm) if fm.command == ofproto::flow_mod::FlowModCommand::Add)));
+        // Quiet cache → attack over after hysteresis.
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 1.5, &mut out);
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 2.0, &mut out);
+        assert_eq!(fg.state(), State::Finish);
+        assert!(!fg.cache_handle().lock().control.intake_enabled);
+        // Cache empty → Idle; proactive rules removed.
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 2.1, &mut out);
+        assert_eq!(fg.state(), State::Idle);
+        // Proactive rules stay installed (idle timeouts age them out); the
+        // default config does not tear them down.
+        assert_eq!(fg.analyzer().installed().len(), 61);
+        assert_eq!(fg.transitions().len(), 4);
+    }
+
+    #[test]
+    fn defense_updates_rules_on_state_change() {
+        let mut fg = fg_with_l2();
+        flood_packet_in(&mut fg, 1.0, 60);
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 1.05, &mut out);
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 1.1, &mut out);
+        assert_eq!(fg.state(), State::Defense);
+        let learned_from_flood = fg.analyzer().installed().len();
+        assert_eq!(learned_from_flood, 60, "spoofed sources learned pre-migration");
+        // Keep the cache looking busy so the attack is not declared over.
+        fg.cache_handle().lock().stats.received = 1000;
+        // A benign host is learned mid-defense (via the cache path).
+        apps::l2_learning::learn_host(
+            &mut fg.platform_mut().app_mut("l2_learning").unwrap().env,
+            MacAddr::from_u64(0xbb),
+            2,
+        );
+        let mut out = ControlOutput::new();
+        fg.cache_handle().lock().stats.received = 2000;
+        fg.on_telemetry(&telemetry(), 1.15, &mut out);
+        assert_eq!(
+            fg.analyzer().installed().len(),
+            learned_from_flood + 1,
+            "rule refreshed with the newly learned host"
+        );
+        assert_eq!(fg.state(), State::Defense);
+    }
+
+    #[test]
+    fn reraised_device_messages_reach_apps() {
+        let mut fg = fg_with_l2();
+        let pkt = netsim::packet::Packet::udp(
+            MacAddr::from_u64(0xa),
+            MacAddr::from_u64(0xb),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            100,
+        );
+        let data = pkt.to_bytes();
+        let mut out = ControlOutput::new();
+        fg.on_device_message(
+            DeviceId(0),
+            OfMessage::new(
+                Xid(1),
+                OfBody::PacketIn(PacketIn {
+                    buffer_id: None,
+                    total_len: data.len() as u16,
+                    in_port: PortNo::Physical(1),
+                    reason: PacketInReason::NoMatch,
+                    data,
+                }),
+            ),
+            1.0,
+            &mut out,
+        );
+        assert_eq!(fg.stats.reraised, 1);
+        // The l2 app learned the source and flooded: a packet_out went to
+        // the original datapath.
+        assert!(matches!(out.messages[0].1.body, OfBody::PacketOut(_)));
+        assert_eq!(out.messages[0].0, DatapathId(1));
+        let app = fg.platform().app("l2_learning").unwrap();
+        assert_eq!(app.env.get("macToPort").unwrap().container_len(), 1);
+    }
+
+    #[test]
+    fn cache_placement_keeps_tcam_untouched() {
+        // §IV-E design option: proactive rules go to the cache, not the
+        // switch; matching packets take the cache's priority lane.
+        let mut platform = ControllerPlatform::new();
+        platform.register(apps::l2_learning::program());
+        let config = FloodGuardConfig {
+            rule_placement: RulePlacement::Cache,
+            ..FloodGuardConfig::default()
+        };
+        let mut fg = FloodGuard::new(platform, config, 99);
+        let mut out = ControlOutput::new();
+        fg.on_switch_connect(
+            DatapathId(1),
+            FeaturesReply {
+                datapath_id: DatapathId(1),
+                n_buffers: 256,
+                n_tables: 1,
+                ports: vec![PortNo::Physical(1), PortNo::Physical(99)],
+            },
+            0.0,
+            &mut out,
+        );
+        apps::l2_learning::learn_host(
+            &mut fg.platform_mut().app_mut("l2_learning").unwrap().env,
+            MacAddr::from_u64(0xa),
+            1,
+        );
+        flood_packet_in(&mut fg, 1.0, 60);
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 1.05, &mut out);
+        let mut out = ControlOutput::new();
+        fg.on_telemetry(&telemetry(), 1.1, &mut out);
+        assert_eq!(fg.state(), State::Defense);
+        // No Add flow-mods were sent for proactive rules (only the earlier
+        // migration rules exist).
+        let adds = out
+            .messages
+            .iter()
+            .filter(|(_, m)| matches!(&m.body, OfBody::FlowMod(fm) if fm.command == ofproto::flow_mod::FlowModCommand::Add))
+            .count();
+        assert_eq!(adds, 0, "cache placement must not touch the switch table");
+        // The cache holds the matches instead.
+        let shared = fg.cache_handle();
+        let shared = shared.lock();
+        assert_eq!(shared.proactive.len(), fg.analyzer().installed().len());
+        assert!(!shared.proactive.is_empty());
+    }
+
+    #[test]
+    fn monitoring_is_cheap_when_idle() {
+        let mut fg = fg_with_l2();
+        let mut out = ControlOutput::new();
+        flood_packet_in(&mut fg, 0.0, 1);
+        fg.on_telemetry(&telemetry(), 0.01, &mut out);
+        let fg_cpu: f64 = out
+            .cpu
+            .iter()
+            .filter(|(n, _)| n == MODULE_NAME)
+            .map(|(_, s)| s)
+            .sum();
+        assert!(fg_cpu < 1e-4, "idle overhead {fg_cpu}");
+    }
+}

@@ -1,0 +1,314 @@
+//! The migration agent (paper §IV-C1) — the "brain" of FloodGuard.
+//!
+//! Its three functions:
+//! 1. detect the saturation attack (delegated to [`crate::detector`], which
+//!    the agent feeds),
+//! 2. migrate table-miss packets: install per-ingress-port wildcard rules
+//!    that tag the INPORT into the TOS byte and redirect to the data plane
+//!    cache, and
+//! 3. bridge the cache to the controller: re-raise cache-generated
+//!    `packet_in`s with the original datapath, and steer the cache's
+//!    submission rate from controller utilization.
+
+use ofproto::actions::Action;
+use ofproto::flow_match::OfMatch;
+use ofproto::flow_mod::FlowMod;
+use ofproto::types::{DatapathId, PortNo};
+
+use crate::cache::CacheHandle;
+use crate::config::FloodGuardConfig;
+use crate::migration::tag;
+
+/// The migration agent.
+///
+/// Steers one or more data plane caches (§IV-E: "we could also use a set of
+/// data plane caches, with each in charge of a subset of switches"); all
+/// caches share the same intake state and rate limit, driven by the one
+/// attack state machine.
+#[derive(Debug)]
+pub struct MigrationAgent {
+    config: FloodGuardConfig,
+    handles: Vec<CacheHandle>,
+    cache_port: u16,
+    installed: Vec<(DatapathId, OfMatch)>,
+    last_received: u64,
+    last_rate_at: f64,
+}
+
+impl MigrationAgent {
+    /// Creates an agent steering the cache behind `cache_port`.
+    pub fn new(config: FloodGuardConfig, cache_handle: CacheHandle, cache_port: u16) -> MigrationAgent {
+        MigrationAgent {
+            config,
+            handles: vec![cache_handle],
+            cache_port,
+            installed: Vec::new(),
+            last_received: 0,
+            last_rate_at: 0.0,
+        }
+    }
+
+    /// Registers an additional cache (multi-cache deployments).
+    pub fn register_cache(&mut self, handle: CacheHandle) {
+        self.handles.push(handle);
+    }
+
+    /// Number of caches under management.
+    pub fn cache_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The port the caches hang off.
+    pub fn cache_port(&self) -> u16 {
+        self.cache_port
+    }
+
+    /// Builds and records the migration rules for switch `dpid`: one
+    /// wildcard rule per ingress port (except the cache port), lowest
+    /// priority, tagging INPORT into TOS and redirecting to the cache
+    /// (paper Fig. 6: `inport=1, actions: set-tos-bits=1, output: cache`).
+    ///
+    /// Ports that cannot be tagged (0 or ≥ 256) are skipped.
+    pub fn install_migration(&mut self, dpid: DatapathId, ports: &[u16]) -> Vec<FlowMod> {
+        let mut mods = Vec::new();
+        for &port in ports {
+            if port == self.cache_port {
+                continue;
+            }
+            let Ok(tos) = tag::encode(port) else {
+                continue;
+            };
+            let of_match = OfMatch::any().with_in_port(port);
+            self.installed.push((dpid, of_match));
+            mods.push(
+                FlowMod::add(
+                    of_match,
+                    vec![
+                        Action::SetNwTos(tos),
+                        Action::Output(PortNo::Physical(self.cache_port)),
+                    ],
+                )
+                .with_priority(self.config.migration_priority)
+                .with_cookie(self.config.cookie),
+            );
+        }
+        // Migration begins: open every cache's intake.
+        for handle in &self.handles {
+            handle.lock().control.intake_enabled = true;
+        }
+        mods
+    }
+
+    /// Builds the strict deletes removing every installed migration rule
+    /// and closes the cache intake (entering the Finish state).
+    pub fn remove_migration(&mut self) -> Vec<(DatapathId, FlowMod)> {
+        let mods = self
+            .installed
+            .drain(..)
+            .map(|(dpid, of_match)| {
+                (
+                    dpid,
+                    FlowMod::delete_strict(of_match, self.config.migration_priority),
+                )
+            })
+            .collect();
+        for handle in &self.handles {
+            handle.lock().control.intake_enabled = false;
+        }
+        mods
+    }
+
+    /// Whether migration rules are currently installed.
+    pub fn is_migrating(&self) -> bool {
+        !self.installed.is_empty()
+    }
+
+    /// Observed packet arrival rate at the cache since the last call
+    /// (packets/s) — the flood visibility signal once migration is active.
+    pub fn cache_arrival_rate(&mut self, now: f64) -> f64 {
+        let received = self
+            .handles
+            .iter()
+            .map(|h| {
+                let shared = h.lock();
+                shared.stats.received + shared.stats.rejected + shared.stats.dropped
+            })
+            .sum::<u64>();
+        let dt = now - self.last_rate_at;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        let delta = received.saturating_sub(self.last_received);
+        self.last_received = received;
+        self.last_rate_at = now;
+        delta as f64 / dt
+    }
+
+    /// Packets currently queued across all caches.
+    pub fn cache_backlog(&self) -> usize {
+        self.handles.iter().map(|h| h.lock().stats.queued).sum()
+    }
+
+    /// Adapts the cache's `packet_in` rate toward the target controller
+    /// utilization: back off multiplicatively when the controller runs hot,
+    /// recover gently when it idles (an AIMD-flavored control loop bounded
+    /// by the configured min/max).
+    pub fn adapt_rate(&mut self, controller_utilization: f64) -> f64 {
+        let target = self.config.target_controller_utilization;
+        let mut last = 0.0;
+        for handle in &self.handles {
+            let mut shared = handle.lock();
+            let rate = &mut shared.control.rate_pps;
+            if controller_utilization > target * 1.4 {
+                *rate *= 0.7;
+            } else if controller_utilization < target * 0.6 {
+                *rate *= 1.15;
+            }
+            *rate = rate.clamp(self.config.cache.min_rate_pps, self.config.cache.max_rate_pps);
+            last = *rate;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::new_handle;
+    use ofproto::messages::OfBody;
+    use ofproto::types::Xid;
+
+    fn agent() -> MigrationAgent {
+        let config = FloodGuardConfig::default();
+        let handle = new_handle(&config.cache);
+        MigrationAgent::new(config, handle, 99)
+    }
+
+    #[test]
+    fn migration_rules_per_port_with_tags() {
+        let mut a = agent();
+        let mods = a.install_migration(DatapathId(1), &[1, 2, 3, 99]);
+        assert_eq!(mods.len(), 3, "cache port excluded");
+        for (i, fm) in mods.iter().enumerate() {
+            let port = (i + 1) as u16;
+            assert_eq!(fm.of_match.keys.in_port, port);
+            assert_eq!(fm.priority, 0, "lowest priority");
+            assert_eq!(
+                fm.actions,
+                vec![
+                    Action::SetNwTos(port as u8),
+                    Action::Output(PortNo::Physical(99))
+                ]
+            );
+            assert_eq!(fm.cookie, FloodGuardConfig::default().cookie);
+        }
+        assert!(a.is_migrating());
+        assert!(a.handles[0].lock().control.intake_enabled);
+    }
+
+    #[test]
+    fn removal_is_strict_per_installed_rule() {
+        let mut a = agent();
+        a.install_migration(DatapathId(1), &[1, 2]);
+        let removals = a.remove_migration();
+        assert_eq!(removals.len(), 2);
+        for (dpid, fm) in &removals {
+            assert_eq!(*dpid, DatapathId(1));
+            assert_eq!(
+                fm.command,
+                ofproto::flow_mod::FlowModCommand::DeleteStrict
+            );
+        }
+        assert!(!a.is_migrating());
+        assert!(!a.handles[0].lock().control.intake_enabled);
+    }
+
+    #[test]
+    fn untaggable_ports_skipped() {
+        let mut a = agent();
+        let mods = a.install_migration(DatapathId(1), &[0, 1, 300]);
+        assert_eq!(mods.len(), 1);
+        assert_eq!(mods[0].of_match.keys.in_port, 1);
+    }
+
+    #[test]
+    fn arrival_rate_from_cache_counters() {
+        let mut a = agent();
+        a.handles[0].lock().stats.received = 0;
+        assert_eq!(a.cache_arrival_rate(1.0), 0.0);
+        a.handles[0].lock().stats.received = 50;
+        let rate = a.cache_arrival_rate(1.5);
+        assert!((rate - 100.0).abs() < 1e-9, "50 packets / 0.5 s");
+    }
+
+    #[test]
+    fn rate_adaptation_bounded() {
+        let mut a = agent();
+        let base = a.handles[0].lock().control.rate_pps;
+        // Hot controller: rate shrinks.
+        let r1 = a.adapt_rate(0.95);
+        assert!(r1 < base);
+        // Keep shrinking but never below the floor.
+        for _ in 0..50 {
+            a.adapt_rate(1.0);
+        }
+        let floor = a.handles[0].lock().control.rate_pps;
+        assert!((floor - FloodGuardConfig::default().cache.min_rate_pps).abs() < 1e-9);
+        // Idle controller: rate recovers up to the cap.
+        for _ in 0..100 {
+            a.adapt_rate(0.0);
+        }
+        let cap = a.handles[0].lock().control.rate_pps;
+        assert!((cap - FloodGuardConfig::default().cache.max_rate_pps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_rule_shape_matches_paper_example() {
+        // "inport = 1, actions: set-tos-bits = 1, output: data plane cache"
+        let mut a = agent();
+        let mods = a.install_migration(DatapathId(1), &[1]);
+        let fm = &mods[0];
+        let msg = ofproto::messages::OfMessage::new(Xid(1), OfBody::FlowMod(fm.clone()));
+        // And it survives the wire codec.
+        let decoded = ofproto::wire::decode(&ofproto::wire::encode(&msg)).unwrap();
+        assert_eq!(decoded, msg);
+    }
+}
+
+#[cfg(test)]
+mod multi_cache_tests {
+    use super::*;
+    use crate::cache::new_handle;
+
+    #[test]
+    fn multiple_caches_share_intake_and_rate() {
+        let config = FloodGuardConfig::default();
+        let h1 = new_handle(&config.cache);
+        let h2 = new_handle(&config.cache);
+        let mut agent = MigrationAgent::new(config, h1.clone(), 99);
+        agent.register_cache(h2.clone());
+        assert_eq!(agent.cache_count(), 2);
+        agent.install_migration(DatapathId(1), &[1, 2]);
+        assert!(h1.lock().control.intake_enabled);
+        assert!(h2.lock().control.intake_enabled);
+        // Backlog and arrival rate aggregate across caches.
+        h1.lock().stats.queued = 3;
+        h2.lock().stats.queued = 4;
+        assert_eq!(agent.cache_backlog(), 7);
+        h1.lock().stats.received = 30;
+        h2.lock().stats.received = 20;
+        let rate = agent.cache_arrival_rate(1.0);
+        assert!((rate - 50.0).abs() < 1e-9);
+        // Rate adaptation applies to all.
+        for _ in 0..10 {
+            agent.adapt_rate(1.0);
+        }
+        let config = FloodGuardConfig::default();
+        assert!((h1.lock().control.rate_pps - config.cache.min_rate_pps).abs() < 1e-9);
+        assert!((h2.lock().control.rate_pps - config.cache.min_rate_pps).abs() < 1e-9);
+        // Removal closes every intake.
+        agent.remove_migration();
+        assert!(!h1.lock().control.intake_enabled);
+        assert!(!h2.lock().control.intake_enabled);
+    }
+}

@@ -1,0 +1,8 @@
+//! The packet migration module (paper §IV-C): the migration agent in the
+//! controller and the INPORT tag codec. The data plane cache itself lives
+//! in [`crate::cache`].
+
+pub mod agent;
+pub mod tag;
+
+pub use agent::MigrationAgent;

@@ -1,0 +1,100 @@
+//! INPORT tagging via the IP TOS field (paper §IV-C1, Fig. 6).
+//!
+//! Migration loses the original ingress port, so each per-port wildcard
+//! migration rule writes the port into the packet's TOS byte
+//! (`set-tos-bits = <port>`); the cache's `packet_in` generator decodes it
+//! when re-raising the packet to the controller.
+
+use std::fmt;
+
+/// Error for ports that do not fit the tag encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagError {
+    port: u16,
+}
+
+impl fmt::Display for TagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "port {} does not fit in the {TAG_BITS}-bit TOS tag",
+            self.port
+        )
+    }
+}
+
+impl std::error::Error for TagError {}
+
+/// Bits available in the TOS byte for the tag.
+pub const TAG_BITS: u32 = 8;
+
+/// Highest encodable port.
+pub const MAX_TAGGABLE_PORT: u16 = (1 << TAG_BITS) - 1;
+
+/// Encodes an ingress port into a TOS value.
+///
+/// # Errors
+///
+/// [`TagError`] when the port exceeds [`MAX_TAGGABLE_PORT`] or is zero
+/// (zero is reserved for "untagged").
+pub fn encode(port: u16) -> Result<u8, TagError> {
+    if port == 0 || port > MAX_TAGGABLE_PORT {
+        Err(TagError { port })
+    } else {
+        Ok(port as u8)
+    }
+}
+
+/// Decodes a TOS value back into the ingress port; `None` when untagged.
+pub fn decode(tos: u8) -> Option<u16> {
+    if tos == 0 {
+        None
+    } else {
+        Some(u16::from(tos))
+    }
+}
+
+/// Number of tag bits needed for `port_count` ports (paper: "If the ingress
+/// switch has 6 ingress ports, we need 3 bits").
+pub fn bits_needed(port_count: u16) -> u32 {
+    (u32::from(port_count) + 1).next_power_of_two().trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_encodable_ports() {
+        for port in 1..=MAX_TAGGABLE_PORT {
+            let tos = encode(port).unwrap();
+            assert_eq!(decode(tos), Some(port));
+        }
+    }
+
+    #[test]
+    fn zero_and_large_ports_rejected() {
+        assert!(encode(0).is_err());
+        assert!(encode(MAX_TAGGABLE_PORT + 1).is_err());
+        assert!(encode(0xfffb).is_err(), "reserved ports cannot be tagged");
+    }
+
+    #[test]
+    fn untagged_decodes_to_none() {
+        assert_eq!(decode(0), None);
+    }
+
+    #[test]
+    fn paper_example_six_ports_need_three_bits() {
+        assert_eq!(bits_needed(6), 3);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(3), 2);
+        assert_eq!(bits_needed(255), 8);
+    }
+
+    #[test]
+    fn error_message_mentions_port() {
+        let err = encode(999).unwrap_err();
+        assert!(err.to_string().contains("999"));
+    }
+}

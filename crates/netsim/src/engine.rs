@@ -1,0 +1,967 @@
+//! The discrete-event simulation engine: wires switches, hosts, data-plane
+//! devices and the control plane together and runs the event loop.
+//!
+//! ## Resource model
+//!
+//! * Each **switch datapath** is a single server; packets occupy it per
+//!   [`crate::profile::SwitchProfile`] costs (misses far more expensive than
+//!   hits — the root of the saturation attack).
+//! * Each switch's **control channel** is a FIFO pipe with finite bandwidth
+//!   and latency, in both directions; `packet_in` size on the wire grows to
+//!   the whole packet once the switch buffer fills (amplification).
+//! * The **controller** is a single server; each message costs platform
+//!   dispatch time plus whatever CPU the applications report.
+//! * **Links** to hosts/devices add fixed latency; the switch is the
+//!   bandwidth bottleneck, matching the paper's single-switch testbed.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use ofproto::messages::{OfBody, OfMessage};
+use ofproto::types::{DatapathId, MacAddr, Xid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::host::{Host, HostId};
+use crate::iface::{
+    ControlOutput, ControlPlane, DataPlaneDevice, DeviceId, DeviceOutput, SwitchTelemetry,
+    Telemetry,
+};
+use crate::metrics::{Recorder, UtilizationTracker};
+use crate::packet::Packet;
+use crate::profile::{ControllerProfile, SwitchProfile};
+use crate::sched::EventQueue;
+use crate::switch::Switch;
+
+/// A switch identifier (index into the simulation's switch table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId(pub usize);
+
+/// What a switch port is wired to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// An end host.
+    Host(HostId),
+    /// A data-plane device (FloodGuard cache).
+    Device(DeviceId),
+    /// Another switch's port.
+    SwitchPort(SwitchId, u16),
+    /// Nothing; packets out this port vanish.
+    Unconnected,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MsgSource {
+    Switch(usize),
+    Device(usize),
+}
+
+enum Ev {
+    HostEmit { host: usize, source: usize },
+    DeliverToSwitch { sw: usize, port: u16, pkt: Packet },
+    SwitchStart { sw: usize },
+    DeliverToHost { host: usize, pkt: Packet },
+    DeliverToDevice { dev: usize, pkt: Packet },
+    CtrlArrive { src: MsgSource, msg: OfMessage },
+    CtrlStart,
+    SwitchMsgArrive { sw: usize, msg: OfMessage },
+    DeviceTick { dev: usize },
+    ControlTick,
+    Maintenance,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ChannelState {
+    up_busy: f64,
+    down_busy: f64,
+}
+
+struct DeviceEntry {
+    logic: Box<dyn DataPlaneDevice>,
+    channel_bandwidth: f64,
+    channel_latency: f64,
+    chan: ChannelState,
+    tick_interval: f64,
+}
+
+/// Aggregate controller-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControllerStats {
+    /// Messages processed.
+    pub processed: u64,
+    /// Messages dropped at the full input queue.
+    pub dropped: u64,
+    /// Total CPU seconds consumed.
+    pub cpu_seconds: f64,
+}
+
+/// The simulation: topology, plugged-in logic and the event loop.
+pub struct Simulation {
+    queue: EventQueue<Ev>,
+    switches: Vec<Switch>,
+    switch_scheduled: Vec<bool>,
+    switch_cpu: Vec<UtilizationTracker>,
+    channels: Vec<ChannelState>,
+    hosts: Vec<Host>,
+    host_attach: Vec<(SwitchId, u16)>,
+    port_map: HashMap<(usize, u16), Endpoint>,
+    devices: Vec<DeviceEntry>,
+    control: Box<dyn ControlPlane>,
+    ctrl_profile: ControllerProfile,
+    ctrl_queue: VecDeque<(MsgSource, OfMessage)>,
+    ctrl_busy_until: f64,
+    ctrl_scheduled: bool,
+    /// Controller statistics.
+    pub ctrl_stats: ControllerStats,
+    app_cpu: HashMap<String, UtilizationTracker>,
+    ctrl_total_cpu: UtilizationTracker,
+    link_latency: f64,
+    maintenance_interval: f64,
+    cpu_bucket: f64,
+    started: bool,
+    rng: StdRng,
+    /// Metrics store.
+    pub recorder: Recorder,
+}
+
+impl Simulation {
+    /// Creates an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Simulation {
+        Simulation {
+            queue: EventQueue::new(),
+            switches: Vec::new(),
+            switch_scheduled: Vec::new(),
+            switch_cpu: Vec::new(),
+            channels: Vec::new(),
+            hosts: Vec::new(),
+            host_attach: Vec::new(),
+            port_map: HashMap::new(),
+            devices: Vec::new(),
+            control: Box::new(crate::iface::NullControlPlane),
+            ctrl_profile: ControllerProfile::default(),
+            ctrl_queue: VecDeque::new(),
+            ctrl_busy_until: 0.0,
+            ctrl_scheduled: false,
+            ctrl_stats: ControllerStats::default(),
+            app_cpu: HashMap::new(),
+            ctrl_total_cpu: UtilizationTracker::new(0.05),
+            link_latency: 50e-6,
+            maintenance_interval: 0.05,
+            cpu_bucket: 0.05,
+            started: false,
+            rng: StdRng::seed_from_u64(seed),
+            recorder: Recorder::new(),
+        }
+    }
+
+    /// Installs the control plane (controller platform, defense wrapper...).
+    pub fn set_control_plane(&mut self, control: Box<dyn ControlPlane>) {
+        self.control = control;
+    }
+
+    /// Overrides the controller resource profile.
+    pub fn set_controller_profile(&mut self, profile: ControllerProfile) {
+        self.ctrl_profile = profile;
+    }
+
+    /// Sets the per-hop link latency (default 50 µs).
+    pub fn set_link_latency(&mut self, seconds: f64) {
+        self.link_latency = seconds;
+    }
+
+    /// Sets the width of CPU-utilization buckets (Fig. 12 resolution).
+    pub fn set_cpu_bucket(&mut self, seconds: f64) {
+        self.cpu_bucket = seconds;
+        self.ctrl_total_cpu = UtilizationTracker::new(seconds);
+    }
+
+    /// Adds a switch with the given ports; returns its id.
+    pub fn add_switch(&mut self, profile: SwitchProfile, ports: Vec<u16>) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        for &p in &ports {
+            self.port_map.insert((id.0, p), Endpoint::Unconnected);
+        }
+        self.switches
+            .push(Switch::new(DatapathId(id.0 as u64 + 1), profile, ports));
+        self.switch_scheduled.push(false);
+        self.switch_cpu
+            .push(UtilizationTracker::new(self.maintenance_interval));
+        self.channels.push(ChannelState::default());
+        id
+    }
+
+    /// Adds a host attached to `(sw, port)`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch or port does not exist.
+    pub fn add_host(&mut self, sw: SwitchId, port: u16, mac: MacAddr, ip: Ipv4Addr) -> HostId {
+        assert!(
+            self.port_map.contains_key(&(sw.0, port)),
+            "switch {sw:?} has no port {port}"
+        );
+        let id = HostId(self.hosts.len());
+        self.hosts.push(Host::new(mac, ip));
+        self.host_attach.push((sw, port));
+        self.port_map.insert((sw.0, port), Endpoint::Host(id));
+        id
+    }
+
+    /// Attaches a data-plane device to `(sw, port)`; returns its id.
+    ///
+    /// The device gets its own controller connection with the given channel
+    /// bandwidth (bytes/s) and latency, and is ticked every `tick_interval`
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch or port does not exist.
+    pub fn attach_device(
+        &mut self,
+        sw: SwitchId,
+        port: u16,
+        logic: Box<dyn DataPlaneDevice>,
+        channel_bandwidth: f64,
+        channel_latency: f64,
+        tick_interval: f64,
+    ) -> DeviceId {
+        assert!(
+            self.port_map.contains_key(&(sw.0, port)),
+            "switch {sw:?} has no port {port}"
+        );
+        let id = DeviceId(self.devices.len());
+        self.devices.push(DeviceEntry {
+            logic,
+            channel_bandwidth,
+            channel_latency,
+            chan: ChannelState::default(),
+            tick_interval,
+        });
+        self.port_map.insert((sw.0, port), Endpoint::Device(id));
+        id
+    }
+
+    /// Wires two switch ports together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port does not exist.
+    pub fn connect_switches(&mut self, a: SwitchId, pa: u16, b: SwitchId, pb: u16) {
+        assert!(self.port_map.contains_key(&(a.0, pa)));
+        assert!(self.port_map.contains_key(&(b.0, pb)));
+        self.port_map.insert((a.0, pa), Endpoint::SwitchPort(b, pb));
+        self.port_map.insert((b.0, pb), Endpoint::SwitchPort(a, pa));
+    }
+
+    /// Immutable host access.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// Mutable host access (attach workloads here).
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        &mut self.hosts[id.0]
+    }
+
+    /// Immutable switch access.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.0]
+    }
+
+    /// Mutable switch access (pre-install rules here).
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut Switch {
+        &mut self.switches[id.0]
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.queue.now()
+    }
+
+    /// Per-application CPU utilization series over `[0, until)` with the
+    /// configured bucket width — the data behind Fig. 12.
+    pub fn app_utilization(&self, app: &str, until: f64) -> Vec<crate::metrics::Sample> {
+        self.app_cpu
+            .get(app)
+            .map(|t| t.utilization_series(until))
+            .unwrap_or_default()
+    }
+
+    /// Names of all applications that consumed CPU.
+    pub fn app_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.app_cpu.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn endpoint(&self, sw: usize, port: u16) -> Endpoint {
+        self.port_map
+            .get(&(sw, port))
+            .copied()
+            .unwrap_or(Endpoint::Unconnected)
+    }
+
+    fn send_up(&mut self, sw: usize, msg: OfMessage, ready_at: f64) {
+        let bw = self.switches[sw].profile.channel_bandwidth;
+        let latency = self.switches[sw].profile.channel_latency;
+        let tx = ofproto::wire::wire_len(&msg) as f64 / bw;
+        let chan = &mut self.channels[sw];
+        chan.up_busy = chan.up_busy.max(ready_at) + tx;
+        let arrive = chan.up_busy + latency;
+        self.queue.schedule(
+            arrive,
+            Ev::CtrlArrive {
+                src: MsgSource::Switch(sw),
+                msg,
+            },
+        );
+    }
+
+    fn send_down(&mut self, sw: usize, msg: OfMessage, ready_at: f64) {
+        let bw = self.switches[sw].profile.channel_bandwidth;
+        let latency = self.switches[sw].profile.channel_latency;
+        let tx = ofproto::wire::wire_len(&msg) as f64 / bw;
+        let chan = &mut self.channels[sw];
+        chan.down_busy = chan.down_busy.max(ready_at) + tx;
+        let arrive = chan.down_busy + latency;
+        self.queue.schedule(arrive, Ev::SwitchMsgArrive { sw, msg });
+    }
+
+    fn send_device_up(&mut self, dev: usize, msg: OfMessage, ready_at: f64) {
+        let entry = &mut self.devices[dev];
+        let tx = ofproto::wire::wire_len(&msg) as f64 / entry.channel_bandwidth;
+        entry.chan.up_busy = entry.chan.up_busy.max(ready_at) + tx;
+        let arrive = entry.chan.up_busy + entry.channel_latency;
+        self.queue.schedule(
+            arrive,
+            Ev::CtrlArrive {
+                src: MsgSource::Device(dev),
+                msg,
+            },
+        );
+    }
+
+    fn deliver_from_port(&mut self, sw: usize, port: u16, pkt: Packet, at: f64) {
+        match self.endpoint(sw, port) {
+            Endpoint::Host(h) => self.queue.schedule(
+                at + self.link_latency,
+                Ev::DeliverToHost { host: h.0, pkt },
+            ),
+            Endpoint::Device(d) => self.queue.schedule(
+                at + self.link_latency,
+                Ev::DeliverToDevice { dev: d.0, pkt },
+            ),
+            Endpoint::SwitchPort(s2, p2) => self.queue.schedule(
+                at + self.link_latency,
+                Ev::DeliverToSwitch {
+                    sw: s2.0,
+                    port: p2,
+                    pkt,
+                },
+            ),
+            Endpoint::Unconnected => {
+                self.recorder.count("unconnected_drops", u64::from(pkt.batch));
+            }
+        }
+    }
+
+    fn host_send(&mut self, host: usize, pkt: Packet, now: f64) {
+        let (sw, port) = self.host_attach[host];
+        self.queue.schedule(
+            now + self.link_latency,
+            Ev::DeliverToSwitch {
+                sw: sw.0,
+                port,
+                pkt,
+            },
+        );
+    }
+
+    fn maybe_schedule_switch(&mut self, sw: usize, now: f64) {
+        if !self.switch_scheduled[sw] {
+            self.switch_scheduled[sw] = true;
+            let at = self.switches[sw].busy_until.max(now);
+            self.queue.schedule(at, Ev::SwitchStart { sw });
+        }
+    }
+
+    fn maybe_schedule_ctrl(&mut self, now: f64) {
+        if !self.ctrl_scheduled && !self.ctrl_queue.is_empty() {
+            self.ctrl_scheduled = true;
+            let at = self.ctrl_busy_until.max(now);
+            self.queue.schedule(at, Ev::CtrlStart);
+        }
+    }
+
+    fn apply_control_output(&mut self, out: ControlOutput, ready_at: f64, now: f64) -> f64 {
+        let cpu = out.total_cpu();
+        for (app, seconds) in &out.cpu {
+            self.app_cpu
+                .entry(app.clone())
+                .or_insert_with(|| UtilizationTracker::new(self.cpu_bucket))
+                .add(now, *seconds);
+        }
+        for (dpid, msg) in out.messages {
+            if let Some(idx) = self.switches.iter().position(|s| s.dpid == dpid) {
+                self.send_down(idx, msg, ready_at);
+            }
+        }
+        cpu
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Handshakes.
+        let mut out = ControlOutput::new();
+        for i in 0..self.switches.len() {
+            let features = self.switches[i].features();
+            let dpid = self.switches[i].dpid;
+            self.control.on_switch_connect(dpid, features, 0.0, &mut out);
+        }
+        self.apply_control_output(out, 0.0, 0.0);
+        // Workload kickoff.
+        for host in 0..self.hosts.len() {
+            for source in 0..self.hosts[host].source_count() {
+                if let Some(t) = self.hosts[host].peek_source(source, 0.0) {
+                    self.queue.schedule(t, Ev::HostEmit { host, source });
+                }
+            }
+        }
+        // Periodic machinery.
+        if let Some(interval) = self.control.tick_interval() {
+            self.queue.schedule(interval, Ev::ControlTick);
+        }
+        for dev in 0..self.devices.len() {
+            let interval = self.devices[dev].tick_interval;
+            self.queue.schedule(interval, Ev::DeviceTick { dev });
+        }
+        self.queue.schedule(self.maintenance_interval, Ev::Maintenance);
+    }
+
+    /// Runs the event loop until simulated time `until`.
+    pub fn run_until(&mut self, until: f64) {
+        self.start();
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event");
+            self.dispatch(ev, now, until);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev, now: f64, until: f64) {
+        match ev {
+            Ev::HostEmit { host, source } => {
+                let packets = {
+                    let rng = &mut self.rng;
+                    self.hosts[host].emit_source(source, now, rng)
+                };
+                for pkt in packets {
+                    self.host_send(host, pkt, now);
+                }
+                if let Some(t) = self.hosts[host].peek_source(source, now) {
+                    self.queue.schedule(t, Ev::HostEmit { host, source });
+                }
+            }
+            Ev::DeliverToSwitch { sw, port, pkt } => {
+                if self.switches[sw].enqueue(port, pkt) {
+                    self.maybe_schedule_switch(sw, now);
+                } else {
+                    self.recorder.count("switch_ingress_drops", 1);
+                }
+            }
+            Ev::SwitchStart { sw } => {
+                match self.switches[sw].start_next() {
+                    Some((port, pkt)) => {
+                        let res = self.switches[sw].process(port, pkt, now);
+                        self.switch_cpu[sw].add(now, res.service);
+                        let done = now + res.service;
+                        self.switches[sw].busy_until = done;
+                        for (out_port, out_pkt) in res.forwards {
+                            self.deliver_from_port(sw, out_port, out_pkt, done);
+                        }
+                        if let Some(pi) = res.packet_in {
+                            let xid = Xid(self.ctrl_stats.processed as u32 + 1);
+                            self.send_up(sw, OfMessage::new(xid, OfBody::PacketIn(pi)), done);
+                        }
+                        if self.switches[sw].ingress_len() > 0 {
+                            self.queue.schedule(done, Ev::SwitchStart { sw });
+                        } else {
+                            self.switch_scheduled[sw] = false;
+                        }
+                    }
+                    None => {
+                        self.switch_scheduled[sw] = false;
+                    }
+                }
+            }
+            Ev::DeliverToHost { host, pkt } => {
+                let responses = self.hosts[host].receive(&pkt, now);
+                for response in responses {
+                    self.host_send(host, response, now);
+                }
+            }
+            Ev::DeliverToDevice { dev, pkt } => {
+                let mut out = DeviceOutput::new();
+                self.devices[dev].logic.on_packet(pkt, now, &mut out);
+                for msg in out.to_controller {
+                    self.send_device_up(dev, msg, now);
+                }
+            }
+            Ev::CtrlArrive { src, msg } => {
+                if self.ctrl_queue.len() >= self.ctrl_profile.queue_limit {
+                    self.ctrl_stats.dropped += 1;
+                    self.recorder.count("controller_queue_drops", 1);
+                } else {
+                    self.ctrl_queue.push_back((src, msg));
+                    self.maybe_schedule_ctrl(now);
+                }
+            }
+            Ev::CtrlStart => {
+                match self.ctrl_queue.pop_front() {
+                    Some((src, msg)) => {
+                        let mut out = ControlOutput::new();
+                        match src {
+                            MsgSource::Switch(i) => {
+                                let dpid = self.switches[i].dpid;
+                                self.control.on_message(dpid, msg, now, &mut out);
+                            }
+                            MsgSource::Device(d) => {
+                                self.control.on_device_message(DeviceId(d), msg, now, &mut out);
+                            }
+                        }
+                        let app_cpu = self.apply_control_output(out, now, now);
+                        let service = self.ctrl_profile.dispatch_cost + app_cpu;
+                        self.ctrl_busy_until = now + service;
+                        self.ctrl_total_cpu.add(now, service);
+                        self.ctrl_stats.processed += 1;
+                        self.ctrl_stats.cpu_seconds += service;
+                        if self.ctrl_queue.is_empty() {
+                            self.ctrl_scheduled = false;
+                        } else {
+                            self.queue.schedule(self.ctrl_busy_until, Ev::CtrlStart);
+                        }
+                    }
+                    None => {
+                        self.ctrl_scheduled = false;
+                    }
+                }
+            }
+            Ev::SwitchMsgArrive { sw, msg } => {
+                let (forwards, replies) = self.switches[sw].handle_message(msg, now);
+                for (out_port, pkt) in forwards {
+                    self.deliver_from_port(sw, out_port, pkt, now);
+                }
+                for reply in replies {
+                    self.send_up(sw, reply, now);
+                }
+            }
+            Ev::DeviceTick { dev } => {
+                let mut out = DeviceOutput::new();
+                self.devices[dev].logic.on_tick(now, &mut out);
+                for msg in out.to_controller {
+                    self.send_device_up(dev, msg, now);
+                }
+                let next = now + self.devices[dev].tick_interval;
+                if next <= until + self.devices[dev].tick_interval {
+                    self.queue.schedule(next, Ev::DeviceTick { dev });
+                }
+            }
+            Ev::ControlTick => {
+                let mut out = ControlOutput::new();
+                self.control.on_tick(now, &mut out);
+                let cpu = self.apply_control_output(out, now, now);
+                self.ctrl_total_cpu.add(now, cpu);
+                if let Some(interval) = self.control.tick_interval() {
+                    self.queue.schedule(now + interval, Ev::ControlTick);
+                }
+            }
+            Ev::Maintenance => {
+                let mut telemetry = Telemetry {
+                    switches: Vec::new(),
+                    controller_queue: self.ctrl_queue.len(),
+                    controller_utilization: self
+                        .ctrl_total_cpu
+                        .utilization_at((now - self.maintenance_interval * 0.5).max(0.0)),
+                };
+                for sw in 0..self.switches.len() {
+                    let expired = self.switches[sw].expire(now);
+                    for msg in expired {
+                        self.send_up(sw, msg, now);
+                    }
+                    let s = &self.switches[sw];
+                    let datapath_utilization = self.switch_cpu[sw]
+                        .utilization_at((now - self.maintenance_interval * 0.5).max(0.0))
+                        .min(1.0);
+                    telemetry.switches.push(SwitchTelemetry {
+                        dpid: s.dpid,
+                        buffer_utilization: s.buffer_utilization(),
+                        datapath_utilization,
+                        ingress_len: s.ingress_len(),
+                        misses: s.stats.misses,
+                        flow_count: s.table.len(),
+                    });
+                    self.recorder
+                        .sample(&format!("switch{}_buffer", sw), now, s.buffer_utilization());
+                }
+                self.recorder
+                    .sample("controller_queue", now, self.ctrl_queue.len() as f64);
+                let mut out = ControlOutput::new();
+                self.control.on_telemetry(&telemetry, now, &mut out);
+                self.apply_control_output(out, now, now);
+                self.queue
+                    .schedule(now + self.maintenance_interval, Ev::Maintenance);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("switches", &self.switches.len())
+            .field("hosts", &self.hosts.len())
+            .field("devices", &self.devices.len())
+            .field("now", &self.queue.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{BulkSender, NewFlowProbe, UdpFlood};
+    use crate::packet::FlowTag;
+    use ofproto::actions::Action;
+    use ofproto::flow_match::OfMatch;
+    use ofproto::messages::{FeaturesReply, PacketIn};
+    use ofproto::types::PortNo;
+
+    fn mac(n: u64) -> MacAddr {
+        MacAddr::from_u64(n)
+    }
+
+    fn ip(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    /// A minimal learning-hub control plane used by engine tests: floods
+    /// every packet_in via packet_out, releasing the buffer.
+    struct HubControl;
+
+    impl ControlPlane for HubControl {
+        fn on_switch_connect(
+            &mut self,
+            _dpid: DatapathId,
+            _features: FeaturesReply,
+            _now: f64,
+            _out: &mut ControlOutput,
+        ) {
+        }
+
+        fn on_message(
+            &mut self,
+            dpid: DatapathId,
+            msg: OfMessage,
+            _now: f64,
+            out: &mut ControlOutput,
+        ) {
+            if let OfBody::PacketIn(PacketIn {
+                buffer_id, in_port, ..
+            }) = msg.body
+            {
+                out.charge("hub", 100e-6);
+                out.send(
+                    dpid,
+                    OfMessage::new(
+                        msg.xid,
+                        OfBody::PacketOut(ofproto::messages::PacketOut {
+                            buffer_id,
+                            in_port,
+                            actions: vec![Action::Output(PortNo::Flood)],
+                            data: None,
+                        }),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn two_host_sim(control: Box<dyn ControlPlane>) -> (Simulation, SwitchId, HostId, HostId) {
+        let mut sim = Simulation::new(7);
+        let sw = sim.add_switch(SwitchProfile::software(), vec![1, 2, 3]);
+        let h1 = sim.add_host(sw, 1, mac(0xa), ip(1));
+        let h2 = sim.add_host(sw, 2, mac(0xb), ip(2));
+        sim.set_control_plane(control);
+        (sim, sw, h1, h2)
+    }
+
+    #[test]
+    fn preinstalled_rule_forwards_between_hosts() {
+        let (mut sim, sw, h1, h2) = two_host_sim(Box::new(crate::iface::NullControlPlane));
+        sim.switch_mut(sw)
+            .add_rule(
+                OfMatch::any().with_dl_dst(mac(0xb)),
+                vec![Action::Output(PortNo::Physical(2))],
+                10,
+                0.0,
+            )
+            .unwrap();
+        sim.host_mut(h1).add_source(Box::new(BulkSender::new(
+            mac(0xa),
+            ip(1),
+            mac(0xb),
+            ip(2),
+            1,
+            2,
+            1,
+            1500,
+            0.0,
+        )));
+        sim.run_until(1.0);
+        // Only the forward rule exists: the priming ack dies at the null
+        // controller, so exactly the priming packet arrives and the loop
+        // stalls before the window opens.
+        assert_eq!(sim.host(h2).received_packets, 1);
+        assert!(sim.host(h2).meter.total_bytes() > 0);
+        // With the reverse rule installed the closed loop cycles at line rate.
+        let (mut sim, sw, h1, h2) = two_host_sim(Box::new(crate::iface::NullControlPlane));
+        sim.switch_mut(sw)
+            .add_rule(
+                OfMatch::any().with_dl_dst(mac(0xb)),
+                vec![Action::Output(PortNo::Physical(2))],
+                10,
+                0.0,
+            )
+            .unwrap();
+        sim.switch_mut(sw)
+            .add_rule(
+                OfMatch::any().with_dl_dst(mac(0xa)),
+                vec![Action::Output(PortNo::Physical(1))],
+                10,
+                0.0,
+            )
+            .unwrap();
+        sim.host_mut(h1).add_source(Box::new(BulkSender::new(
+            mac(0xa),
+            ip(1),
+            mac(0xb),
+            ip(2),
+            1,
+            4,
+            10,
+            1500,
+            0.0,
+        )));
+        sim.run_until(2.0);
+        let bps = sim.host(h2).meter.bps_in(0.5, 2.0);
+        assert!(bps > 1e8, "achieved {bps} bps");
+    }
+
+    #[test]
+    fn hub_controller_installs_path_via_packet_out() {
+        let (mut sim, _sw, h1, h2) = two_host_sim(Box::new(HubControl));
+        let probe = NewFlowProbe::new(mac(0xa), ip(1), mac(0xb), ip(2), 1, 0.1);
+        sim.host_mut(h1).add_source(Box::new(probe));
+        sim.run_until(2.0);
+        // The SYN was flooded by the hub and reached h2.
+        assert!(sim
+            .host(h2)
+            .deliveries
+            .iter()
+            .any(|(p, _)| matches!(p.tag, FlowTag::NewFlow { id: 1 })));
+        assert!(sim.ctrl_stats.processed >= 1);
+    }
+
+    #[test]
+    fn miss_latency_includes_controller_roundtrip() {
+        let (mut sim, _sw, h1, h2) = two_host_sim(Box::new(HubControl));
+        sim.host_mut(h1).add_source(Box::new(NewFlowProbe::new(
+            mac(0xa),
+            ip(1),
+            mac(0xb),
+            ip(2),
+            1,
+            0.5,
+        )));
+        sim.run_until(2.0);
+        let delivery = sim
+            .host(h2)
+            .deliveries
+            .iter()
+            .find(|(p, _)| matches!(p.tag, FlowTag::NewFlow { id: 1 }))
+            .map(|(_, t)| *t)
+            .expect("probe delivered");
+        let delay = delivery - 0.5;
+        assert!(delay > 1e-3, "delay {delay} must include channel+controller");
+        assert!(delay < 0.5, "delay {delay} unreasonably large");
+    }
+
+    #[test]
+    fn flood_without_defense_starves_bulk_flow() {
+        // The §II experiment: attack at 500 pps kills a software switch.
+        let run = |attack_pps: f64| -> f64 {
+            let (mut sim, sw, h1, h2) = two_host_sim(Box::new(crate::iface::NullControlPlane));
+            sim.switch_mut(sw)
+                .add_rule(
+                    OfMatch::any().with_dl_dst(mac(0xb)),
+                    vec![Action::Output(PortNo::Physical(2))],
+                    10,
+                    0.0,
+                )
+                .unwrap();
+            sim.switch_mut(sw)
+                .add_rule(
+                    OfMatch::any().with_dl_dst(mac(0xa)),
+                    vec![Action::Output(PortNo::Physical(1))],
+                    10,
+                    0.0,
+                )
+                .unwrap();
+            let h3 = sim.add_host(sw, 3, mac(0xc), ip(3));
+            sim.host_mut(h1).add_source(Box::new(BulkSender::new(
+                mac(0xa),
+                ip(1),
+                mac(0xb),
+                ip(2),
+                1,
+                4,
+                10,
+                1500,
+                0.0,
+            )));
+            sim.host_mut(h3).add_source(Box::new(UdpFlood::new(
+                mac(0xc),
+                attack_pps,
+                0.0,
+                3.0,
+                64,
+            )));
+            sim.run_until(3.0);
+            sim.host(h2).meter.bps_in(1.0, 3.0)
+        };
+        let clean = run(0.0);
+        let attacked = run(500.0);
+        assert!(
+            attacked < clean * 0.2,
+            "500 pps must collapse bandwidth: clean={clean:e} attacked={attacked:e}"
+        );
+    }
+
+    #[test]
+    fn telemetry_reaches_control_plane() {
+        use parking_lot_counter::Counter;
+
+        mod parking_lot_counter {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Arc;
+
+            #[derive(Clone, Default)]
+            pub struct Counter(Arc<AtomicUsize>);
+
+            impl Counter {
+                pub fn bump(&self) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+
+                pub fn get(&self) -> usize {
+                    self.0.load(Ordering::SeqCst)
+                }
+            }
+        }
+
+        struct TelemetrySpy(Counter);
+
+        impl ControlPlane for TelemetrySpy {
+            fn on_switch_connect(
+                &mut self,
+                _dpid: DatapathId,
+                _features: FeaturesReply,
+                _now: f64,
+                _out: &mut ControlOutput,
+            ) {
+            }
+
+            fn on_message(
+                &mut self,
+                _dpid: DatapathId,
+                _msg: OfMessage,
+                _now: f64,
+                _out: &mut ControlOutput,
+            ) {
+            }
+
+            fn on_telemetry(&mut self, telemetry: &Telemetry, _now: f64, _out: &mut ControlOutput) {
+                assert_eq!(telemetry.switches.len(), 1);
+                self.0.bump();
+            }
+        }
+
+        let counter = Counter::default();
+        let (mut sim, _, _, _) = two_host_sim(Box::new(TelemetrySpy(counter.clone())));
+        sim.run_until(1.0);
+        assert!(counter.get() >= 15, "telemetry ticks: {}", counter.get());
+    }
+
+    #[test]
+    fn app_cpu_attribution_recorded() {
+        let (mut sim, _sw, h1, _h2) = two_host_sim(Box::new(HubControl));
+        sim.host_mut(h1).add_source(Box::new(UdpFlood::new(
+            mac(0xa),
+            50.0,
+            0.0,
+            1.0,
+            64,
+        )));
+        sim.run_until(1.5);
+        assert_eq!(sim.app_names(), vec!["hub".to_owned()]);
+        let series = sim.app_utilization("hub", 1.5);
+        assert!(!series.is_empty());
+        let total: f64 = series.iter().map(|s| s.v).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn device_receives_redirected_packets() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        struct CountingDevice(Arc<AtomicU64>);
+
+        impl DataPlaneDevice for CountingDevice {
+            fn on_packet(&mut self, _pkt: Packet, _now: f64, _out: &mut DeviceOutput) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let mut sim = Simulation::new(3);
+        let sw = sim.add_switch(SwitchProfile::software(), vec![1, 2, 99]);
+        let h1 = sim.add_host(sw, 1, mac(0xa), ip(1));
+        let count = Arc::new(AtomicU64::new(0));
+        sim.attach_device(
+            sw,
+            99,
+            Box::new(CountingDevice(count.clone())),
+            12.5e6,
+            1e-3,
+            1e-3,
+        );
+        // Migration-style rule: everything from port 1 goes to the device.
+        sim.switch_mut(sw)
+            .add_rule(
+                OfMatch::any().with_in_port(1),
+                vec![Action::SetNwTos(1), Action::Output(PortNo::Physical(99))],
+                0,
+                0.0,
+            )
+            .unwrap();
+        sim.host_mut(h1)
+            .add_source(Box::new(UdpFlood::new(mac(0xa), 100.0, 0.0, 1.0, 64)));
+        sim.run_until(1.5);
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+}

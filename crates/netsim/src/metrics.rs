@@ -1,0 +1,279 @@
+//! Measurement infrastructure: time series, counters and windowed rates.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One `(time, value)` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Simulation time in seconds.
+    pub t: f64,
+    /// Observed value.
+    pub v: f64,
+}
+
+/// A named append-only time series.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.samples.push(Sample { t, v });
+    }
+
+    /// All samples, in insertion order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of values in the half-open window `[from, to)`.
+    pub fn mean_in(&self, from: f64, to: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in &self.samples {
+            if s.t >= from && s.t < to {
+                sum += s.v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Maximum value in `[from, to)`.
+    pub fn max_in(&self, from: f64, to: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.t >= from && s.t < to)
+            .map(|s| s.v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Accumulates byte deliveries and reports achieved bandwidth.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BandwidthMeter {
+    deliveries: Vec<(f64, u64)>,
+    total_bytes: u64,
+}
+
+impl BandwidthMeter {
+    /// Creates an empty meter.
+    pub fn new() -> BandwidthMeter {
+        BandwidthMeter::default()
+    }
+
+    /// Records `bytes` delivered at time `t`.
+    pub fn record(&mut self, t: f64, bytes: u64) {
+        self.total_bytes += bytes;
+        self.deliveries.push((t, bytes));
+    }
+
+    /// Total bytes delivered.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Achieved bandwidth in bits per second over the window `[from, to)`.
+    pub fn bps_in(&self, from: f64, to: f64) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let bytes: u64 = self
+            .deliveries
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, b)| *b)
+            .sum();
+        bytes as f64 * 8.0 / (to - from)
+    }
+}
+
+/// Per-bucket CPU-time accounting; reports utilization per bucket.
+///
+/// Used to regenerate the paper's Fig. 12: each controller application's CPU
+/// utilization over time under the flooding attack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationTracker {
+    bucket_width: f64,
+    buckets: BTreeMap<u64, f64>,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker with the given bucket width in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive.
+    pub fn new(bucket_width: f64) -> UtilizationTracker {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        UtilizationTracker {
+            bucket_width,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `cpu_seconds` of busy time starting at time `t`.
+    ///
+    /// Busy intervals spanning bucket boundaries are split proportionally.
+    pub fn add(&mut self, t: f64, cpu_seconds: f64) {
+        let start = t.max(0.0);
+        let mut remaining = cpu_seconds.max(0.0);
+        let mut idx = (start / self.bucket_width) as u64;
+        let mut cursor = start;
+        while remaining > 0.0 {
+            let bucket_end = (idx + 1) as f64 * self.bucket_width;
+            // `max(0)` and the unconditional index advance guarantee
+            // progress even when `cursor` sits within float epsilon of a
+            // bucket boundary.
+            let available = (bucket_end - cursor).max(0.0);
+            let chunk = remaining.min(available);
+            if chunk > 0.0 {
+                *self.buckets.entry(idx).or_insert(0.0) += chunk;
+                remaining -= chunk;
+            }
+            cursor = bucket_end;
+            idx += 1;
+        }
+    }
+
+    /// Utilization (0..=1, busy time over bucket width) per bucket over
+    /// `[0, until)`.
+    pub fn utilization_series(&self, until: f64) -> Vec<Sample> {
+        let n = (until / self.bucket_width).ceil() as u64;
+        (0..n)
+            .map(|idx| Sample {
+                t: idx as f64 * self.bucket_width,
+                v: self.buckets.get(&idx).copied().unwrap_or(0.0) / self.bucket_width,
+            })
+            .collect()
+    }
+
+    /// Utilization of the bucket containing time `t`.
+    pub fn utilization_at(&self, t: f64) -> f64 {
+        let idx = (t.max(0.0) / self.bucket_width) as u64;
+        self.buckets.get(&idx).copied().unwrap_or(0.0) / self.bucket_width
+    }
+}
+
+/// Central metrics store for one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Recorder {
+    /// Named scalar counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named time series.
+    pub series: BTreeMap<String, TimeSeries>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn count(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Reads counter `name` (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends a sample to series `name`.
+    pub fn sample(&mut self, name: &str, t: f64, v: f64) {
+        self.series.entry(name.to_owned()).or_default().push(t, v);
+    }
+
+    /// Looks up series `name`.
+    pub fn get_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_series_window_stats() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(f64::from(i), f64::from(i * 10));
+        }
+        assert_eq!(ts.mean_in(0.0, 5.0), Some(20.0));
+        assert_eq!(ts.max_in(0.0, 10.0), Some(90.0));
+        assert_eq!(ts.mean_in(100.0, 200.0), None);
+        assert_eq!(ts.len(), 10);
+    }
+
+    #[test]
+    fn bandwidth_meter_bps() {
+        let mut m = BandwidthMeter::new();
+        // 1 MB over one second = 8 Mbps.
+        for i in 0..10 {
+            m.record(0.1 * f64::from(i), 100_000);
+        }
+        let bps = m.bps_in(0.0, 1.0);
+        assert!((bps - 8e6).abs() < 1.0, "bps={bps}");
+        assert_eq!(m.total_bytes(), 1_000_000);
+        assert_eq!(m.bps_in(5.0, 6.0), 0.0);
+        assert_eq!(m.bps_in(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_tracker_splits_across_buckets() {
+        let mut u = UtilizationTracker::new(0.1);
+        // 200 ms of busy time starting at t=0.05 spans three buckets:
+        // 50 ms in [0,0.1), 100 ms in [0.1,0.2), 50 ms in [0.2,0.3).
+        u.add(0.05, 0.2);
+        let s = u.utilization_series(0.3);
+        assert_eq!(s.len(), 3);
+        assert!((s[0].v - 0.5).abs() < 1e-9);
+        assert!((s[1].v - 1.0).abs() < 1e-9);
+        assert!((s[2].v - 0.5).abs() < 1e-9);
+        assert!((u.utilization_at(0.15) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn utilization_tracker_rejects_zero_width() {
+        let _ = UtilizationTracker::new(0.0);
+    }
+
+    #[test]
+    fn recorder_counters_and_series() {
+        let mut r = Recorder::new();
+        r.count("drops", 3);
+        r.count("drops", 2);
+        assert_eq!(r.counter("drops"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        r.sample("bw", 0.0, 1.0);
+        r.sample("bw", 1.0, 2.0);
+        assert_eq!(r.get_series("bw").unwrap().len(), 2);
+        assert!(r.get_series("nope").is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Discrete-event scheduler: a time-ordered event queue over `f64` seconds.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; ties break by insertion order so the
+        // simulation is deterministic.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::sched::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "later");
+/// q.schedule(1.0, "sooner");
+/// assert_eq!(q.pop(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop(), Some((2.0, "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time` (seconds).
+    ///
+    /// Events scheduled in the past are clamped to the current time so the
+    /// clock never runs backwards.
+    pub fn schedule(&mut self, time: f64, event: E) {
+        let time = if time < self.now { self.now } else { time };
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule(self.now + delay.max(0.0), event);
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "a");
+        q.schedule(1.0, "b");
+        q.schedule(1.0, "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        // Scheduling in the past clamps to now.
+        q.schedule(1.0, ());
+        assert_eq!(q.pop(), Some((5.0, ())));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "base");
+        q.pop();
+        q.schedule_in(2.5, "rel");
+        assert_eq!(q.pop(), Some((12.5, "rel")));
+    }
+
+    #[test]
+    fn negative_delay_clamps() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ());
+        q.pop();
+        q.schedule_in(-3.0, ());
+        assert_eq!(q.pop(), Some((1.0, ())));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(1.0));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn many_events_remain_sorted() {
+        let mut q = EventQueue::new();
+        // Insert pseudo-random times; popping must be non-decreasing.
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for i in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule((x % 10_000) as f64 / 100.0, i);
+        }
+        let mut last = 0.0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,706 @@
+//! A priority-ordered OpenFlow flow table with timeouts, statistics and a
+//! configurable capacity (modelling TCAM exhaustion).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::actions::Action;
+use crate::flow_match::{FlowKeys, OfMatch};
+use crate::flow_mod::{FlowMod, FlowModCommand};
+use crate::messages::{AggregateStats, FlowRemovedReason, FlowStats};
+use crate::types::PortNo;
+
+/// One installed flow rule together with its runtime state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// Which packets this rule applies to.
+    pub of_match: OfMatch,
+    /// Matching precedence; higher wins.
+    pub priority: u16,
+    /// Actions to apply; empty means drop.
+    pub actions: Vec<Action>,
+    /// Controller-assigned opaque id.
+    pub cookie: u64,
+    /// Seconds of inactivity before expiry; 0 disables.
+    pub idle_timeout: u16,
+    /// Seconds until unconditional expiry; 0 disables.
+    pub hard_timeout: u16,
+    /// Whether expiry should emit a `flow_removed`.
+    pub send_flow_removed: bool,
+    /// Installation time, in seconds of simulation/wall time.
+    pub installed_at: f64,
+    /// Last packet hit, in seconds.
+    pub last_hit: f64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    fn from_flow_mod(fm: &FlowMod, now: f64) -> FlowEntry {
+        FlowEntry {
+            of_match: fm.of_match,
+            priority: fm.priority,
+            actions: fm.actions.clone(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            send_flow_removed: fm.flags.send_flow_removed,
+            installed_at: now,
+            last_hit: now,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    /// Whether this entry has expired at time `now`.
+    pub fn is_expired(&self, now: f64) -> bool {
+        (self.hard_timeout > 0 && now - self.installed_at >= f64::from(self.hard_timeout))
+            || (self.idle_timeout > 0 && now - self.last_hit >= f64::from(self.idle_timeout))
+    }
+
+    fn expiry_reason(&self, now: f64) -> FlowRemovedReason {
+        if self.hard_timeout > 0 && now - self.installed_at >= f64::from(self.hard_timeout) {
+            FlowRemovedReason::HardTimeout
+        } else {
+            FlowRemovedReason::IdleTimeout
+        }
+    }
+
+    fn outputs_to(&self, port: PortNo) -> bool {
+        if port == PortNo::None {
+            return true;
+        }
+        self.actions.iter().any(|a| match a {
+            Action::Output(p) | Action::Enqueue { port: p, .. } => *p == port,
+            _ => false,
+        })
+    }
+
+    fn stats(&self, now: f64) -> FlowStats {
+        FlowStats {
+            of_match: self.of_match,
+            priority: self.priority,
+            cookie: self.cookie,
+            packet_count: self.packet_count,
+            byte_count: self.byte_count,
+            duration_sec: (now - self.installed_at).max(0.0) as u32,
+            actions: self.actions.clone(),
+        }
+    }
+}
+
+/// Why a flow-mod could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The table is at capacity (TCAM full).
+    TableFull,
+    /// `check_overlap` was set and an overlapping same-priority rule exists.
+    Overlap,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::TableFull => f.write_str("flow table is full"),
+            TableError::Overlap => f.write_str("overlapping entry exists"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A rule removed from the table, together with the reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovedFlow {
+    /// The removed rule (final counters included).
+    pub entry: FlowEntry,
+    /// Why it was removed.
+    pub reason: FlowRemovedReason,
+}
+
+/// A priority-ordered flow table.
+///
+/// Entries are kept sorted by descending priority; within equal priority the
+/// earliest-installed entry wins, matching common switch behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use ofproto::flow_mod::FlowMod;
+/// use ofproto::flow_match::{FlowKeys, OfMatch};
+/// use ofproto::flow_table::FlowTable;
+/// use ofproto::actions::Action;
+/// use ofproto::types::PortNo;
+///
+/// let mut table = FlowTable::new(None);
+/// table
+///     .apply(&FlowMod::add(OfMatch::any(), vec![Action::Output(PortNo::Flood)]), 0.0)
+///     .unwrap();
+/// let hit = table.lookup(&FlowKeys::default(), 1.0, 64).unwrap();
+/// assert_eq!(hit.actions, vec![Action::Output(PortNo::Flood)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    capacity: Option<usize>,
+    lookups: u64,
+    misses: u64,
+}
+
+impl FlowTable {
+    /// Creates a table; `capacity` of `None` means unbounded.
+    pub fn new(capacity: Option<usize>) -> FlowTable {
+        FlowTable {
+            entries: Vec::new(),
+            capacity,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Total lookups performed.
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that missed every rule.
+    pub fn miss_count(&self) -> u64 {
+        self.misses
+    }
+
+    /// Iterates over installed rules in matching order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Applies a flow-mod at time `now` (seconds).
+    ///
+    /// Returns the rules removed by `Delete`/`DeleteStrict` so the caller can
+    /// emit `flow_removed` notifications.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::TableFull`] when an `Add` exceeds capacity and
+    /// [`TableError::Overlap`] when `check_overlap` rejects the rule.
+    pub fn apply(&mut self, fm: &FlowMod, now: f64) -> Result<Vec<RemovedFlow>, TableError> {
+        match fm.command {
+            FlowModCommand::Add => {
+                if fm.flags.check_overlap
+                    && self.entries.iter().any(|e| {
+                        e.priority == fm.priority
+                            && (e.of_match.is_subset_of(&fm.of_match)
+                                || fm.of_match.is_subset_of(&e.of_match))
+                    })
+                {
+                    return Err(TableError::Overlap);
+                }
+                // Identical match+priority replaces in place (spec §4.6).
+                if let Some(existing) = self
+                    .entries
+                    .iter_mut()
+                    .find(|e| e.priority == fm.priority && e.of_match == fm.of_match)
+                {
+                    *existing = FlowEntry::from_flow_mod(fm, now);
+                    return Ok(Vec::new());
+                }
+                if let Some(cap) = self.capacity {
+                    if self.entries.len() >= cap {
+                        return Err(TableError::TableFull);
+                    }
+                }
+                let entry = FlowEntry::from_flow_mod(fm, now);
+                // Insert keeping descending priority, after equal priorities.
+                let pos = self
+                    .entries
+                    .partition_point(|e| e.priority >= entry.priority);
+                self.entries.insert(pos, entry);
+                Ok(Vec::new())
+            }
+            FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                let strict = fm.command == FlowModCommand::ModifyStrict;
+                let mut modified = false;
+                for entry in &mut self.entries {
+                    let hit = if strict {
+                        entry.priority == fm.priority && entry.of_match == fm.of_match
+                    } else {
+                        entry.of_match.is_subset_of(&fm.of_match)
+                    };
+                    if hit {
+                        entry.actions = fm.actions.clone();
+                        entry.cookie = fm.cookie;
+                        modified = true;
+                    }
+                }
+                if !modified {
+                    // Per spec, a modify with no target behaves like an add.
+                    let add = FlowMod {
+                        command: FlowModCommand::Add,
+                        ..fm.clone()
+                    };
+                    return self.apply(&add, now);
+                }
+                Ok(Vec::new())
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
+                let strict = fm.command == FlowModCommand::DeleteStrict;
+                let mut removed = Vec::new();
+                self.entries.retain(|entry| {
+                    let hit = if strict {
+                        entry.priority == fm.priority && entry.of_match == fm.of_match
+                    } else {
+                        entry.of_match.is_subset_of(&fm.of_match)
+                    } && entry.outputs_to(fm.out_port);
+                    if hit {
+                        removed.push(RemovedFlow {
+                            entry: entry.clone(),
+                            reason: FlowRemovedReason::Delete,
+                        });
+                    }
+                    !hit
+                });
+                Ok(removed)
+            }
+        }
+    }
+
+    /// Looks up the highest-priority matching rule, updating its counters.
+    ///
+    /// Returns `None` on a table-miss.
+    pub fn lookup(&mut self, keys: &FlowKeys, now: f64, packet_len: usize) -> Option<&FlowEntry> {
+        self.lookups += 1;
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| !e.is_expired(now) && e.of_match.matches(keys));
+        match idx {
+            Some(idx) => {
+                let entry = &mut self.entries[idx];
+                entry.packet_count += 1;
+                entry.byte_count += packet_len as u64;
+                entry.last_hit = now;
+                Some(&self.entries[idx])
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up without mutating counters (read-only probe).
+    pub fn peek(&self, keys: &FlowKeys, now: f64) -> Option<&FlowEntry> {
+        self.entries
+            .iter()
+            .find(|e| !e.is_expired(now) && e.of_match.matches(keys))
+    }
+
+    /// Removes expired rules, returning them with their expiry reasons.
+    pub fn expire(&mut self, now: f64) -> Vec<RemovedFlow> {
+        let mut removed = Vec::new();
+        self.entries.retain(|entry| {
+            if entry.is_expired(now) {
+                removed.push(RemovedFlow {
+                    reason: entry.expiry_reason(now),
+                    entry: entry.clone(),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Per-flow statistics for rules whose match is a subset of `of_match`.
+    pub fn flow_stats(&self, of_match: &OfMatch, now: f64) -> Vec<FlowStats> {
+        self.entries
+            .iter()
+            .filter(|e| e.of_match.is_subset_of(of_match))
+            .map(|e| e.stats(now))
+            .collect()
+    }
+
+    /// Aggregate statistics for rules whose match is a subset of `of_match`.
+    pub fn aggregate_stats(&self, of_match: &OfMatch) -> AggregateStats {
+        let mut agg = AggregateStats::default();
+        for e in self.entries.iter().filter(|e| e.of_match.is_subset_of(of_match)) {
+            agg.packet_count += e.packet_count;
+            agg.byte_count += e.byte_count;
+            agg.flow_count += 1;
+        }
+        agg
+    }
+
+    /// Removes every rule.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_mod::FlowModFlags;
+    use crate::types::{ipproto, MacAddr};
+
+    fn add(of_match: OfMatch, priority: u16, port: u16) -> FlowMod {
+        FlowMod::add(of_match, vec![Action::Output(PortNo::Physical(port))]).with_priority(priority)
+    }
+
+    fn keys_udp(in_port: u16) -> FlowKeys {
+        FlowKeys {
+            in_port,
+            nw_proto: ipproto::UDP,
+            dl_type: crate::types::ethertype::IPV4,
+            ..FlowKeys::default()
+        }
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        let mut t = FlowTable::new(None);
+        assert!(t.lookup(&FlowKeys::default(), 0.0, 100).is_none());
+        assert_eq!(t.miss_count(), 1);
+        assert_eq!(t.lookup_count(), 1);
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any(), 1, 1), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(5), 100, 2), 0.0).unwrap();
+        let hit = t.lookup(&keys_udp(5), 0.0, 64).unwrap();
+        assert_eq!(hit.actions, vec![Action::Output(PortNo::Physical(2))]);
+        let hit = t.lookup(&keys_udp(6), 0.0, 64).unwrap();
+        assert_eq!(hit.actions, vec![Action::Output(PortNo::Physical(1))]);
+    }
+
+    #[test]
+    fn equal_priority_first_installed_wins() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any(), 10, 1), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(5), 10, 2), 0.0).unwrap();
+        let hit = t.lookup(&keys_udp(5), 0.0, 64).unwrap();
+        assert_eq!(hit.actions, vec![Action::Output(PortNo::Physical(1))]);
+    }
+
+    #[test]
+    fn identical_add_replaces_and_resets_counters() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any(), 10, 1), 0.0).unwrap();
+        t.lookup(&keys_udp(1), 0.0, 64).unwrap();
+        assert_eq!(t.iter().next().unwrap().packet_count, 1);
+        t.apply(&add(OfMatch::any(), 10, 3), 5.0).unwrap();
+        assert_eq!(t.len(), 1);
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packet_count, 0);
+        assert_eq!(e.actions, vec![Action::Output(PortNo::Physical(3))]);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = FlowTable::new(Some(2));
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0).unwrap();
+        assert_eq!(
+            t.apply(&add(OfMatch::any().with_in_port(3), 10, 3), 0.0),
+            Err(TableError::TableFull)
+        );
+        // Replacing an existing rule still works at capacity.
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 9), 0.0).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn check_overlap_rejects() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
+        let mut fm = add(OfMatch::any(), 10, 2);
+        fm.flags = FlowModFlags {
+            check_overlap: true,
+            send_flow_removed: false,
+        };
+        assert_eq!(t.apply(&fm, 0.0), Err(TableError::Overlap));
+        // Different priority: no overlap check failure.
+        fm.priority = 11;
+        t.apply(&fm, 0.0).unwrap();
+    }
+
+    #[test]
+    fn idle_timeout_expires() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any(), 10, 1).with_idle_timeout(5), 0.0).unwrap();
+        assert!(t.lookup(&keys_udp(1), 3.0, 64).is_some());
+        // Traffic at t=3 refreshes the idle clock.
+        assert!(t.lookup(&keys_udp(1), 7.9, 64).is_some());
+        assert!(t.lookup(&keys_udp(1), 13.0, 64).is_none());
+        let removed = t.expire(13.0);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn hard_timeout_expires_despite_traffic() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any(), 10, 1).with_hard_timeout(10), 0.0).unwrap();
+        for i in 0..9 {
+            assert!(t.lookup(&keys_udp(1), f64::from(i), 64).is_some());
+        }
+        assert!(t.lookup(&keys_udp(1), 10.0, 64).is_none());
+        let removed = t.expire(10.0);
+        assert_eq!(removed[0].reason, FlowRemovedReason::HardTimeout);
+    }
+
+    #[test]
+    fn delete_nonstrict_uses_subset() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any().with_in_port(1).with_nw_proto(17), 10, 1), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0).unwrap();
+        let removed = t
+            .apply(&FlowMod::delete(OfMatch::any().with_in_port(1)), 1.0)
+            .unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_strict_needs_exact_match_and_priority() {
+        let mut t = FlowTable::new(None);
+        let m = OfMatch::any().with_in_port(1);
+        t.apply(&add(m, 10, 1), 0.0).unwrap();
+        // Wrong priority: nothing removed.
+        let removed = t.apply(&FlowMod::delete_strict(m, 11), 1.0).unwrap();
+        assert!(removed.is_empty());
+        let removed = t.apply(&FlowMod::delete_strict(m, 10), 1.0).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_filtered_by_out_port() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 7), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 8), 0.0).unwrap();
+        let mut del = FlowMod::delete(OfMatch::any());
+        del.out_port = PortNo::Physical(7);
+        let removed = t.apply(&del, 1.0).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].entry.actions, vec![Action::Output(PortNo::Physical(7))]);
+    }
+
+    #[test]
+    fn modify_updates_actions_preserving_counters() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
+        t.lookup(&keys_udp(1), 0.5, 64).unwrap();
+        let mut fm = add(OfMatch::any(), 0, 9);
+        fm.command = FlowModCommand::Modify;
+        t.apply(&fm, 1.0).unwrap();
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.actions, vec![Action::Output(PortNo::Physical(9))]);
+        assert_eq!(e.packet_count, 1, "modify must not reset counters");
+    }
+
+    #[test]
+    fn modify_with_no_target_adds() {
+        let mut t = FlowTable::new(None);
+        let mut fm = add(OfMatch::any().with_in_port(1), 10, 1);
+        fm.command = FlowModCommand::Modify;
+        t.apply(&fm, 0.0).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any(), 10, 1), 0.0).unwrap();
+        for _ in 0..5 {
+            t.lookup(&keys_udp(1), 1.0, 100).unwrap();
+        }
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packet_count, 5);
+        assert_eq!(e.byte_count, 500);
+    }
+
+    #[test]
+    fn stats_filtered_by_match() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0).unwrap();
+        t.lookup(&keys_udp(1), 1.0, 100).unwrap();
+        let stats = t.flow_stats(&OfMatch::any().with_in_port(1), 2.0);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].packet_count, 1);
+        let agg = t.aggregate_stats(&OfMatch::any());
+        assert_eq!(agg.flow_count, 2);
+        assert_eq!(agg.packet_count, 1);
+        assert_eq!(agg.byte_count, 100);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut t = FlowTable::new(None);
+        t.apply(&add(OfMatch::any(), 10, 1), 0.0).unwrap();
+        assert!(t.peek(&keys_udp(1), 0.0).is_some());
+        assert_eq!(t.iter().next().unwrap().packet_count, 0);
+        assert_eq!(t.lookup_count(), 0);
+    }
+
+    #[test]
+    fn wildcard_migration_rule_has_lowest_priority_semantics() {
+        // The FloodGuard migration rule: lowest priority wildcard per inport,
+        // tag TOS, output to the cache port. Proactive rules must still win.
+        let mut t = FlowTable::new(None);
+        let migration = FlowMod::add(
+            OfMatch::any().with_in_port(1),
+            vec![Action::SetNwTos(1), Action::Output(PortNo::Physical(99))],
+        )
+        .with_priority(0);
+        let proactive = FlowMod::add(
+            OfMatch::any().with_dl_dst(MacAddr::from_u64(0xa)),
+            vec![Action::Output(PortNo::Physical(2))],
+        )
+        .with_priority(100);
+        t.apply(&migration, 0.0).unwrap();
+        t.apply(&proactive, 0.0).unwrap();
+        let mut keys = keys_udp(1);
+        keys.dl_dst = MacAddr::from_u64(0xa);
+        let hit = t.lookup(&keys, 0.0, 64).unwrap();
+        assert_eq!(hit.actions, vec![Action::Output(PortNo::Physical(2))]);
+        keys.dl_dst = MacAddr::from_u64(0xb);
+        let hit = t.lookup(&keys, 0.0, 64).unwrap();
+        assert_eq!(hit.priority, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::types::MacAddr;
+    use proptest::prelude::*;
+
+    fn arb_keys() -> impl Strategy<Value = FlowKeys> {
+        (0u64..8, 0u64..8, 1u16..5, any::<u8>()).prop_map(|(src, dst, port, proto)| FlowKeys {
+            dl_src: MacAddr::from_u64(src),
+            dl_dst: MacAddr::from_u64(dst),
+            in_port: port,
+            nw_proto: proto,
+            ..FlowKeys::default()
+        })
+    }
+
+    fn arb_rule() -> impl Strategy<Value = FlowMod> {
+        (0u64..8, 1u16..5, 0u16..4, proptest::option::of(0u8..2)).prop_map(
+            |(dst, out_port, priority, proto)| {
+                let mut m = OfMatch::any().with_dl_dst(MacAddr::from_u64(dst));
+                if let Some(p) = proto {
+                    m = m.with_nw_proto(p);
+                }
+                FlowMod::add(m, vec![Action::Output(PortNo::Physical(out_port))])
+                    .with_priority(priority)
+            },
+        )
+    }
+
+    proptest! {
+        /// The table always returns a maximal-priority matching rule.
+        #[test]
+        fn lookup_returns_max_priority_match(
+            rules in proptest::collection::vec(arb_rule(), 1..20),
+            keys in arb_keys(),
+        ) {
+            let mut table = FlowTable::new(None);
+            for rule in &rules {
+                table.apply(rule, 0.0).unwrap();
+            }
+            let best = table
+                .iter()
+                .filter(|e| e.of_match.matches(&keys))
+                .map(|e| e.priority)
+                .max();
+            let hit = table.lookup(&keys, 0.0, 64).map(|e| e.priority);
+            prop_assert_eq!(hit, best);
+        }
+
+        /// Subset consistency: if a ⊆ b and a matches k, then b matches k.
+        #[test]
+        fn subset_implies_match_containment(
+            a in arb_rule(),
+            b in arb_rule(),
+            keys in arb_keys(),
+        ) {
+            if a.of_match.is_subset_of(&b.of_match) && a.of_match.matches(&keys) {
+                prop_assert!(b.of_match.matches(&keys));
+            }
+        }
+
+        /// Expiry removes exactly the expired rules, and counters survive
+        /// modifications.
+        #[test]
+        fn expire_is_exact(
+            timeouts in proptest::collection::vec(0u16..5, 1..12),
+            at in 0u16..8,
+        ) {
+            let mut table = FlowTable::new(None);
+            for (i, &t) in timeouts.iter().enumerate() {
+                table
+                    .apply(
+                        &FlowMod::add(
+                            OfMatch::any().with_tp_src(i as u16),
+                            vec![Action::Output(PortNo::Physical(1))],
+                        )
+                        .with_hard_timeout(t),
+                        0.0,
+                    )
+                    .unwrap();
+            }
+            let now = f64::from(at);
+            let expected_remaining = timeouts
+                .iter()
+                .filter(|&&t| t == 0 || f64::from(t) > now)
+                .count();
+            let removed = table.expire(now);
+            prop_assert_eq!(table.len(), expected_remaining);
+            prop_assert_eq!(removed.len(), timeouts.len() - expected_remaining);
+        }
+
+        /// Non-strict delete with match M removes exactly the rules whose
+        /// matches are subsets of M.
+        #[test]
+        fn delete_removes_exactly_subsets(
+            rules in proptest::collection::vec(arb_rule(), 1..16),
+            target in 0u64..8,
+        ) {
+            let mut table = FlowTable::new(None);
+            for rule in &rules {
+                table.apply(rule, 0.0).unwrap();
+            }
+            let selector = OfMatch::any().with_dl_dst(MacAddr::from_u64(target));
+            let expected_removed = table
+                .iter()
+                .filter(|e| e.of_match.is_subset_of(&selector))
+                .count();
+            let removed = table.apply(&FlowMod::delete(selector), 1.0).unwrap();
+            prop_assert_eq!(removed.len(), expected_removed);
+            prop_assert!(table.iter().all(|e| !e.of_match.is_subset_of(&selector)));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # ofproto — OpenFlow 1.0 protocol substrate
+//!
+//! This crate implements the OpenFlow 1.0 protocol elements that the
+//! FloodGuard reproduction is built on: identifier types, the 12-tuple flow
+//! match with wildcards, actions, the `flow_mod` message, the full message
+//! set with a binary wire codec, and a priority-ordered flow table with
+//! timeouts, statistics and bounded capacity.
+//!
+//! The paper (FloodGuard, DSN 2015) targets reactive OpenFlow 1.0 networks;
+//! everything FloodGuard manipulates — wildcard migration rules, TOS
+//! tagging, proactive flow rules, `packet_in` amplification when switch
+//! buffers fill — is expressed with the types in this crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use ofproto::actions::Action;
+//! use ofproto::flow_match::{FlowKeys, OfMatch};
+//! use ofproto::flow_mod::FlowMod;
+//! use ofproto::flow_table::FlowTable;
+//! use ofproto::types::{MacAddr, PortNo};
+//!
+//! // Install an l2-learning style rule and look a packet up against it.
+//! let mut table = FlowTable::new(Some(1024));
+//! let rule = FlowMod::add(
+//!     OfMatch::any().with_dl_dst(MacAddr::from_u64(0x0a)),
+//!     vec![Action::Output(PortNo::Physical(1))],
+//! )
+//! .with_idle_timeout(10);
+//! table.apply(&rule, 0.0).unwrap();
+//!
+//! let mut keys = FlowKeys::default();
+//! keys.dl_dst = MacAddr::from_u64(0x0a);
+//! assert!(table.lookup(&keys, 0.5, 64).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod flow_match;
+pub mod flow_mod;
+pub mod flow_table;
+pub mod messages;
+pub mod types;
+pub mod wire;
+
+pub use actions::Action;
+pub use flow_match::{FlowKeys, OfMatch, Wildcards};
+pub use flow_mod::{FlowMod, FlowModCommand};
+pub use flow_table::{FlowEntry, FlowTable, TableError};
+pub use messages::{OfBody, OfMessage, PacketIn, PacketInReason, PacketOut};
+pub use types::{BufferId, DatapathId, MacAddr, PortNo, Xid};

@@ -1,0 +1,1102 @@
+//! OpenFlow 1.0 binary wire codec.
+//!
+//! Encodes and decodes [`OfMessage`]s to the on-the-wire representation of
+//! the OpenFlow 1.0 specification. The simulator uses the encoded length to
+//! model data-to-control channel occupancy — in particular the amplification
+//! effect where a `packet_in` carries the whole packet once the switch buffer
+//! is full.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::actions::Action;
+use crate::flow_match::{FlowKeys, OfMatch, Wildcards};
+use crate::flow_mod::{FlowMod, FlowModCommand, FlowModFlags};
+use crate::messages::{
+    AggregateStats, ErrorMsg, FeaturesReply, FlowRemoved, FlowRemovedReason, FlowStats, OfBody,
+    OfMessage, PacketIn, PacketInReason, PacketOut, PortStatus, PortStatusReason, StatsReply,
+    StatsRequest,
+};
+use crate::types::{BufferId, DatapathId, MacAddr, PortNo, Xid};
+
+/// The protocol version this codec speaks.
+pub const OFP_VERSION: u8 = 0x01;
+
+/// Size of the common message header.
+pub const OFP_HEADER_LEN: usize = 8;
+
+/// Size of the `ofp_match` structure.
+pub const OFP_MATCH_LEN: usize = 40;
+
+/// Size of an `ofp_phy_port` structure.
+const OFP_PHY_PORT_LEN: usize = 48;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the message claims or the header requires.
+    Truncated,
+    /// Version byte was not [`OFP_VERSION`].
+    BadVersion(u8),
+    /// Unrecognised message type code.
+    UnknownType(u8),
+    /// Unrecognised action type code.
+    UnknownAction(u16),
+    /// Unrecognised flow-mod command.
+    UnknownCommand(u16),
+    /// Unrecognised reason code in `packet_in`/`flow_removed`/`port_status`.
+    UnknownReason(u8),
+    /// A length field was inconsistent with the payload.
+    BadLength,
+    /// Unrecognised stats subtype.
+    UnknownStatsType(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("message truncated"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported OpenFlow version 0x{v:02x}"),
+            DecodeError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            DecodeError::UnknownAction(a) => write!(f, "unknown action type {a}"),
+            DecodeError::UnknownCommand(c) => write!(f, "unknown flow-mod command {c}"),
+            DecodeError::UnknownReason(r) => write!(f, "unknown reason code {r}"),
+            DecodeError::BadLength => f.write_str("inconsistent length field"),
+            DecodeError::UnknownStatsType(t) => write!(f, "unknown stats type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn ensure(buf: &impl Buf, needed: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < needed {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_match(buf: &mut BytesMut, m: &OfMatch) {
+    buf.put_u32(m.wildcards.0);
+    buf.put_u16(m.keys.in_port);
+    buf.put_slice(&m.keys.dl_src.octets());
+    buf.put_slice(&m.keys.dl_dst.octets());
+    buf.put_u16(m.keys.dl_vlan);
+    buf.put_u8(m.keys.dl_vlan_pcp);
+    buf.put_u8(0); // pad
+    buf.put_u16(m.keys.dl_type);
+    buf.put_u8(m.keys.nw_tos);
+    buf.put_u8(m.keys.nw_proto);
+    buf.put_u16(0); // pad
+    buf.put_u32(u32::from(m.keys.nw_src));
+    buf.put_u32(u32::from(m.keys.nw_dst));
+    buf.put_u16(m.keys.tp_src);
+    buf.put_u16(m.keys.tp_dst);
+}
+
+fn get_mac(buf: &mut impl Buf) -> MacAddr {
+    let mut octets = [0u8; 6];
+    buf.copy_to_slice(&mut octets);
+    MacAddr(octets)
+}
+
+fn get_match(buf: &mut impl Buf) -> Result<OfMatch, DecodeError> {
+    ensure(buf, OFP_MATCH_LEN)?;
+    let wildcards = Wildcards(buf.get_u32());
+    let in_port = buf.get_u16();
+    let dl_src = get_mac(buf);
+    let dl_dst = get_mac(buf);
+    let dl_vlan = buf.get_u16();
+    let dl_vlan_pcp = buf.get_u8();
+    buf.advance(1);
+    let dl_type = buf.get_u16();
+    let nw_tos = buf.get_u8();
+    let nw_proto = buf.get_u8();
+    buf.advance(2);
+    let nw_src = Ipv4Addr::from(buf.get_u32());
+    let nw_dst = Ipv4Addr::from(buf.get_u32());
+    let tp_src = buf.get_u16();
+    let tp_dst = buf.get_u16();
+    Ok(OfMatch {
+        wildcards,
+        keys: FlowKeys {
+            in_port,
+            dl_src,
+            dl_dst,
+            dl_vlan,
+            dl_vlan_pcp,
+            dl_type,
+            nw_tos,
+            nw_proto,
+            nw_src,
+            nw_dst,
+            tp_src,
+            tp_dst,
+        },
+    })
+}
+
+fn put_action(buf: &mut BytesMut, action: &Action) {
+    buf.put_u16(action.type_code());
+    buf.put_u16(action.wire_len() as u16);
+    match *action {
+        Action::Output(port) => {
+            buf.put_u16(port.to_u16());
+            buf.put_u16(0xffff); // max_len: send whole packet
+        }
+        Action::SetVlanVid(vid) => {
+            buf.put_u16(vid);
+            buf.put_u16(0);
+        }
+        Action::SetVlanPcp(pcp) => {
+            buf.put_u8(pcp);
+            buf.put_slice(&[0u8; 3]);
+        }
+        Action::StripVlan => buf.put_u32(0),
+        Action::SetDlSrc(mac) | Action::SetDlDst(mac) => {
+            buf.put_slice(&mac.octets());
+            buf.put_slice(&[0u8; 6]);
+        }
+        Action::SetNwSrc(ip) | Action::SetNwDst(ip) => buf.put_u32(u32::from(ip)),
+        Action::SetNwTos(tos) => {
+            buf.put_u8(tos);
+            buf.put_slice(&[0u8; 3]);
+        }
+        Action::SetTpSrc(port) | Action::SetTpDst(port) => {
+            buf.put_u16(port);
+            buf.put_u16(0);
+        }
+        Action::Enqueue { port, queue_id } => {
+            buf.put_u16(port.to_u16());
+            buf.put_slice(&[0u8; 6]);
+            buf.put_u32(queue_id);
+        }
+    }
+}
+
+fn get_action(buf: &mut impl Buf) -> Result<Action, DecodeError> {
+    ensure(buf, 4)?;
+    let type_code = buf.get_u16();
+    let len = buf.get_u16() as usize;
+    if len < 4 {
+        return Err(DecodeError::BadLength);
+    }
+    ensure(buf, len - 4)?;
+    Ok(match type_code {
+        0 => {
+            let port = PortNo::from_u16(buf.get_u16());
+            buf.advance(2); // max_len
+            Action::Output(port)
+        }
+        1 => {
+            let vid = buf.get_u16();
+            buf.advance(2);
+            Action::SetVlanVid(vid)
+        }
+        2 => {
+            let pcp = buf.get_u8();
+            buf.advance(3);
+            Action::SetVlanPcp(pcp)
+        }
+        3 => {
+            buf.advance(4);
+            Action::StripVlan
+        }
+        4 => {
+            let mac = get_mac(buf);
+            buf.advance(6);
+            Action::SetDlSrc(mac)
+        }
+        5 => {
+            let mac = get_mac(buf);
+            buf.advance(6);
+            Action::SetDlDst(mac)
+        }
+        6 => Action::SetNwSrc(Ipv4Addr::from(buf.get_u32())),
+        7 => Action::SetNwDst(Ipv4Addr::from(buf.get_u32())),
+        8 => {
+            let tos = buf.get_u8();
+            buf.advance(3);
+            Action::SetNwTos(tos)
+        }
+        9 => {
+            let port = buf.get_u16();
+            buf.advance(2);
+            Action::SetTpSrc(port)
+        }
+        10 => {
+            let port = buf.get_u16();
+            buf.advance(2);
+            Action::SetTpDst(port)
+        }
+        11 => {
+            let port = PortNo::from_u16(buf.get_u16());
+            buf.advance(6);
+            let queue_id = buf.get_u32();
+            Action::Enqueue { port, queue_id }
+        }
+        other => return Err(DecodeError::UnknownAction(other)),
+    })
+}
+
+fn actions_wire_len(actions: &[Action]) -> usize {
+    actions.iter().map(Action::wire_len).sum()
+}
+
+fn get_actions(buf: &mut impl Buf, mut len: usize) -> Result<Vec<Action>, DecodeError> {
+    let mut actions = Vec::new();
+    while len > 0 {
+        let before = buf.remaining();
+        let action = get_action(buf)?;
+        let consumed = before - buf.remaining();
+        if consumed > len {
+            return Err(DecodeError::BadLength);
+        }
+        len -= consumed;
+        actions.push(action);
+    }
+    Ok(actions)
+}
+
+/// Returns the encoded length of `msg` in bytes without encoding it.
+///
+/// Used by the simulator to account channel bandwidth cheaply.
+pub fn wire_len(msg: &OfMessage) -> usize {
+    OFP_HEADER_LEN
+        + match &msg.body {
+            OfBody::Hello | OfBody::FeaturesRequest | OfBody::BarrierRequest | OfBody::BarrierReply => 0,
+            OfBody::EchoRequest(data) | OfBody::EchoReply(data) => data.len(),
+            OfBody::Error(e) => 4 + e.data.len(),
+            OfBody::FeaturesReply(fr) => 24 + fr.ports.len() * OFP_PHY_PORT_LEN,
+            OfBody::PacketIn(pi) => 10 + pi.data.len(),
+            OfBody::PacketOut(po) => {
+                8 + actions_wire_len(&po.actions) + po.data.as_ref().map_or(0, Bytes::len)
+            }
+            OfBody::FlowMod(fm) => OFP_MATCH_LEN + 24 + actions_wire_len(&fm.actions),
+            OfBody::FlowRemoved(_) => 80,
+            OfBody::PortStatus(_) => 8 + OFP_PHY_PORT_LEN,
+            OfBody::StatsRequest(StatsRequest::Flow(_) | StatsRequest::Aggregate(_)) => {
+                4 + OFP_MATCH_LEN + 4
+            }
+            OfBody::StatsReply(StatsReply::Flow(stats)) => {
+                4 + stats
+                    .iter()
+                    .map(|s| 48 + OFP_MATCH_LEN + actions_wire_len(&s.actions))
+                    .sum::<usize>()
+            }
+            OfBody::StatsReply(StatsReply::Aggregate(_)) => 4 + 24,
+        }
+}
+
+/// Encodes a message to its binary representation.
+///
+/// # Examples
+///
+/// ```
+/// use ofproto::messages::{OfBody, OfMessage};
+/// use ofproto::types::Xid;
+/// use ofproto::wire::{decode, encode};
+///
+/// let msg = OfMessage::new(Xid(7), OfBody::Hello);
+/// let bytes = encode(&msg);
+/// assert_eq!(decode(&bytes).unwrap(), msg);
+/// ```
+pub fn encode(msg: &OfMessage) -> Bytes {
+    let total = wire_len(msg);
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_u8(OFP_VERSION);
+    buf.put_u8(msg.body.type_code());
+    buf.put_u16(total as u16);
+    buf.put_u32(msg.xid.0);
+    match &msg.body {
+        OfBody::Hello | OfBody::FeaturesRequest | OfBody::BarrierRequest | OfBody::BarrierReply => {}
+        OfBody::EchoRequest(data) | OfBody::EchoReply(data) => buf.put_slice(data),
+        OfBody::Error(e) => {
+            buf.put_u16(e.err_type);
+            buf.put_u16(e.code);
+            buf.put_slice(&e.data);
+        }
+        OfBody::FeaturesReply(fr) => {
+            buf.put_u64(fr.datapath_id.0);
+            buf.put_u32(fr.n_buffers);
+            buf.put_u8(fr.n_tables);
+            buf.put_slice(&[0u8; 3]); // pad
+            buf.put_u32(0); // capabilities
+            buf.put_u32(0); // actions bitmap
+            for port in &fr.ports {
+                buf.put_u16(port.to_u16());
+                buf.put_slice(&[0u8; OFP_PHY_PORT_LEN - 2]);
+            }
+        }
+        OfBody::PacketIn(pi) => {
+            buf.put_u32(BufferId::encode(pi.buffer_id));
+            buf.put_u16(pi.total_len);
+            buf.put_u16(pi.in_port.to_u16());
+            buf.put_u8(pi.reason.to_u8());
+            buf.put_u8(0); // pad
+            buf.put_slice(&pi.data);
+        }
+        OfBody::PacketOut(po) => {
+            buf.put_u32(BufferId::encode(po.buffer_id));
+            buf.put_u16(po.in_port.to_u16());
+            buf.put_u16(actions_wire_len(&po.actions) as u16);
+            for action in &po.actions {
+                put_action(&mut buf, action);
+            }
+            if let Some(data) = &po.data {
+                buf.put_slice(data);
+            }
+        }
+        OfBody::FlowMod(fm) => {
+            put_match(&mut buf, &fm.of_match);
+            buf.put_u64(fm.cookie);
+            buf.put_u16(fm.command.to_u16());
+            buf.put_u16(fm.idle_timeout);
+            buf.put_u16(fm.hard_timeout);
+            buf.put_u16(fm.priority);
+            buf.put_u32(BufferId::encode(fm.buffer_id));
+            buf.put_u16(fm.out_port.to_u16());
+            let mut flags = 0u16;
+            if fm.flags.send_flow_removed {
+                flags |= 1;
+            }
+            if fm.flags.check_overlap {
+                flags |= 2;
+            }
+            buf.put_u16(flags);
+            for action in &fm.actions {
+                put_action(&mut buf, action);
+            }
+        }
+        OfBody::FlowRemoved(fr) => {
+            put_match(&mut buf, &fr.of_match);
+            buf.put_u64(fr.cookie);
+            buf.put_u16(fr.priority);
+            buf.put_u8(match fr.reason {
+                FlowRemovedReason::IdleTimeout => 0,
+                FlowRemovedReason::HardTimeout => 1,
+                FlowRemovedReason::Delete => 2,
+            });
+            buf.put_u8(0); // pad
+            buf.put_u32(fr.duration_sec);
+            buf.put_u32(0); // duration_nsec
+            buf.put_u16(0); // idle_timeout
+            buf.put_u16(0); // pad
+            buf.put_u64(fr.packet_count);
+            buf.put_u64(fr.byte_count);
+        }
+        OfBody::PortStatus(ps) => {
+            buf.put_u8(match ps.reason {
+                PortStatusReason::Add => 0,
+                PortStatusReason::Delete => 1,
+                PortStatusReason::Modify => 2,
+            });
+            buf.put_slice(&[0u8; 7]); // pad
+            buf.put_u16(ps.port_no.to_u16());
+            buf.put_slice(&ps.hw_addr.octets());
+            // config (4) + state (4): bit 0 of state is link-down.
+            buf.put_u32(0);
+            buf.put_u32(if ps.link_up { 0 } else { 1 });
+            buf.put_slice(&[0u8; OFP_PHY_PORT_LEN - 2 - 6 - 8]);
+        }
+        OfBody::StatsRequest(req) => {
+            let (code, of_match) = match req {
+                StatsRequest::Flow(m) => (1u16, m),
+                StatsRequest::Aggregate(m) => (2u16, m),
+            };
+            buf.put_u16(code);
+            buf.put_u16(0); // flags
+            put_match(&mut buf, of_match);
+            buf.put_u8(0xff); // table_id: all
+            buf.put_u8(0); // pad
+            buf.put_u16(PortNo::None.to_u16());
+        }
+        OfBody::StatsReply(reply) => match reply {
+            StatsReply::Flow(stats) => {
+                buf.put_u16(1);
+                buf.put_u16(0);
+                for s in stats {
+                    let entry_len = 48 + OFP_MATCH_LEN + actions_wire_len(&s.actions);
+                    buf.put_u16(entry_len as u16);
+                    buf.put_u8(0); // table_id
+                    buf.put_u8(0); // pad
+                    put_match(&mut buf, &s.of_match);
+                    buf.put_u32(s.duration_sec);
+                    buf.put_u32(0); // duration_nsec
+                    buf.put_u16(s.priority);
+                    buf.put_u16(0); // idle_timeout
+                    buf.put_u16(0); // hard_timeout
+                    buf.put_slice(&[0u8; 6]); // pad
+                    buf.put_u64(s.cookie);
+                    buf.put_u64(s.packet_count);
+                    buf.put_u64(s.byte_count);
+                    for action in &s.actions {
+                        put_action(&mut buf, action);
+                    }
+                }
+            }
+            StatsReply::Aggregate(agg) => {
+                buf.put_u16(2);
+                buf.put_u16(0);
+                buf.put_u64(agg.packet_count);
+                buf.put_u64(agg.byte_count);
+                buf.put_u32(agg.flow_count);
+                buf.put_u32(0); // pad
+            }
+        },
+    }
+    debug_assert_eq!(buf.len(), total, "wire_len disagrees with encoder");
+    buf.freeze()
+}
+
+/// Decodes one message from `data`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the bytes are truncated, carry an
+/// unsupported version, or contain unknown type/command/reason codes.
+pub fn decode(data: &[u8]) -> Result<OfMessage, DecodeError> {
+    let mut buf = data;
+    ensure(&buf, OFP_HEADER_LEN)?;
+    let version = buf.get_u8();
+    if version != OFP_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let type_code = buf.get_u8();
+    let length = buf.get_u16() as usize;
+    if length < OFP_HEADER_LEN || data.len() < length {
+        return Err(DecodeError::Truncated);
+    }
+    let xid = Xid(buf.get_u32());
+    let body_len = length - OFP_HEADER_LEN;
+    // Restrict the view to the declared body so trailing bytes are ignored.
+    let mut buf = &buf[..body_len.min(buf.len())];
+    if buf.len() < body_len {
+        return Err(DecodeError::Truncated);
+    }
+    let body = match type_code {
+        0 => OfBody::Hello,
+        1 => {
+            ensure(&buf, 4)?;
+            let err_type = buf.get_u16();
+            let code = buf.get_u16();
+            OfBody::Error(ErrorMsg {
+                err_type,
+                code,
+                data: Bytes::copy_from_slice(buf),
+            })
+        }
+        2 => OfBody::EchoRequest(Bytes::copy_from_slice(buf)),
+        3 => OfBody::EchoReply(Bytes::copy_from_slice(buf)),
+        5 => OfBody::FeaturesRequest,
+        6 => {
+            ensure(&buf, 24)?;
+            let datapath_id = DatapathId(buf.get_u64());
+            let n_buffers = buf.get_u32();
+            let n_tables = buf.get_u8();
+            buf.advance(3 + 4 + 4);
+            let mut ports = Vec::new();
+            while buf.remaining() >= OFP_PHY_PORT_LEN {
+                ports.push(PortNo::from_u16(buf.get_u16()));
+                buf.advance(OFP_PHY_PORT_LEN - 2);
+            }
+            OfBody::FeaturesReply(FeaturesReply {
+                datapath_id,
+                n_buffers,
+                n_tables,
+                ports,
+            })
+        }
+        10 => {
+            ensure(&buf, 10)?;
+            let buffer_id = BufferId::decode(buf.get_u32());
+            let total_len = buf.get_u16();
+            let in_port = PortNo::from_u16(buf.get_u16());
+            let reason_raw = buf.get_u8();
+            let reason =
+                PacketInReason::from_u8(reason_raw).ok_or(DecodeError::UnknownReason(reason_raw))?;
+            buf.advance(1);
+            OfBody::PacketIn(PacketIn {
+                buffer_id,
+                total_len,
+                in_port,
+                reason,
+                data: Bytes::copy_from_slice(buf),
+            })
+        }
+        11 => {
+            let of_match = get_match(&mut buf)?;
+            ensure(&buf, 40)?;
+            let cookie = buf.get_u64();
+            let priority = buf.get_u16();
+            let reason_raw = buf.get_u8();
+            let reason = match reason_raw {
+                0 => FlowRemovedReason::IdleTimeout,
+                1 => FlowRemovedReason::HardTimeout,
+                2 => FlowRemovedReason::Delete,
+                other => return Err(DecodeError::UnknownReason(other)),
+            };
+            buf.advance(1);
+            let duration_sec = buf.get_u32();
+            buf.advance(4 + 2 + 2);
+            let packet_count = buf.get_u64();
+            let byte_count = buf.get_u64();
+            OfBody::FlowRemoved(FlowRemoved {
+                of_match,
+                cookie,
+                priority,
+                reason,
+                duration_sec,
+                packet_count,
+                byte_count,
+            })
+        }
+        12 => {
+            ensure(&buf, 8 + OFP_PHY_PORT_LEN)?;
+            let reason = match buf.get_u8() {
+                0 => PortStatusReason::Add,
+                1 => PortStatusReason::Delete,
+                2 => PortStatusReason::Modify,
+                other => return Err(DecodeError::UnknownReason(other)),
+            };
+            buf.advance(7);
+            let port_no = PortNo::from_u16(buf.get_u16());
+            let hw_addr = get_mac(&mut buf);
+            buf.advance(4);
+            let link_up = buf.get_u32() & 1 == 0;
+            buf.advance(OFP_PHY_PORT_LEN - 2 - 6 - 8);
+            OfBody::PortStatus(PortStatus {
+                reason,
+                port_no,
+                hw_addr,
+                link_up,
+            })
+        }
+        13 => {
+            ensure(&buf, 8)?;
+            let buffer_id = BufferId::decode(buf.get_u32());
+            let in_port = PortNo::from_u16(buf.get_u16());
+            let actions_len = buf.get_u16() as usize;
+            if actions_len > buf.remaining() {
+                return Err(DecodeError::BadLength);
+            }
+            let actions = get_actions(&mut buf, actions_len)?;
+            let data = if buf.has_remaining() {
+                Some(Bytes::copy_from_slice(buf))
+            } else {
+                None
+            };
+            OfBody::PacketOut(PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            })
+        }
+        14 => {
+            let of_match = get_match(&mut buf)?;
+            ensure(&buf, 24)?;
+            let cookie = buf.get_u64();
+            let command_raw = buf.get_u16();
+            let command = FlowModCommand::from_u16(command_raw)
+                .ok_or(DecodeError::UnknownCommand(command_raw))?;
+            let idle_timeout = buf.get_u16();
+            let hard_timeout = buf.get_u16();
+            let priority = buf.get_u16();
+            let buffer_id = BufferId::decode(buf.get_u32());
+            let out_port = PortNo::from_u16(buf.get_u16());
+            let flags_raw = buf.get_u16();
+            let remaining = buf.remaining();
+            let actions = get_actions(&mut buf, remaining)?;
+            OfBody::FlowMod(FlowMod {
+                command,
+                of_match,
+                cookie,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id,
+                out_port,
+                flags: FlowModFlags {
+                    send_flow_removed: flags_raw & 1 != 0,
+                    check_overlap: flags_raw & 2 != 0,
+                },
+                actions,
+            })
+        }
+        16 => {
+            ensure(&buf, 4)?;
+            let code = buf.get_u16();
+            buf.advance(2);
+            let of_match = get_match(&mut buf)?;
+            ensure(&buf, 4)?;
+            buf.advance(4);
+            match code {
+                1 => OfBody::StatsRequest(StatsRequest::Flow(of_match)),
+                2 => OfBody::StatsRequest(StatsRequest::Aggregate(of_match)),
+                other => return Err(DecodeError::UnknownStatsType(other)),
+            }
+        }
+        17 => {
+            ensure(&buf, 4)?;
+            let code = buf.get_u16();
+            buf.advance(2);
+            match code {
+                1 => {
+                    let mut stats = Vec::new();
+                    while buf.has_remaining() {
+                        ensure(&buf, 4)?;
+                        let entry_len = buf.get_u16() as usize;
+                        buf.advance(2);
+                        if entry_len < 4 {
+                            return Err(DecodeError::BadLength);
+                        }
+                        let of_match = get_match(&mut buf)?;
+                        ensure(&buf, 44)?;
+                        let duration_sec = buf.get_u32();
+                        buf.advance(4);
+                        let priority = buf.get_u16();
+                        buf.advance(2 + 2 + 6);
+                        let cookie = buf.get_u64();
+                        let packet_count = buf.get_u64();
+                        let byte_count = buf.get_u64();
+                        let actions_len = entry_len - 48 - OFP_MATCH_LEN;
+                        let actions = get_actions(&mut buf, actions_len)?;
+                        stats.push(FlowStats {
+                            of_match,
+                            priority,
+                            cookie,
+                            packet_count,
+                            byte_count,
+                            duration_sec,
+                            actions,
+                        });
+                    }
+                    OfBody::StatsReply(StatsReply::Flow(stats))
+                }
+                2 => {
+                    ensure(&buf, 24)?;
+                    let packet_count = buf.get_u64();
+                    let byte_count = buf.get_u64();
+                    let flow_count = buf.get_u32();
+                    buf.advance(4);
+                    OfBody::StatsReply(StatsReply::Aggregate(AggregateStats {
+                        packet_count,
+                        byte_count,
+                        flow_count,
+                    }))
+                }
+                other => return Err(DecodeError::UnknownStatsType(other)),
+            }
+        }
+        18 => OfBody::BarrierRequest,
+        19 => OfBody::BarrierReply,
+        other => return Err(DecodeError::UnknownType(other)),
+    };
+    Ok(OfMessage { xid, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_mod::FlowMod;
+    use crate::types::ethertype;
+
+    fn roundtrip(msg: OfMessage) {
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), wire_len(&msg), "wire_len mismatch for {msg:?}");
+        let decoded = decode(&bytes).expect("decode");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_simple_messages() {
+        roundtrip(OfMessage::new(Xid(1), OfBody::Hello));
+        roundtrip(OfMessage::new(Xid(2), OfBody::FeaturesRequest));
+        roundtrip(OfMessage::new(Xid(3), OfBody::BarrierRequest));
+        roundtrip(OfMessage::new(Xid(4), OfBody::BarrierReply));
+        roundtrip(OfMessage::new(
+            Xid(5),
+            OfBody::EchoRequest(Bytes::from_static(b"ping")),
+        ));
+        roundtrip(OfMessage::new(
+            Xid(6),
+            OfBody::EchoReply(Bytes::from_static(b"ping")),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_features_reply() {
+        roundtrip(OfMessage::new(
+            Xid(9),
+            OfBody::FeaturesReply(FeaturesReply {
+                datapath_id: DatapathId(0xabcdef),
+                n_buffers: 256,
+                n_tables: 1,
+                ports: vec![PortNo::Physical(1), PortNo::Physical(2), PortNo::Local],
+            }),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_packet_in_buffered_and_amplified() {
+        roundtrip(OfMessage::new(
+            Xid(10),
+            OfBody::PacketIn(PacketIn {
+                buffer_id: Some(BufferId(77)),
+                total_len: 1500,
+                in_port: PortNo::Physical(3),
+                reason: PacketInReason::NoMatch,
+                data: Bytes::from(vec![0xab; 128]),
+            }),
+        ));
+        roundtrip(OfMessage::new(
+            Xid(11),
+            OfBody::PacketIn(PacketIn {
+                buffer_id: None,
+                total_len: 1500,
+                in_port: PortNo::Physical(3),
+                reason: PacketInReason::Action,
+                data: Bytes::from(vec![0xcd; 1500]),
+            }),
+        ));
+    }
+
+    #[test]
+    fn amplified_packet_in_is_larger_on_wire() {
+        let buffered = OfMessage::new(
+            Xid(1),
+            OfBody::PacketIn(PacketIn {
+                buffer_id: Some(BufferId(1)),
+                total_len: 1500,
+                in_port: PortNo::Physical(1),
+                reason: PacketInReason::NoMatch,
+                data: Bytes::from(vec![0u8; 128]),
+            }),
+        );
+        let amplified = OfMessage::new(
+            Xid(1),
+            OfBody::PacketIn(PacketIn {
+                buffer_id: None,
+                total_len: 1500,
+                in_port: PortNo::Physical(1),
+                reason: PacketInReason::NoMatch,
+                data: Bytes::from(vec![0u8; 1500]),
+            }),
+        );
+        assert!(wire_len(&amplified) > wire_len(&buffered) * 5);
+    }
+
+    #[test]
+    fn roundtrip_packet_out() {
+        roundtrip(OfMessage::new(
+            Xid(12),
+            OfBody::PacketOut(PacketOut {
+                buffer_id: None,
+                in_port: PortNo::Physical(1),
+                actions: vec![Action::SetNwTos(4), Action::Output(PortNo::Flood)],
+                data: Some(Bytes::from_static(b"payload")),
+            }),
+        ));
+        roundtrip(OfMessage::new(
+            Xid(13),
+            OfBody::PacketOut(PacketOut {
+                buffer_id: Some(BufferId(5)),
+                in_port: PortNo::None,
+                actions: vec![],
+                data: None,
+            }),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_with_all_action_kinds() {
+        let of_match = OfMatch::any()
+            .with_in_port(2)
+            .with_dl_type(ethertype::IPV4)
+            .with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let fm = FlowMod::add(
+            of_match,
+            vec![
+                Action::Output(PortNo::Physical(1)),
+                Action::SetVlanVid(5),
+                Action::SetVlanPcp(3),
+                Action::StripVlan,
+                Action::SetDlSrc(MacAddr::from_u64(0xa)),
+                Action::SetDlDst(MacAddr::from_u64(0xb)),
+                Action::SetNwSrc(Ipv4Addr::new(1, 2, 3, 4)),
+                Action::SetNwDst(Ipv4Addr::new(5, 6, 7, 8)),
+                Action::SetNwTos(6),
+                Action::SetTpSrc(80),
+                Action::SetTpDst(443),
+                Action::Enqueue {
+                    port: PortNo::Physical(9),
+                    queue_id: 2,
+                },
+            ],
+        )
+        .with_priority(17)
+        .with_idle_timeout(10)
+        .with_cookie(0xfeed)
+        .with_send_flow_removed();
+        roundtrip(OfMessage::new(Xid(14), OfBody::FlowMod(fm)));
+    }
+
+    #[test]
+    fn roundtrip_flow_removed() {
+        roundtrip(OfMessage::new(
+            Xid(15),
+            OfBody::FlowRemoved(FlowRemoved {
+                of_match: OfMatch::any().with_in_port(1),
+                cookie: 9,
+                priority: 100,
+                reason: FlowRemovedReason::IdleTimeout,
+                duration_sec: 12,
+                packet_count: 44,
+                byte_count: 4444,
+            }),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_port_status() {
+        for (reason, link_up) in [
+            (PortStatusReason::Add, true),
+            (PortStatusReason::Delete, false),
+            (PortStatusReason::Modify, true),
+        ] {
+            roundtrip(OfMessage::new(
+                Xid(16),
+                OfBody::PortStatus(PortStatus {
+                    reason,
+                    port_no: PortNo::Physical(4),
+                    hw_addr: MacAddr::from_u64(0x42),
+                    link_up,
+                }),
+            ));
+        }
+    }
+
+    #[test]
+    fn roundtrip_stats() {
+        roundtrip(OfMessage::new(
+            Xid(17),
+            OfBody::StatsRequest(StatsRequest::Flow(OfMatch::any())),
+        ));
+        roundtrip(OfMessage::new(
+            Xid(18),
+            OfBody::StatsRequest(StatsRequest::Aggregate(OfMatch::any().with_in_port(1))),
+        ));
+        roundtrip(OfMessage::new(
+            Xid(19),
+            OfBody::StatsReply(StatsReply::Aggregate(AggregateStats {
+                packet_count: 10,
+                byte_count: 1000,
+                flow_count: 3,
+            })),
+        ));
+        roundtrip(OfMessage::new(
+            Xid(20),
+            OfBody::StatsReply(StatsReply::Flow(vec![
+                FlowStats {
+                    of_match: OfMatch::any().with_nw_proto(17),
+                    priority: 5,
+                    cookie: 1,
+                    packet_count: 2,
+                    byte_count: 200,
+                    duration_sec: 30,
+                    actions: vec![Action::Output(PortNo::Physical(2))],
+                },
+                FlowStats {
+                    of_match: OfMatch::any(),
+                    priority: 0,
+                    cookie: 0,
+                    packet_count: 0,
+                    byte_count: 0,
+                    duration_sec: 0,
+                    actions: vec![],
+                },
+            ])),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_error_message() {
+        roundtrip(OfMessage::new(
+            Xid(30),
+            OfBody::Error(crate::messages::ErrorMsg {
+                err_type: crate::messages::ErrorMsg::ET_FLOW_MOD_FAILED,
+                code: crate::messages::ErrorMsg::FMFC_ALL_TABLES_FULL,
+                data: Bytes::from_static(&[0u8; 64]),
+            }),
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let mut bytes = encode(&OfMessage::new(Xid(1), OfBody::Hello)).to_vec();
+        bytes[0] = 0x04;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadVersion(0x04)));
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let bytes = encode(&OfMessage::new(
+            Xid(1),
+            OfBody::FlowMod(FlowMod::add(OfMatch::any(), vec![])),
+        ));
+        for cut in [0, 4, 7, bytes.len() - 1] {
+            assert_eq!(decode(&bytes[..cut]), Err(DecodeError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        let mut bytes = encode(&OfMessage::new(Xid(1), OfBody::Hello)).to_vec();
+        bytes[1] = 99;
+        assert_eq!(decode(&bytes), Err(DecodeError::UnknownType(99)));
+    }
+
+    #[test]
+    fn decode_ignores_trailing_garbage() {
+        let msg = OfMessage::new(Xid(21), OfBody::Hello);
+        let mut bytes = encode(&msg).to_vec();
+        bytes.extend_from_slice(&[0xff; 16]);
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::flow_mod::FlowMod;
+    use proptest::prelude::*;
+
+    fn arb_mac() -> impl Strategy<Value = MacAddr> {
+        any::<[u8; 6]>().prop_map(MacAddr)
+    }
+
+    fn arb_port() -> impl Strategy<Value = PortNo> {
+        prop_oneof![
+            (1u16..0xff00).prop_map(PortNo::Physical),
+            Just(PortNo::Flood),
+            Just(PortNo::Controller),
+            Just(PortNo::All),
+            Just(PortNo::InPort),
+            Just(PortNo::Local),
+        ]
+    }
+
+    fn arb_action() -> impl Strategy<Value = Action> {
+        prop_oneof![
+            arb_port().prop_map(Action::Output),
+            any::<u16>().prop_map(Action::SetVlanVid),
+            (0u8..8).prop_map(Action::SetVlanPcp),
+            Just(Action::StripVlan),
+            arb_mac().prop_map(Action::SetDlSrc),
+            arb_mac().prop_map(Action::SetDlDst),
+            any::<u32>().prop_map(|ip| Action::SetNwSrc(Ipv4Addr::from(ip))),
+            any::<u32>().prop_map(|ip| Action::SetNwDst(Ipv4Addr::from(ip))),
+            any::<u8>().prop_map(Action::SetNwTos),
+            any::<u16>().prop_map(Action::SetTpSrc),
+            any::<u16>().prop_map(Action::SetTpDst),
+            (arb_port(), any::<u32>()).prop_map(|(port, queue_id)| Action::Enqueue { port, queue_id }),
+        ]
+    }
+
+    fn arb_match() -> impl Strategy<Value = OfMatch> {
+        (
+            any::<u16>(),
+            arb_mac(),
+            arb_mac(),
+            any::<u16>(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            0u32..=32,
+            0u32..=32,
+            any::<u16>(),
+            any::<u16>(),
+            any::<u8>(),
+        )
+            .prop_map(
+                |(in_port, src, dst, dl_type, proto, nw_src, nw_dst, sbits, dbits, tp_src, tp_dst, tos)| {
+                    OfMatch::any()
+                        .with_in_port(in_port)
+                        .with_dl_src(src)
+                        .with_dl_dst(dst)
+                        .with_dl_type(dl_type)
+                        .with_nw_proto(proto)
+                        .with_nw_src_prefix(Ipv4Addr::from(nw_src), sbits)
+                        .with_nw_dst_prefix(Ipv4Addr::from(nw_dst), dbits)
+                        .with_tp_src(tp_src)
+                        .with_tp_dst(tp_dst)
+                        .with_nw_tos(tos)
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn flow_mod_roundtrip(
+            of_match in arb_match(),
+            actions in proptest::collection::vec(arb_action(), 0..8),
+            priority in any::<u16>(),
+            idle in any::<u16>(),
+            hard in any::<u16>(),
+            cookie in any::<u64>(),
+        ) {
+            let fm = FlowMod::add(of_match, actions)
+                .with_priority(priority)
+                .with_idle_timeout(idle)
+                .with_hard_timeout(hard)
+                .with_cookie(cookie);
+            let msg = OfMessage::new(Xid(1), OfBody::FlowMod(fm));
+            let bytes = encode(&msg);
+            prop_assert_eq!(bytes.len(), wire_len(&msg));
+            prop_assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn packet_in_roundtrip(
+            buffered in any::<bool>(),
+            total_len in any::<u16>(),
+            port in 1u16..0xff00,
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let msg = OfMessage::new(
+                Xid(0),
+                OfBody::PacketIn(PacketIn {
+                    buffer_id: if buffered { Some(BufferId(9)) } else { None },
+                    total_len,
+                    in_port: PortNo::Physical(port),
+                    reason: PacketInReason::NoMatch,
+                    data: Bytes::from(data),
+                }),
+            );
+            prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+
+        #[test]
+        fn decode_never_panics_on_random_bytes(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&data);
+        }
+
+        #[test]
+        fn match_semantics_prefix_consistency(
+            addr in any::<u32>(),
+            probe in any::<u32>(),
+            prefix_len in 0u32..=32,
+        ) {
+            // If the probe shares the top prefix_len bits, the match must hit.
+            let m = OfMatch::any().with_nw_src_prefix(Ipv4Addr::from(addr), prefix_len);
+            let mut keys = crate::flow_match::FlowKeys::default();
+            let mask = if prefix_len == 0 { 0 } else { u32::MAX << (32 - prefix_len) };
+            keys.nw_src = Ipv4Addr::from((addr & mask) | (probe & !mask));
+            prop_assert!(m.matches(&keys));
+        }
+    }
+}

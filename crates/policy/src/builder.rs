@@ -1,0 +1,158 @@
+//! Ergonomic constructors for writing handler programs in Rust.
+//!
+//! ```
+//! use policy::builder::*;
+//!
+//! // (pt.dl_type == 0x0806) — "is this an ARP packet?"
+//! let cond = eq(field(Field::DlType), constant(0x0806u64));
+//! assert_eq!(cond.to_string(), "(pt.dl_type == 2054)");
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use crate::expr::{Expr, Field};
+pub use crate::stmt::{Decision, Stmt};
+use crate::value::Value;
+
+/// A constant expression from anything convertible to [`Value`].
+pub fn constant(v: impl Into<Value>) -> Expr {
+    Expr::Const(v.into())
+}
+
+/// A packet field read.
+pub fn field(f: Field) -> Expr {
+    Expr::Field(f)
+}
+
+/// A global variable read.
+pub fn global(name: &str) -> Expr {
+    Expr::Global(name.to_owned())
+}
+
+/// Equality.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    Expr::Eq(Box::new(a), Box::new(b))
+}
+
+/// Conjunction.
+pub fn and(a: Expr, b: Expr) -> Expr {
+    Expr::And(Box::new(a), Box::new(b))
+}
+
+/// Disjunction.
+pub fn or(a: Expr, b: Expr) -> Expr {
+    Expr::Or(Box::new(a), Box::new(b))
+}
+
+/// Negation.
+pub fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+
+/// Map membership test.
+pub fn map_contains(map: Expr, key: Expr) -> Expr {
+    Expr::MapContains {
+        map: Box::new(map),
+        key: Box::new(key),
+    }
+}
+
+/// Map lookup.
+pub fn map_get(map: Expr, key: Expr) -> Expr {
+    Expr::MapGet {
+        map: Box::new(map),
+        key: Box::new(key),
+    }
+}
+
+/// Set membership test.
+pub fn set_contains(set: Expr, item: Expr) -> Expr {
+    Expr::SetContains {
+        set: Box::new(set),
+        item: Box::new(item),
+    }
+}
+
+/// Highest-order-bit test on an IPv4 address.
+pub fn high_bit(e: Expr) -> Expr {
+    Expr::HighBit(Box::new(e))
+}
+
+/// Broadcast-MAC test.
+pub fn is_broadcast(e: Expr) -> Expr {
+    Expr::IsBroadcast(Box::new(e))
+}
+
+/// /`prefix_len` network of an IPv4 address.
+pub fn prefix(e: Expr, prefix_len: u32) -> Expr {
+    Expr::Prefix(Box::new(e), prefix_len)
+}
+
+/// Tuple of sub-expressions.
+pub fn tuple(items: impl IntoIterator<Item = Expr>) -> Expr {
+    Expr::Tuple(items.into_iter().collect())
+}
+
+/// A map value from key/value pairs.
+pub fn map_value(entries: impl IntoIterator<Item = (Value, Value)>) -> Value {
+    Value::Map(entries.into_iter().collect::<BTreeMap<_, _>>())
+}
+
+/// A set value from items.
+pub fn set_value(items: impl IntoIterator<Item = Value>) -> Value {
+    Value::Set(items.into_iter().collect::<BTreeSet<_>>())
+}
+
+/// An `if cond { then } else { els }` statement.
+pub fn if_else(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then, els }
+}
+
+/// An `if cond { then }` statement with an empty else branch.
+pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then,
+        els: Vec::new(),
+    }
+}
+
+/// A learning mutation: `globals[map][key] = value`.
+pub fn learn(map: &str, key: Expr, value: Expr) -> Stmt {
+    Stmt::Learn {
+        map: map.to_owned(),
+        key,
+        value,
+    }
+}
+
+/// A terminal decision.
+pub fn emit(decision: Decision) -> Stmt {
+    Stmt::Emit(decision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let stmt = if_else(
+            and(
+                eq(field(Field::DlType), constant(0x0800u64)),
+                not(set_contains(global("blocked"), field(Field::NwSrc))),
+            ),
+            vec![emit(Decision::PacketOutFlood)],
+            vec![emit(Decision::Drop)],
+        );
+        assert!(stmt.node_count() > 5);
+    }
+
+    #[test]
+    fn container_builders() {
+        let m = map_value([(Value::Int(1), Value::Int(2))]);
+        assert_eq!(m.container_len(), 1);
+        let s = set_value([Value::Int(1), Value::Int(1), Value::Int(2)]);
+        assert_eq!(s.container_len(), 2, "sets dedup");
+    }
+}

@@ -1,0 +1,579 @@
+//! Expressions of the policy IR: packet-field reads, global-variable reads
+//! and the operators controller applications branch on.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use ofproto::flow_match::FlowKeys;
+use serde::{Deserialize, Serialize};
+
+use crate::env::Env;
+use crate::value::Value;
+
+/// A packet header field readable by a handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Field {
+    /// Ingress port.
+    InPort,
+    /// Ethernet source.
+    DlSrc,
+    /// Ethernet destination.
+    DlDst,
+    /// EtherType.
+    DlType,
+    /// VLAN id.
+    DlVlan,
+    /// IPv4 source.
+    NwSrc,
+    /// IPv4 destination.
+    NwDst,
+    /// IP protocol.
+    NwProto,
+    /// IP TOS byte.
+    NwTos,
+    /// Transport source port.
+    TpSrc,
+    /// Transport destination port.
+    TpDst,
+}
+
+impl Field {
+    /// All fields, in a fixed order.
+    pub const ALL: [Field; 11] = [
+        Field::InPort,
+        Field::DlSrc,
+        Field::DlDst,
+        Field::DlType,
+        Field::DlVlan,
+        Field::NwSrc,
+        Field::NwDst,
+        Field::NwProto,
+        Field::NwTos,
+        Field::TpSrc,
+        Field::TpDst,
+    ];
+
+    /// Reads this field from concrete packet keys.
+    pub fn read(self, keys: &FlowKeys) -> Value {
+        match self {
+            Field::InPort => Value::Int(u64::from(keys.in_port)),
+            Field::DlSrc => Value::Mac(keys.dl_src),
+            Field::DlDst => Value::Mac(keys.dl_dst),
+            Field::DlType => Value::Int(u64::from(keys.dl_type)),
+            Field::DlVlan => Value::Int(u64::from(keys.dl_vlan)),
+            Field::NwSrc => Value::Ip(keys.nw_src),
+            Field::NwDst => Value::Ip(keys.nw_dst),
+            Field::NwProto => Value::Int(u64::from(keys.nw_proto)),
+            Field::NwTos => Value::Int(u64::from(keys.nw_tos)),
+            Field::TpSrc => Value::Int(u64::from(keys.tp_src)),
+            Field::TpDst => Value::Int(u64::from(keys.tp_dst)),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Field::InPort => "in_port",
+            Field::DlSrc => "dl_src",
+            Field::DlDst => "dl_dst",
+            Field::DlType => "dl_type",
+            Field::DlVlan => "dl_vlan",
+            Field::NwSrc => "nw_src",
+            Field::NwDst => "nw_dst",
+            Field::NwProto => "nw_proto",
+            Field::NwTos => "nw_tos",
+            Field::TpSrc => "tp_src",
+            Field::TpDst => "tp_dst",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An expression over packet fields, global variables and constants.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant value.
+    Const(Value),
+    /// A packet field read (symbolic input of the handler).
+    Field(Field),
+    /// A global (state-sensitive) variable read.
+    Global(String),
+    /// Equality.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Whether `map` contains `key`.
+    MapContains {
+        /// The map expression.
+        map: Box<Expr>,
+        /// The key expression.
+        key: Box<Expr>,
+    },
+    /// Lookup of `key` in `map`; [`Value::None`] when absent.
+    MapGet {
+        /// The map expression.
+        map: Box<Expr>,
+        /// The key expression.
+        key: Box<Expr>,
+    },
+    /// Whether `set` contains `item`.
+    SetContains {
+        /// The set expression.
+        set: Box<Expr>,
+        /// The item expression.
+        item: Box<Expr>,
+    },
+    /// Whether the highest-order bit of an IPv4 address is set — the
+    /// ip_balancer's split predicate (paper Table I).
+    HighBit(Box<Expr>),
+    /// Whether a MAC address is the broadcast address.
+    IsBroadcast(Box<Expr>),
+    /// The enclosing /`prefix_len` network of an IPv4 address — route tables
+    /// key on this.
+    Prefix(Box<Expr>, u32),
+    /// A tuple of sub-expressions (composite keys).
+    Tuple(Vec<Expr>),
+}
+
+/// Error produced while evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced global variable is not defined.
+    UnknownGlobal(String),
+    /// A value was used at the wrong type.
+    Type(crate::value::TypeError),
+    /// A symbolic field read happened during an evaluation that required a
+    /// concrete value (used by the symbolic engine's partial evaluator).
+    SymbolicField(Field),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownGlobal(name) => write!(f, "unknown global variable `{name}`"),
+            EvalError::Type(e) => write!(f, "{e}"),
+            EvalError::SymbolicField(field) => write!(f, "field `{field}` is symbolic"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<crate::value::TypeError> for EvalError {
+    fn from(e: crate::value::TypeError) -> EvalError {
+        EvalError::Type(e)
+    }
+}
+
+/// Masks an IPv4 address to its top `prefix_len` bits.
+pub fn mask_ip(ip: Ipv4Addr, prefix_len: u32) -> Ipv4Addr {
+    if prefix_len == 0 {
+        return Ipv4Addr::UNSPECIFIED;
+    }
+    let mask = u32::MAX << (32 - prefix_len.min(32));
+    Ipv4Addr::from(u32::from(ip) & mask)
+}
+
+impl Expr {
+    /// Evaluates against concrete packet keys and an environment.
+    ///
+    /// `nodes` counts evaluated AST nodes (the interpreter's cost model).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError`] on unknown globals or type mismatches.
+    pub fn eval(&self, keys: &FlowKeys, env: &Env, nodes: &mut u64) -> Result<Value, EvalError> {
+        *nodes += 1;
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Field(f) => Ok(f.read(keys)),
+            Expr::Global(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnknownGlobal(name.clone())),
+            Expr::Eq(a, b) => Ok(Value::Bool(
+                a.eval(keys, env, nodes)? == b.eval(keys, env, nodes)?,
+            )),
+            Expr::And(a, b) => {
+                // Short-circuit like handler code does.
+                if a.eval(keys, env, nodes)?.as_bool()? {
+                    Ok(Value::Bool(b.eval(keys, env, nodes)?.as_bool()?))
+                } else {
+                    Ok(Value::Bool(false))
+                }
+            }
+            Expr::Or(a, b) => {
+                if a.eval(keys, env, nodes)?.as_bool()? {
+                    Ok(Value::Bool(true))
+                } else {
+                    Ok(Value::Bool(b.eval(keys, env, nodes)?.as_bool()?))
+                }
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.eval(keys, env, nodes)?.as_bool()?)),
+            Expr::MapContains { map, key } => {
+                let map = map.eval(keys, env, nodes)?;
+                let key = key.eval(keys, env, nodes)?;
+                Ok(Value::Bool(map.as_map()?.contains_key(&key)))
+            }
+            Expr::MapGet { map, key } => {
+                let map = map.eval(keys, env, nodes)?;
+                let key = key.eval(keys, env, nodes)?;
+                Ok(map.as_map()?.get(&key).cloned().unwrap_or(Value::None))
+            }
+            Expr::SetContains { set, item } => {
+                let set = set.eval(keys, env, nodes)?;
+                let item = item.eval(keys, env, nodes)?;
+                Ok(Value::Bool(set.as_set()?.contains(&item)))
+            }
+            Expr::HighBit(e) => {
+                let ip = e.eval(keys, env, nodes)?.as_ip()?;
+                Ok(Value::Bool(u32::from(ip) & 0x8000_0000 != 0))
+            }
+            Expr::IsBroadcast(e) => {
+                let mac = e.eval(keys, env, nodes)?.as_mac()?;
+                Ok(Value::Bool(mac.is_broadcast()))
+            }
+            Expr::Prefix(e, prefix_len) => {
+                let ip = e.eval(keys, env, nodes)?.as_ip()?;
+                Ok(Value::Ip(mask_ip(ip, *prefix_len)))
+            }
+            Expr::Tuple(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(item.eval(keys, env, nodes)?);
+                }
+                Ok(Value::Tuple(out))
+            }
+        }
+    }
+
+    /// Partially evaluates: substitutes globals from `env`, folds constant
+    /// sub-expressions, and leaves field reads symbolic.
+    ///
+    /// This is the runtime half of the paper's hybrid approach: after the
+    /// application tracker reads current global values, path conditions
+    /// contain only symbolic packet fields.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnknownGlobal`] when a global is missing from `env` and
+    /// [`EvalError::Type`] when constant folding hits a type error.
+    pub fn substitute(&self, env: &Env) -> Result<Expr, EvalError> {
+        let folded = match self {
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Field(f) => Expr::Field(*f),
+            Expr::Global(name) => Expr::Const(
+                env.get(name)
+                    .cloned()
+                    .ok_or_else(|| EvalError::UnknownGlobal(name.clone()))?,
+            ),
+            Expr::Eq(a, b) => Expr::Eq(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?)),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
+            Expr::Or(a, b) => Expr::Or(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?)),
+            Expr::Not(e) => Expr::Not(Box::new(e.substitute(env)?)),
+            Expr::MapContains { map, key } => Expr::MapContains {
+                map: Box::new(map.substitute(env)?),
+                key: Box::new(key.substitute(env)?),
+            },
+            Expr::MapGet { map, key } => Expr::MapGet {
+                map: Box::new(map.substitute(env)?),
+                key: Box::new(key.substitute(env)?),
+            },
+            Expr::SetContains { set, item } => Expr::SetContains {
+                set: Box::new(set.substitute(env)?),
+                item: Box::new(item.substitute(env)?),
+            },
+            Expr::HighBit(e) => Expr::HighBit(Box::new(e.substitute(env)?)),
+            Expr::IsBroadcast(e) => Expr::IsBroadcast(Box::new(e.substitute(env)?)),
+            Expr::Prefix(e, n) => Expr::Prefix(Box::new(e.substitute(env)?), *n),
+            Expr::Tuple(items) => Expr::Tuple(
+                items
+                    .iter()
+                    .map(|i| i.substitute(env))
+                    .collect::<Result<_, _>>()?,
+            ),
+        };
+        // Fold when fully concrete.
+        if folded.is_concrete() {
+            let empty = Env::new();
+            let keys = FlowKeys::default();
+            let mut nodes = 0;
+            match folded.eval(&keys, &empty, &mut nodes) {
+                Ok(v) => return Ok(Expr::Const(v)),
+                Err(EvalError::Type(e)) => return Err(EvalError::Type(e)),
+                Err(_) => {}
+            }
+        }
+        Ok(folded)
+    }
+
+    /// Whether the expression reads no packet field and no global.
+    pub fn is_concrete(&self) -> bool {
+        self.free_fields().is_empty() && !self.reads_globals()
+    }
+
+    /// The set of packet fields this expression reads.
+    pub fn free_fields(&self) -> Vec<Field> {
+        let mut fields = Vec::new();
+        self.collect_fields(&mut fields);
+        fields.sort();
+        fields.dedup();
+        fields
+    }
+
+    fn collect_fields(&self, out: &mut Vec<Field>) {
+        match self {
+            Expr::Const(_) | Expr::Global(_) => {}
+            Expr::Field(f) => out.push(*f),
+            Expr::Eq(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_fields(out);
+                b.collect_fields(out);
+            }
+            Expr::Not(e) | Expr::HighBit(e) | Expr::IsBroadcast(e) | Expr::Prefix(e, _) => {
+                e.collect_fields(out)
+            }
+            Expr::MapContains { map, key } | Expr::MapGet { map, key } => {
+                map.collect_fields(out);
+                key.collect_fields(out);
+            }
+            Expr::SetContains { set, item } => {
+                set.collect_fields(out);
+                item.collect_fields(out);
+            }
+            Expr::Tuple(items) => {
+                for item in items {
+                    item.collect_fields(out);
+                }
+            }
+        }
+    }
+
+    /// The names of global variables this expression reads.
+    pub fn globals(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.collect_globals(&mut names);
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    fn collect_globals(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Field(_) => {}
+            Expr::Global(name) => out.push(name.clone()),
+            Expr::Eq(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_globals(out);
+                b.collect_globals(out);
+            }
+            Expr::Not(e) | Expr::HighBit(e) | Expr::IsBroadcast(e) | Expr::Prefix(e, _) => {
+                e.collect_globals(out)
+            }
+            Expr::MapContains { map, key } | Expr::MapGet { map, key } => {
+                map.collect_globals(out);
+                key.collect_globals(out);
+            }
+            Expr::SetContains { set, item } => {
+                set.collect_globals(out);
+                item.collect_globals(out);
+            }
+            Expr::Tuple(items) => {
+                for item in items {
+                    item.collect_globals(out);
+                }
+            }
+        }
+    }
+
+    fn reads_globals(&self) -> bool {
+        !self.globals().is_empty()
+    }
+
+    /// Number of AST nodes (static complexity measure).
+    pub fn node_count(&self) -> u64 {
+        1 + match self {
+            Expr::Const(_) | Expr::Field(_) | Expr::Global(_) => 0,
+            Expr::Eq(a, b) | Expr::And(a, b) | Expr::Or(a, b) => a.node_count() + b.node_count(),
+            Expr::Not(e) | Expr::HighBit(e) | Expr::IsBroadcast(e) | Expr::Prefix(e, _) => {
+                e.node_count()
+            }
+            Expr::MapContains { map, key } | Expr::MapGet { map, key } => {
+                map.node_count() + key.node_count()
+            }
+            Expr::SetContains { set, item } => set.node_count() + item.node_count(),
+            Expr::Tuple(items) => items.iter().map(Expr::node_count).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Field(field) => write!(f, "pt.{field}"),
+            Expr::Global(name) => write!(f, "${name}"),
+            Expr::Eq(a, b) => write!(f, "({a} == {b})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::Not(e) => write!(f, "!{e}"),
+            Expr::MapContains { map, key } => write!(f, "({key} in {map})"),
+            Expr::MapGet { map, key } => write!(f, "{map}[{key}]"),
+            Expr::SetContains { set, item } => write!(f, "({item} in {set})"),
+            Expr::HighBit(e) => write!(f, "highbit({e})"),
+            Expr::IsBroadcast(e) => write!(f, "is_broadcast({e})"),
+            Expr::Prefix(e, n) => write!(f, "prefix{n}({e})"),
+            Expr::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use ofproto::types::MacAddr;
+
+    fn keys() -> FlowKeys {
+        FlowKeys {
+            in_port: 3,
+            dl_src: MacAddr::from_u64(0xa),
+            dl_dst: MacAddr::from_u64(0xb),
+            dl_type: 0x0800,
+            nw_src: Ipv4Addr::new(200, 0, 0, 1),
+            nw_dst: Ipv4Addr::new(10, 1, 2, 3),
+            nw_proto: 17,
+            tp_dst: 53,
+            ..FlowKeys::default()
+        }
+    }
+
+    fn eval(e: &Expr, env: &Env) -> Value {
+        let mut nodes = 0;
+        e.eval(&keys(), env, &mut nodes).unwrap()
+    }
+
+    #[test]
+    fn field_reads() {
+        let env = Env::new();
+        assert_eq!(eval(&field(Field::InPort), &env), Value::Int(3));
+        assert_eq!(eval(&field(Field::DlSrc), &env), Value::Mac(MacAddr::from_u64(0xa)));
+        assert_eq!(eval(&field(Field::NwProto), &env), Value::Int(17));
+    }
+
+    #[test]
+    fn logic_short_circuits() {
+        let env = Env::new();
+        // false && <type error> must not evaluate the right side.
+        let e = and(constant(false), constant(Value::Int(3)));
+        assert_eq!(eval(&e, &env), Value::Bool(false));
+        let e = or(constant(true), constant(Value::Int(3)));
+        assert_eq!(eval(&e, &env), Value::Bool(true));
+        assert_eq!(eval(&not(constant(false)), &env), Value::Bool(true));
+    }
+
+    #[test]
+    fn map_operations() {
+        let mut env = Env::new();
+        env.set(
+            "macToPort",
+            map_value([(Value::Mac(MacAddr::from_u64(0xb)), Value::Int(1))]),
+        );
+        let contains = map_contains(global("macToPort"), field(Field::DlDst));
+        assert_eq!(eval(&contains, &env), Value::Bool(true));
+        let get = map_get(global("macToPort"), field(Field::DlDst));
+        assert_eq!(eval(&get, &env), Value::Int(1));
+        let miss = map_get(global("macToPort"), field(Field::DlSrc));
+        assert_eq!(eval(&miss, &env), Value::None);
+    }
+
+    #[test]
+    fn high_bit_and_broadcast() {
+        let env = Env::new();
+        assert_eq!(eval(&high_bit(field(Field::NwSrc)), &env), Value::Bool(true));
+        assert_eq!(eval(&high_bit(field(Field::NwDst)), &env), Value::Bool(false));
+        assert_eq!(
+            eval(&is_broadcast(field(Field::DlDst)), &env),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn prefix_masks() {
+        let env = Env::new();
+        assert_eq!(
+            eval(&prefix(field(Field::NwDst), 24), &env),
+            Value::Ip(Ipv4Addr::new(10, 1, 2, 0))
+        );
+        assert_eq!(mask_ip(Ipv4Addr::new(255, 255, 255, 255), 0), Ipv4Addr::UNSPECIFIED);
+        assert_eq!(
+            mask_ip(Ipv4Addr::new(1, 2, 3, 4), 32),
+            Ipv4Addr::new(1, 2, 3, 4)
+        );
+    }
+
+    #[test]
+    fn unknown_global_errors() {
+        let env = Env::new();
+        let mut nodes = 0;
+        let err = global("nope").eval(&keys(), &env, &mut nodes).unwrap_err();
+        assert_eq!(err, EvalError::UnknownGlobal("nope".into()));
+    }
+
+    #[test]
+    fn substitute_replaces_globals_and_folds() {
+        let mut env = Env::new();
+        env.set("vip", Value::Ip(Ipv4Addr::new(10, 1, 2, 3)));
+        let e = eq(field(Field::NwDst), global("vip"));
+        let sub = e.substitute(&env).unwrap();
+        assert_eq!(
+            sub,
+            eq(field(Field::NwDst), constant(Value::Ip(Ipv4Addr::new(10, 1, 2, 3))))
+        );
+        // Fully concrete expressions fold to constants.
+        let e = eq(global("vip"), constant(Value::Ip(Ipv4Addr::new(10, 1, 2, 3))));
+        assert_eq!(e.substitute(&env).unwrap(), constant(true));
+    }
+
+    #[test]
+    fn free_fields_and_globals_collected() {
+        let e = and(
+            eq(field(Field::DlType), constant(Value::Int(0x800))),
+            map_contains(global("routes"), prefix(field(Field::NwDst), 24)),
+        );
+        assert_eq!(e.free_fields(), vec![Field::DlType, Field::NwDst]);
+        assert_eq!(e.globals(), vec!["routes".to_owned()]);
+        assert!(!e.is_concrete());
+        assert!(constant(Value::Int(3)).is_concrete());
+    }
+
+    #[test]
+    fn node_count_positive_and_monotone() {
+        let small = field(Field::DlDst);
+        let big = and(
+            is_broadcast(field(Field::DlDst)),
+            map_contains(global("m"), field(Field::DlDst)),
+        );
+        assert!(big.node_count() > small.node_count());
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = eq(field(Field::DlDst), constant(Value::Mac(MacAddr::BROADCAST)));
+        assert_eq!(e.to_string(), "(pt.dl_dst == ff:ff:ff:ff:ff:ff)");
+    }
+}

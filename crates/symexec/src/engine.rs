@@ -1,0 +1,238 @@
+//! Offline symbolic execution (the paper's Algorithm 1).
+//!
+//! Both the handler's input (packet fields) and its global variables are
+//! symbolized; the engine explores every branch of the handler body and
+//! records each path's accumulated conditions and terminal decision.
+
+use policy::stmt::Stmt;
+use policy::Program;
+
+use crate::path::{Constraint, Path, PathConditions};
+
+/// Upper bound on explored paths; real handlers have a handful, so hitting
+/// this indicates a pathological program.
+pub const MAX_PATHS: usize = 4096;
+
+/// Runs symbolic execution over `program`'s handler body, collecting all
+/// path conditions (Algorithm 1).
+///
+/// Exploration forks at every `If`; `Learn`/`SetGlobal` statements record
+/// write effects but (like the paper's engine) do not fold writes back into
+/// the symbolic state — handler decisions in reactive controllers depend on
+/// the pre-state of each invocation.
+pub fn generate_path_conditions(program: &Program) -> PathConditions {
+    let mut paths = Vec::new();
+    explore(
+        &program.body,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut paths,
+        &mut Vec::new(),
+    );
+    PathConditions {
+        app: program.name.clone(),
+        paths,
+    }
+}
+
+/// Explores `stmts`; `rest_stack` holds the statement slices to execute
+/// after the current block completes (continuations of enclosing blocks).
+fn explore(
+    stmts: &[Stmt],
+    constraints: &mut Vec<Constraint>,
+    writes: &mut Vec<String>,
+    paths: &mut Vec<Path>,
+    rest_stack: &mut Vec<Vec<Stmt>>,
+) {
+    if paths.len() >= MAX_PATHS {
+        return;
+    }
+    match stmts.split_first() {
+        None => {
+            // Block done: continue with the enclosing continuation if any.
+            match rest_stack.pop() {
+                Some(rest) => {
+                    explore(&rest, constraints, writes, paths, rest_stack);
+                    rest_stack.push(rest);
+                }
+                None => paths.push(Path {
+                    constraints: constraints.clone(),
+                    decision: None,
+                    writes: writes.clone(),
+                }),
+            }
+        }
+        Some((stmt, rest)) => match stmt {
+            Stmt::If { cond, then, els } => {
+                rest_stack.push(rest.to_vec());
+                for (branch, polarity) in [(then, true), (els, false)] {
+                    constraints.push(Constraint {
+                        expr: cond.clone(),
+                        polarity,
+                    });
+                    explore(branch, constraints, writes, paths, rest_stack);
+                    constraints.pop();
+                }
+                rest_stack.pop();
+            }
+            Stmt::Learn { map, .. } => {
+                writes.push(map.clone());
+                explore(rest, constraints, writes, paths, rest_stack);
+                writes.pop();
+            }
+            Stmt::SetGlobal { name, .. } => {
+                writes.push(name.clone());
+                explore(rest, constraints, writes, paths, rest_stack);
+                writes.pop();
+            }
+            Stmt::Emit(decision) => {
+                paths.push(Path {
+                    constraints: constraints.clone(),
+                    decision: Some(decision.clone()),
+                    writes: writes.clone(),
+                });
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy::builder::*;
+    use policy::stmt::{ActionTemplate, MatchTemplate, RuleTemplate};
+    use policy::Program;
+
+    /// The paper's running example: l2_learning has exactly three paths.
+    fn l2_like() -> Program {
+        Program::new(
+            "l2",
+            vec![],
+            vec![
+                learn("macToPort", field(Field::DlSrc), field(Field::InPort)),
+                if_else(
+                    is_broadcast(field(Field::DlDst)),
+                    vec![emit(Decision::PacketOutFlood)],
+                    vec![if_else(
+                        not(map_contains(global("macToPort"), field(Field::DlDst))),
+                        vec![emit(Decision::PacketOutFlood)],
+                        vec![emit(Decision::InstallRule(RuleTemplate::new(
+                            vec![MatchTemplate::Exact(Field::DlDst, field(Field::DlDst))],
+                            vec![ActionTemplate::Output(map_get(
+                                global("macToPort"),
+                                field(Field::DlDst),
+                            ))],
+                        )))],
+                    )],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn l2_learning_has_three_paths() {
+        let pcs = generate_path_conditions(&l2_like());
+        assert_eq!(pcs.paths.len(), 3);
+        // Exactly one path is a Modify State path (the paper's third branch).
+        assert_eq!(pcs.modify_state_paths().count(), 1);
+        let install = pcs.modify_state_paths().next().unwrap();
+        // Its conditions: !broadcast && !(not contains) i.e. contains.
+        assert_eq!(install.constraints.len(), 2);
+        assert!(!install.constraints[0].polarity);
+        assert!(!install.constraints[1].polarity);
+        // Every path records the learn write.
+        for p in &pcs.paths {
+            assert_eq!(p.writes, vec!["macToPort".to_owned()]);
+        }
+    }
+
+    #[test]
+    fn straight_line_program_single_path() {
+        let p = Program::new("hub", vec![], vec![emit(Decision::PacketOutFlood)]);
+        let pcs = generate_path_conditions(&p);
+        assert_eq!(pcs.paths.len(), 1);
+        assert!(pcs.paths[0].constraints.is_empty());
+    }
+
+    #[test]
+    fn fallthrough_recorded_as_noop() {
+        let p = Program::new(
+            "partial",
+            vec![],
+            vec![if_then(
+                eq(field(Field::DlType), constant(0x0806u64)),
+                vec![emit(Decision::PacketOutFlood)],
+            )],
+        );
+        let pcs = generate_path_conditions(&p);
+        assert_eq!(pcs.paths.len(), 2);
+        let noop = pcs.paths.iter().find(|p| p.decision.is_none()).unwrap();
+        assert_eq!(noop.constraints.len(), 1);
+        assert!(!noop.constraints[0].polarity);
+    }
+
+    #[test]
+    fn code_after_if_explored_on_both_branches() {
+        // if c { learn } ; emit(drop)  — both branches must reach the emit.
+        let p = Program::new(
+            "join",
+            vec![],
+            vec![
+                if_then(
+                    eq(field(Field::NwProto), constant(6u64)),
+                    vec![learn("seen", field(Field::NwSrc), constant(true))],
+                ),
+                emit(Decision::Drop),
+            ],
+        );
+        let pcs = generate_path_conditions(&p);
+        assert_eq!(pcs.paths.len(), 2);
+        for path in &pcs.paths {
+            assert_eq!(path.decision, Some(Decision::Drop));
+        }
+        // The then-branch path records the write; the else path does not.
+        assert!(pcs.paths.iter().any(|p| p.writes == vec!["seen".to_owned()]));
+        assert!(pcs.paths.iter().any(|p| p.writes.is_empty()));
+    }
+
+    #[test]
+    fn set_global_recorded_as_write() {
+        let p = Program::new(
+            "writer",
+            vec![],
+            vec![
+                policy::Stmt::SetGlobal {
+                    name: "mode".into(),
+                    value: constant(1u64),
+                },
+                emit(Decision::Drop),
+            ],
+        );
+        let pcs = generate_path_conditions(&p);
+        assert_eq!(pcs.paths.len(), 1);
+        assert_eq!(pcs.paths[0].writes, vec!["mode".to_owned()]);
+    }
+
+    #[test]
+    fn nested_ifs_explode_exponentially_but_bounded() {
+        // Three sequential ifs with a shared join: 8 paths.
+        let mk_if = |f: Field| {
+            if_then(
+                eq(field(f), constant(1u64)),
+                vec![learn("x", field(f), constant(true))],
+            )
+        };
+        let p = Program::new(
+            "three",
+            vec![],
+            vec![
+                mk_if(Field::InPort),
+                mk_if(Field::TpSrc),
+                mk_if(Field::TpDst),
+                emit(Decision::Drop),
+            ],
+        );
+        let pcs = generate_path_conditions(&p);
+        assert_eq!(pcs.paths.len(), 8);
+    }
+}

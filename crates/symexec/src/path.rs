@@ -1,0 +1,145 @@
+//! Path conditions: the output of offline symbolic execution (Algorithm 1).
+
+use std::fmt;
+
+use policy::stmt::Decision;
+use policy::Expr;
+
+/// One branch condition with its polarity along a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The branch condition expression (over symbolic fields and globals).
+    pub expr: Expr,
+    /// `true` if the branch was taken, `false` if the else side was.
+    pub polarity: bool,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.polarity {
+            write!(f, "{}", self.expr)
+        } else {
+            write!(f, "!({})", self.expr)
+        }
+    }
+}
+
+/// One feasible execution path through a `packet_in` handler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Accumulated branch conditions, in execution order.
+    pub constraints: Vec<Constraint>,
+    /// The terminal decision; `None` when the handler fell off the end.
+    pub decision: Option<Decision>,
+    /// Globals written along the path (learns and assignments).
+    pub writes: Vec<String>,
+}
+
+impl Path {
+    /// Whether this path ends in a Modify State Message — the only paths
+    /// Algorithm 2 converts to proactive flow rules.
+    pub fn is_modify_state(&self) -> bool {
+        self.decision.as_ref().is_some_and(Decision::is_modify_state)
+    }
+
+    /// Every global variable the path's constraints read.
+    pub fn read_globals(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .constraints
+            .iter()
+            .flat_map(|c| c.expr.globals())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let conds: Vec<String> = self.constraints.iter().map(|c| c.to_string()).collect();
+        let decision = match &self.decision {
+            Some(d) => d.to_string(),
+            None => "no-op".to_owned(),
+        };
+        write!(f, "[{}] => {}", conds.join(" && "), decision)
+    }
+}
+
+/// The path conditions of one application: Algorithm 1's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathConditions {
+    /// The application name.
+    pub app: String,
+    /// All feasible paths.
+    pub paths: Vec<Path>,
+}
+
+impl PathConditions {
+    /// Paths ending in a Modify State Message.
+    pub fn modify_state_paths(&self) -> impl Iterator<Item = &Path> {
+        self.paths.iter().filter(|p| p.is_modify_state())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy::builder::*;
+    use policy::stmt::RuleTemplate;
+
+    #[test]
+    fn modify_state_classification() {
+        let install = Path {
+            constraints: vec![],
+            decision: Some(Decision::InstallRule(RuleTemplate::new(vec![], vec![]))),
+            writes: vec![],
+        };
+        let flood = Path {
+            constraints: vec![],
+            decision: Some(Decision::PacketOutFlood),
+            writes: vec![],
+        };
+        let noop = Path {
+            constraints: vec![],
+            decision: None,
+            writes: vec![],
+        };
+        assert!(install.is_modify_state());
+        assert!(!flood.is_modify_state());
+        assert!(!noop.is_modify_state());
+        let pcs = PathConditions {
+            app: "x".into(),
+            paths: vec![install, flood, noop],
+        };
+        assert_eq!(pcs.modify_state_paths().count(), 1);
+    }
+
+    #[test]
+    fn read_globals_deduped() {
+        let path = Path {
+            constraints: vec![
+                Constraint {
+                    expr: map_contains(global("m"), field(Field::DlDst)),
+                    polarity: true,
+                },
+                Constraint {
+                    expr: map_contains(global("m"), field(Field::DlSrc)),
+                    polarity: false,
+                },
+            ],
+            decision: None,
+            writes: vec![],
+        };
+        assert_eq!(path.read_globals(), vec!["m".to_owned()]);
+    }
+
+    #[test]
+    fn display_shows_polarity() {
+        let c = Constraint {
+            expr: is_broadcast(field(Field::DlDst)),
+            polarity: false,
+        };
+        assert_eq!(c.to_string(), "!(is_broadcast(pt.dl_dst))");
+    }
+}

@@ -1,0 +1,38 @@
+//! Protocol independence: FloodGuard versus an AvantGuard-style SYN proxy
+//! (paper §II-D, §III).
+//!
+//! AvantGuard's connection migration answers TCP SYNs in the datapath and
+//! is immune to SYN floods — but a UDP flood sails straight past it.
+//! FloodGuard's migration + cache mechanism never inspects the transport
+//! protocol, so it absorbs both.
+//!
+//! Run with: `cargo run -p floodguard-examples --release --bin protocol_independence`
+
+use bench::{human_bps, run, AttackProtocol, Defense, Scenario};
+use floodguard::FloodGuardConfig;
+
+fn measure(defense: Defense, protocol: AttackProtocol) -> f64 {
+    let mut scenario = Scenario::software().with_defense(defense).with_attack(500.0);
+    scenario.attack_protocol = protocol;
+    run(&scenario).bandwidth_bps
+}
+
+fn main() {
+    println!("Protocol independence: 500 PPS floods vs three configurations\n");
+    let clean = run(&Scenario::software()).bandwidth_bps;
+    println!("no-attack baseline: {}\n", human_bps(clean));
+    println!("{:<24} {:>16} {:>16}", "defense", "TCP SYN flood", "UDP flood");
+    for (name, defense) in [
+        ("none", Defense::None),
+        ("AvantGuard (SYN proxy)", Defense::AvantGuard),
+        ("FloodGuard", Defense::FloodGuard(FloodGuardConfig::default())),
+    ] {
+        let syn = measure(defense.clone(), AttackProtocol::TcpSyn);
+        let udp = measure(defense, AttackProtocol::Udp);
+        println!("{name:<24} {:>16} {:>16}", human_bps(syn), human_bps(udp));
+    }
+    println!();
+    println!("AvantGuard holds the line against SYN floods only: its connection migration");
+    println!("is TCP-specific. FloodGuard defends both — the paper's core argument for a");
+    println!("protocol-independent defense (§II-D).");
+}

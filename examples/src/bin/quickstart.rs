@@ -1,0 +1,46 @@
+//! Quickstart: protect a small OpenFlow network with FloodGuard.
+//!
+//! Builds the paper's test topology (two benign clients, one attacker, one
+//! switch, a POX-like controller running `l2_learning`), launches a spoofed
+//! UDP saturation attack, and shows FloodGuard detecting it, installing
+//! migration + proactive flow rules, and preserving the benign bandwidth.
+//!
+//! Run with: `cargo run -p floodguard-examples --release --bin quickstart`
+
+use bench::{human_bps, run, Defense, Scenario};
+use floodguard::FloodGuardConfig;
+use netsim::engine::SwitchId;
+
+fn main() {
+    println!("FloodGuard quickstart — 500 PPS spoofed UDP flood on a software switch\n");
+
+    // 1. The undefended network (the paper's \"existing OpenFlow network\").
+    let undefended = run(&Scenario::software().with_attack(500.0));
+    println!("without FloodGuard:");
+    println!("  benign bandwidth under attack : {}", human_bps(undefended.bandwidth_bps));
+    println!("  controller messages handled   : {}", undefended.controller.processed);
+    println!(
+        "  switch table misses           : {}",
+        undefended.sim.switch(SwitchId(0)).stats.misses
+    );
+
+    // 2. The same network with FloodGuard. One line of configuration: wrap
+    //    the controller platform and attach the data plane cache.
+    let defended = run(&Scenario::software()
+        .with_defense(Defense::FloodGuard(FloodGuardConfig::default()))
+        .with_attack(500.0));
+    println!("\nwith FloodGuard:");
+    println!("  benign bandwidth under attack : {}", human_bps(defended.bandwidth_bps));
+    println!("  controller messages handled   : {}", defended.controller.processed);
+    let cache = defended.cache.as_ref().expect("floodguard cache");
+    let stats = cache.lock().stats;
+    println!("  flood packets absorbed by the data plane cache: {}", stats.received);
+    println!("  rate-limited packet_ins re-submitted           : {}", stats.emitted);
+
+    // 3. The punchline.
+    let ratio = defended.bandwidth_bps / undefended.bandwidth_bps.max(1.0);
+    println!(
+        "\nFloodGuard preserved {} of bandwidth — {ratio:.0}x more than the undefended network.",
+        human_bps(defended.bandwidth_bps)
+    );
+}

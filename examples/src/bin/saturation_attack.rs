@@ -1,0 +1,58 @@
+//! Anatomy of the data-to-control plane saturation attack (paper §II).
+//!
+//! Sweeps the attack rate against an undefended network and prints how each
+//! resource degrades: benign bandwidth, switch buffer occupancy, control
+//! channel amplification, and controller backlog — the mechanics behind the
+//! paper's Fig. 1 narrative and the §II Mininet measurement.
+//!
+//! Run with: `cargo run -p floodguard-examples --release --bin saturation_attack`
+
+use bench::{human_bps, run, Scenario};
+use netsim::engine::SwitchId;
+
+fn main() {
+    println!("Anatomy of the saturation attack (software switch, no defense)\n");
+    println!(
+        "{:>8} {:>14} {:>10} {:>12} {:>12} {:>12}",
+        "pps", "bandwidth", "misses", "packet_ins", "amplified", "ctrl_cpu(s)"
+    );
+    for pps in [0.0, 50.0, 150.0, 300.0, 500.0] {
+        let outcome = run(&Scenario::software().with_attack(pps));
+        let sw = outcome.sim.switch(SwitchId(0));
+        println!(
+            "{:>8.0} {:>14} {:>10} {:>12} {:>12} {:>12.3}",
+            pps,
+            human_bps(outcome.bandwidth_bps),
+            sw.stats.misses,
+            sw.stats.packet_ins,
+            sw.stats.amplified_packet_ins,
+            outcome.controller.cpu_seconds,
+        );
+    }
+    // The amplification vector (§II-B) needs buffer pressure: the switch
+    // holds each missed packet until the controller answers, so the buffer
+    // fills once packet_ins arrive faster than the controller services
+    // them. Model a slow (POX-like) controller and a small buffer.
+    println!();
+    println!("250 PPS flood, 64 buffer slots, slow controller (5 ms/msg):");
+    let mut scenario = Scenario::hardware().with_attack(250.0);
+    scenario.profile.buffer_slots = 64;
+    scenario.controller = Some(netsim::ControllerProfile {
+        dispatch_cost: 5e-3,
+        queue_limit: 20000,
+    });
+    let outcome = run(&scenario);
+    let sw = outcome.sim.switch(SwitchId(0));
+    println!(
+        "  packet_ins: {}   amplified (whole packet shipped): {}   buffer timeouts: {}",
+        sw.stats.packet_ins, sw.stats.amplified_packet_ins, sw.stats.buffer_timeouts
+    );
+    println!();
+    println!("Reading the tables:");
+    println!("- every spoofed packet misses the flow table; misses cost the datapath ~15x");
+    println!("  a forwarded MTU packet, so benign bandwidth collapses;");
+    println!("- each miss buffers a packet and ships a packet_in; once the buffer fills,");
+    println!("  packet_ins carry the whole packet ('amplified') — the paper's §II-B");
+    println!("  amplification vector, visible in the constrained-buffer run;");
+    println!("- the controller burns CPU on every message: the control plane saturates too.");
+}

@@ -1,0 +1,109 @@
+//! Ablation assertions backing the EXPERIMENTS.md claims: update-strategy
+//! conversion counts (§IV-D) and figure-shape monotonicity.
+
+use bench::{run, Defense, Scenario};
+use controller::apps;
+use controller::platform::App;
+use floodguard::analyzer::Analyzer;
+use floodguard::{FloodGuardConfig, UpdateStrategy};
+use ofproto::types::MacAddr;
+
+/// Replays 100 learning events under a strategy; returns how many full
+/// conversions ran.
+fn conversions_under(strategy: UpdateStrategy) -> u64 {
+    let mut app = App::new(apps::l2_learning::program());
+    let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+    let rules = analyzer.convert(std::slice::from_ref(&app));
+    analyzer.dispatch(rules, 1, 0.0);
+    let mut conversions = 0;
+    for i in 0..100u64 {
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(1 + i), (i % 8 + 1) as u16);
+        let now = i as f64 * 0.05;
+        let changed = analyzer.detect_changes(std::slice::from_ref(&app));
+        if analyzer.should_update(changed, strategy, now) {
+            let rules = analyzer.convert(std::slice::from_ref(&app));
+            analyzer.dispatch(rules, 1, now);
+            conversions += 1;
+        }
+    }
+    conversions
+}
+
+#[test]
+fn update_strategies_trade_work_for_staleness() {
+    // §IV-D: every-change is most accurate and most expensive; batching and
+    // intervals cut conversions by roughly their batching factor.
+    let every = conversions_under(UpdateStrategy::EveryChange);
+    let batched = conversions_under(UpdateStrategy::Batched(10));
+    let interval = conversions_under(UpdateStrategy::Interval(0.5));
+    assert_eq!(every, 100, "every change converts every time");
+    assert!(batched <= every / 5, "batched(10): {batched}");
+    assert!(interval <= every / 5, "interval(0.5s): {interval}");
+    assert!(batched >= 5, "batching still keeps up: {batched}");
+    assert!(interval >= 5, "interval still keeps up: {interval}");
+}
+
+#[test]
+fn undefended_bandwidth_declines_monotonically_with_attack_rate() {
+    // Fig. 10's no-defense curve shape: strictly worse as the flood grows.
+    let mut last = f64::INFINITY;
+    for pps in [0.0, 150.0, 300.0, 500.0] {
+        let mut s = Scenario::software().with_attack(pps);
+        s.duration = 3.0;
+        let bw = run(&s).bandwidth_bps;
+        assert!(
+            bw <= last * 1.05,
+            "bandwidth must not recover with a stronger attack: {pps} pps → {bw:e} (prev {last:e})"
+        );
+        last = bw;
+    }
+}
+
+#[test]
+fn defended_curve_dominates_undefended_everywhere() {
+    // At every attacked point of Figs. 10/11, FloodGuard ≥ no-defense.
+    for (scenario, rates) in [
+        (Scenario::software(), [150.0, 400.0]),
+        (Scenario::hardware(), [200.0, 800.0]),
+    ] {
+        for pps in rates {
+            let mut undefended = scenario.clone().with_attack(pps);
+            undefended.duration = 3.0;
+            let mut defended = scenario
+                .clone()
+                .with_defense(Defense::FloodGuard(FloodGuardConfig::default()))
+                .with_attack(pps);
+            defended.duration = 3.0;
+            let u = run(&undefended).bandwidth_bps;
+            let d = run(&defended).bandwidth_bps;
+            assert!(d > u, "{pps} pps: defended {d:e} vs undefended {u:e}");
+        }
+    }
+}
+
+#[test]
+fn of_firewall_is_the_slowest_app_to_convert() {
+    // Fig. 13's headline ordering, asserted on node counts and measured
+    // rules rather than wall time (robust in CI).
+    use symexec::{convert_to_rules, generate_path_conditions};
+    let mut firewall = App::new(apps::of_firewall::program());
+    apps::of_firewall::seed(&mut firewall.env, 400);
+    let mut l2 = App::new(apps::l2_learning::program());
+    for i in 0..60u64 {
+        apps::l2_learning::learn_host(&mut l2.env, MacAddr::from_u64(1 + i), 1);
+    }
+    let fw_rules = convert_to_rules(
+        &generate_path_conditions(&firewall.program),
+        &firewall.env,
+    )
+    .rules
+    .len();
+    let l2_rules = convert_to_rules(&generate_path_conditions(&l2.program), &l2.env)
+        .rules
+        .len();
+    assert_eq!(fw_rules, 400);
+    assert_eq!(l2_rules, 60);
+    // More state entries → more conversion work: the static proxy for the
+    // measured Fig. 13 ordering.
+    assert!(firewall.env.state_size() > l2.env.state_size() * 5);
+}
