@@ -193,7 +193,13 @@ mod tests {
         match proxy.on_miss(&syn(1234), 1, 0.0) {
             Some(MissOverride::Reply(reply)) => match reply.payload {
                 Payload::Ipv4 {
-                    transport: Transport::Tcp { flags, src_port, dst_port, .. },
+                    transport:
+                        Transport::Tcp {
+                            flags,
+                            src_port,
+                            dst_port,
+                            ..
+                        },
                     ..
                 } => {
                     assert_eq!(flags, Transport::TCP_SYN | Transport::TCP_ACK);

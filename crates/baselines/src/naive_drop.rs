@@ -102,18 +102,17 @@ impl ControlPlane for NaiveDrop {
         self.detector
             .record_utilization(buffer, datapath, telemetry.controller_utilization);
         match self.sm.state() {
-            State::Idle
-                if self.detector.is_attack(now) && self.sm.transition(State::Init, now) => {
-                    self.stats.attacks_detected += 1;
-                    for &dpid in &self.switches {
-                        out.send(
-                            dpid,
-                            OfMessage::new(Xid(0), OfBody::FlowMod(self.drop_all_rule())),
-                        );
-                        self.stats.drop_rules_installed += 1;
-                    }
-                    self.sm.transition(State::Defense, now);
+            State::Idle if self.detector.is_attack(now) && self.sm.transition(State::Init, now) => {
+                self.stats.attacks_detected += 1;
+                for &dpid in &self.switches {
+                    out.send(
+                        dpid,
+                        OfMessage::new(Xid(0), OfBody::FlowMod(self.drop_all_rule())),
+                    );
+                    self.stats.drop_rules_installed += 1;
                 }
+                self.sm.transition(State::Defense, now);
+            }
             State::Defense => {
                 // With the drop rule installed, packet_ins stop; the rate
                 // decaying below the end threshold means... nothing — the

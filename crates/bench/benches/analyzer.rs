@@ -13,7 +13,11 @@ use symexec::generate_path_conditions;
 fn seeded_apps() -> Vec<(&'static str, App)> {
     let mut l2 = App::new(apps::l2_learning::program());
     for i in 0..60u64 {
-        apps::l2_learning::learn_host(&mut l2.env, MacAddr::from_u64(0x1000 + i), (i % 8 + 1) as u16);
+        apps::l2_learning::learn_host(
+            &mut l2.env,
+            MacAddr::from_u64(0x1000 + i),
+            (i % 8 + 1) as u16,
+        );
     }
     let mut l3 = App::new(apps::l3_learning::program());
     for i in 0..60u32 {
@@ -65,7 +69,11 @@ fn bench_conversion_scaling(c: &mut Criterion) {
     for n in [10u64, 100, 1000] {
         let mut app = App::new(apps::l2_learning::program());
         for i in 0..n {
-            apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(1 + i), (i % 8 + 1) as u16);
+            apps::l2_learning::learn_host(
+                &mut app.env,
+                MacAddr::from_u64(1 + i),
+                (i % 8 + 1) as u16,
+            );
         }
         let apps_slice = std::slice::from_ref(&app);
         let mut analyzer = Analyzer::offline(apps_slice);

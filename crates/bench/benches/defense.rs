@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use floodguard::FloodGuardConfig;
 
 fn short_scenario(defense: Defense) -> Scenario {
-    let mut s = Scenario::software().with_defense(defense).with_attack(300.0);
+    let mut s = Scenario::software()
+        .with_defense(defense)
+        .with_attack(300.0);
     s.duration = 2.0;
     s.attack_start = 0.5;
     s.attack_stop = 2.0;

@@ -1,15 +1,17 @@
-//! Micro-benchmarks of the OpenFlow substrate: wire codec round-trips and
-//! flow-table lookup under growing rule counts (the cost the saturation
-//! attack inflates on software switches).
+//! Micro-benchmarks of the OpenFlow substrate: wire codec round-trips,
+//! streaming-frame throughput over realistic traffic mixes, and flow-table
+//! lookup under growing rule counts (the cost the saturation attack
+//! inflates on software switches).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ofproto::actions::Action;
 use ofproto::flow_match::{FlowKeys, OfMatch};
 use ofproto::flow_mod::FlowMod;
 use ofproto::flow_table::FlowTable;
 use ofproto::messages::{OfBody, OfMessage, PacketIn, PacketInReason};
 use ofproto::types::{BufferId, MacAddr, PortNo, Xid};
-use ofproto::wire::{decode, encode};
+use ofproto::wire::{decode, decode_frames, encode};
 
 fn bench_codec(c: &mut Criterion) {
     let flow_mod = OfMessage::new(
@@ -58,6 +60,98 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// A traffic mix shaped like one defense round on the live channel: mostly
+/// `packet_in`s (the flood), answered by `flow_mod` installs and the odd
+/// `packet_out`/echo — what `ofchannel` encodes and decodes per second.
+fn realistic_mix() -> Vec<OfMessage> {
+    let mut messages = Vec::new();
+    for i in 0..64u64 {
+        let buffered = i % 3 != 0; // every third packet_in is amplified
+        let data_len = if buffered { 128 } else { 1400 };
+        let pkt = netsim::packet::Packet::udp(
+            MacAddr::from_u64(0x1000 + i),
+            MacAddr::from_u64(0x2000 + (i % 5)),
+            std::net::Ipv4Addr::from(0x0a00_0000 + i as u32),
+            std::net::Ipv4Addr::new(10, 99, 0, 1),
+            1024 + (i % 100) as u16,
+            53,
+            data_len,
+        );
+        messages.push(OfMessage::new(
+            Xid(i as u32),
+            OfBody::PacketIn(PacketIn {
+                buffer_id: buffered.then_some(BufferId(i as u32)),
+                total_len: data_len as u16,
+                in_port: PortNo::Physical(1),
+                reason: PacketInReason::NoMatch,
+                data: pkt.to_bytes(),
+            }),
+        ));
+        // Roughly one install per four packet_ins, like l2_learning
+        // converging during a flood.
+        if i % 4 == 0 {
+            messages.push(OfMessage::new(
+                Xid(1000 + i as u32),
+                OfBody::FlowMod(
+                    FlowMod::add(
+                        OfMatch::any()
+                            .with_in_port(1)
+                            .with_dl_dst(MacAddr::from_u64(0x2000 + (i % 5))),
+                        vec![Action::Output(PortNo::Physical((i % 8 + 1) as u16))],
+                    )
+                    .with_idle_timeout(10)
+                    .with_buffer_id(BufferId(i as u32)),
+                ),
+            ));
+        }
+        if i % 16 == 0 {
+            messages.push(OfMessage::new(
+                Xid(2000 + i as u32),
+                OfBody::EchoRequest(bytes::Bytes::new()),
+            ));
+        }
+    }
+    messages
+}
+
+fn bench_codec_mix(c: &mut Criterion) {
+    let messages = realistic_mix();
+    let frames: Vec<_> = messages.iter().map(encode).collect();
+    let stream: Vec<u8> = frames.iter().flat_map(|f| f.iter().copied()).collect();
+    let total_bytes = stream.len() as u64;
+
+    let mut group = c.benchmark_group("wire_codec_mix");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("encode_defense_round", |b| {
+        b.iter(|| {
+            let mut out = 0usize;
+            for msg in &messages {
+                out += encode(std::hint::black_box(msg)).len();
+            }
+            out
+        })
+    });
+    group.bench_function("decode_defense_round", |b| {
+        b.iter(|| {
+            let mut xids = 0u64;
+            for frame in &frames {
+                xids += u64::from(decode(std::hint::black_box(&frame[..])).unwrap().xid.0);
+            }
+            xids
+        })
+    });
+    // The reader-thread hot path: one coalesced TCP read containing the
+    // whole round, drained by the streaming framer.
+    group.bench_function("decode_frames_defense_round", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            buf.extend_from_slice(std::hint::black_box(&stream[..]));
+            decode_frames(&mut buf).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
 fn bench_flow_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_table_lookup");
     for rules in [16usize, 256, 4096] {
@@ -84,14 +178,22 @@ fn bench_flow_table(c: &mut Criterion) {
             ..FlowKeys::default()
         };
         group.bench_with_input(BenchmarkId::new("hit", rules), &rules, |b, _| {
-            b.iter(|| table.lookup(std::hint::black_box(&hit_keys), 1.0, 64).is_some())
+            b.iter(|| {
+                table
+                    .lookup(std::hint::black_box(&hit_keys), 1.0, 64)
+                    .is_some()
+            })
         });
         group.bench_with_input(BenchmarkId::new("miss", rules), &rules, |b, _| {
-            b.iter(|| table.lookup(std::hint::black_box(&miss_keys), 1.0, 64).is_some())
+            b.iter(|| {
+                table
+                    .lookup(std::hint::black_box(&miss_keys), 1.0, 64)
+                    .is_some()
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_flow_table);
+criterion_group!(benches, bench_codec, bench_codec_mix, bench_flow_table);
 criterion_main!(benches);

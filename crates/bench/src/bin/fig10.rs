@@ -10,10 +10,15 @@ use bench::{human_bps, run, Defense, Scenario};
 use floodguard::FloodGuardConfig;
 
 fn main() {
-    let rates = [0.0, 50.0, 100.0, 130.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0];
+    let rates = [
+        0.0, 50.0, 100.0, 130.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0,
+    ];
     println!("# Fig. 10 — Bandwidth in Software Environment");
     println!("# paper: no-defense 1.7 Gbps -> half @ ~130 PPS -> dead @ 500 PPS; FloodGuard flat");
-    println!("{:>10} {:>16} {:>16}", "attack_pps", "no_defense", "floodguard");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "attack_pps", "no_defense", "floodguard"
+    );
     for pps in rates {
         let none = run(&Scenario::software().with_attack(pps));
         let fg = run(&Scenario::software()

@@ -10,11 +10,16 @@ use bench::{human_bps, run, Defense, Scenario};
 use floodguard::FloodGuardConfig;
 
 fn main() {
-    let rates = [0.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 600.0, 800.0, 1000.0];
+    let rates = [
+        0.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 600.0, 800.0, 1000.0,
+    ];
     println!("# Fig. 11 — Bandwidth in Hardware Environment");
     println!("# paper: no-defense 8.4 Mbps -> half @ ~150 PPS -> dead @ 1000 PPS;");
     println!("#        FloodGuard ~8.3 Mbps to 200 PPS then slow decline (software flow table)");
-    println!("{:>10} {:>16} {:>16}", "attack_pps", "no_defense", "floodguard");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "attack_pps", "no_defense", "floodguard"
+    );
     for pps in rates {
         let none = run(&Scenario::hardware().with_attack(pps));
         let fg = run(&Scenario::hardware()

@@ -31,7 +31,9 @@ fn main() {
     let outcome = run(&scenario);
 
     println!("# Fig. 12 — CPU Utilization under the Flooding Attack (100 PPS burst 0.6-0.9 s)");
-    println!("# paper: rise from 0.6 s, peak ~0.8 s, medium plateau (cache drain), baseline by ~1.5 s");
+    println!(
+        "# paper: rise from 0.6 s, peak ~0.8 s, medium plateau (cache drain), baseline by ~1.5 s"
+    );
     let apps = outcome.sim.app_names();
     print!("{:>6}", "t(s)");
     for app in &apps {

@@ -27,12 +27,20 @@ fn seeded_app(name: &str) -> App {
     match name {
         "l2_learning" => {
             for i in 0..60u64 {
-                apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0x1000 + i), (i % 8 + 1) as u16);
+                apps::l2_learning::learn_host(
+                    &mut app.env,
+                    MacAddr::from_u64(0x1000 + i),
+                    (i % 8 + 1) as u16,
+                );
             }
         }
         "l3_learning" => {
             for i in 0..60u32 {
-                apps::l3_learning::learn_host(&mut app.env, Ipv4Addr::from(0x0a00_0100 + i), (i % 8 + 1) as u16);
+                apps::l3_learning::learn_host(
+                    &mut app.env,
+                    Ipv4Addr::from(0x0a00_0100 + i),
+                    (i % 8 + 1) as u16,
+                );
             }
         }
         "of_firewall" => apps::of_firewall::seed(&mut app.env, 400),
@@ -49,7 +57,13 @@ fn main() {
         "{:>14} {:>12} {:>10} {:>12}",
         "application", "state_size", "rules", "time"
     );
-    for name in ["l2_learning", "ip_balancer", "l3_learning", "of_firewall", "mac_blocker"] {
+    for name in [
+        "l2_learning",
+        "ip_balancer",
+        "l3_learning",
+        "of_firewall",
+        "mac_blocker",
+    ] {
         let app = seeded_app(name);
         let apps_slice = std::slice::from_ref(&app);
         let mut analyzer = Analyzer::offline(apps_slice);

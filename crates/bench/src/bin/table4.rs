@@ -94,8 +94,15 @@ fn main() {
         "{:<40} {:>11.1} ms  ({fg_lost}/{RUNS} probes lost)",
         "OpenFlow + FloodGuard (under flood)", fg_ms
     );
-    println!("{:<40} {:>11.1} ms", "  of which: data plane cache", cache_ms);
-    println!("{:<40} {:>11.1} ms", "  of which: after migration", fg_ms - cache_ms);
+    println!(
+        "{:<40} {:>11.1} ms",
+        "  of which: data plane cache", cache_ms
+    );
+    println!(
+        "{:<40} {:>11.1} ms",
+        "  of which: after migration",
+        fg_ms - cache_ms
+    );
     println!(
         "{:<40} {:>11.1} ms ({:+.1}%)",
         "added overhead vs no-attack base",

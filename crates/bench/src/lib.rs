@@ -10,6 +10,6 @@
 pub mod scenario;
 
 pub use scenario::{
-    bandwidth_sweep, human_bps, run, AttackProtocol, Defense, Outcome, Scenario, CACHE_PORT,
-    H1_IP, H1_MAC, H2_IP, H2_MAC, H3_IP, H3_MAC,
+    bandwidth_sweep, human_bps, run, AttackProtocol, Defense, Outcome, Scenario, CACHE_PORT, H1_IP,
+    H1_MAC, H2_IP, H2_MAC, H3_IP, H3_MAC,
 };

@@ -258,8 +258,9 @@ pub fn run(scenario: &Scenario) -> Outcome {
     for (i, &at) in scenario.probes.iter().enumerate() {
         let id = i as u32 + 1;
         probe_ids.push((id, at));
-        sim.host_mut(h1)
-            .add_source(Box::new(NewFlowProbe::new(H1_MAC, H1_IP, H2_MAC, H2_IP, id, at)));
+        sim.host_mut(h1).add_source(Box::new(NewFlowProbe::new(
+            H1_MAC, H1_IP, H2_MAC, H2_IP, id, at,
+        )));
     }
 
     sim.run_until(scenario.duration);
@@ -273,7 +274,10 @@ pub fn run(scenario: &Scenario) -> Outcome {
         attack_window.0 + 0.2 * (attack_window.1 - attack_window.0),
         attack_window.1,
     );
-    let baseline_bps = sim.host(h2).meter.bps_in(0.3, scenario.attack_start.min(scenario.duration));
+    let baseline_bps = sim
+        .host(h2)
+        .meter
+        .bps_in(0.3, scenario.attack_start.min(scenario.duration));
     let probe_delays = probe_ids
         .iter()
         .map(|&(id, at)| {

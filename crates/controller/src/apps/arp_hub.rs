@@ -67,7 +67,9 @@ mod tests {
             ConcreteDecision::Install(rule) => {
                 assert_eq!(
                     rule.actions,
-                    vec![ofproto::actions::Action::Output(ofproto::types::PortNo::Flood)]
+                    vec![ofproto::actions::Action::Output(
+                        ofproto::types::PortNo::Flood
+                    )]
                 );
             }
             other => panic!("unexpected {other:?}"),

@@ -96,12 +96,7 @@ pub fn program() -> Program {
 }
 
 /// Reconfigures the balancer's replicas (the §IV-D dynamics scenario).
-pub fn configure(
-    env: &mut Env,
-    vip: Ipv4Addr,
-    upper: (Ipv4Addr, u16),
-    lower: (Ipv4Addr, u16),
-) {
+pub fn configure(env: &mut Env, vip: Ipv4Addr, upper: (Ipv4Addr, u16), lower: (Ipv4Addr, u16)) {
     env.set("vip", Value::Ip(vip));
     env.set("replica_upper", Value::Ip(upper.0));
     env.set("port_upper", Value::Int(u64::from(upper.1)));
@@ -130,12 +125,15 @@ mod tests {
     fn upper_half_goes_to_replica_a() {
         let p = program();
         let mut env = p.initial_env();
-        let r = execute(&p, &keys(Ipv4Addr::new(200, 1, 1, 1), DEFAULT_VIP), &mut env).unwrap();
+        let r = execute(
+            &p,
+            &keys(Ipv4Addr::new(200, 1, 1, 1), DEFAULT_VIP),
+            &mut env,
+        )
+        .unwrap();
         match r.decision {
             ConcreteDecision::Install(rule) => {
-                assert!(rule
-                    .actions
-                    .contains(&Action::SetNwDst(DEFAULT_REPLICA_A)));
+                assert!(rule.actions.contains(&Action::SetNwDst(DEFAULT_REPLICA_A)));
                 assert!(rule.actions.contains(&Action::Output(PortNo::Physical(1))));
                 // Source prefix /1 on 128.0.0.0.
                 assert_eq!(rule.of_match.wildcards.nw_src_bits(), 31);
@@ -152,9 +150,7 @@ mod tests {
         let r = execute(&p, &keys(Ipv4Addr::new(9, 1, 1, 1), DEFAULT_VIP), &mut env).unwrap();
         match r.decision {
             ConcreteDecision::Install(rule) => {
-                assert!(rule
-                    .actions
-                    .contains(&Action::SetNwDst(DEFAULT_REPLICA_B)));
+                assert!(rule.actions.contains(&Action::SetNwDst(DEFAULT_REPLICA_B)));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -184,7 +180,12 @@ mod tests {
             (DEFAULT_REPLICA_B, 2),
             (DEFAULT_REPLICA_A, 1),
         );
-        let r = execute(&p, &keys(Ipv4Addr::new(200, 1, 1, 1), DEFAULT_VIP), &mut env).unwrap();
+        let r = execute(
+            &p,
+            &keys(Ipv4Addr::new(200, 1, 1, 1), DEFAULT_VIP),
+            &mut env,
+        )
+        .unwrap();
         match r.decision {
             ConcreteDecision::Install(rule) => {
                 assert!(rule.actions.contains(&Action::SetNwDst(DEFAULT_REPLICA_B)));

@@ -44,10 +44,7 @@ mod tests {
 
     #[test]
     fn evaluation_apps_match_paper_set() {
-        let names: Vec<String> = evaluation_apps()
-            .into_iter()
-            .map(|p| p.name)
-            .collect();
+        let names: Vec<String> = evaluation_apps().into_iter().map(|p| p.name).collect();
         assert_eq!(
             names,
             vec![

@@ -30,7 +30,9 @@ pub fn program() -> Program {
             name: "firewallRules".into(),
             initial: Value::Set(Default::default()),
             state_sensitive: true,
-            description: "blocked (nw_src, nw_dst, nw_proto, tp_dst) tuples managed by the administrator".into(),
+            description:
+                "blocked (nw_src, nw_dst, nw_proto, tp_dst) tuples managed by the administrator"
+                    .into(),
         }],
         vec![if_else(
             eq(field(Field::DlType), constant(u64::from(ethertype::IPV4))),
@@ -124,7 +126,13 @@ mod tests {
     fn partial_tuple_match_is_allowed() {
         let p = program();
         let mut env = p.initial_env();
-        block(&mut env, Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 6, 22);
+        block(
+            &mut env,
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            6,
+            22,
+        );
         // Same pair, different port: allowed.
         let r = execute(
             &p,

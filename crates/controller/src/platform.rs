@@ -193,9 +193,9 @@ impl ControllerPlatform {
                             OfBody::PacketOut(PacketOut {
                                 buffer_id: consumed_buffer,
                                 in_port: pi.in_port,
-                                actions: vec![ofproto::actions::Action::Output(
-                                    PortNo::Physical(port),
-                                )],
+                                actions: vec![ofproto::actions::Action::Output(PortNo::Physical(
+                                    port,
+                                ))],
                                 data: consumed_buffer.is_none().then(|| packet.to_bytes()),
                             }),
                         ),
@@ -346,7 +346,10 @@ mod tests {
                 _ => false,
             })
             .count();
-        assert_eq!(with_buffer, 1, "only the first responder releases the buffer");
+        assert_eq!(
+            with_buffer, 1,
+            "only the first responder releases the buffer"
+        );
     }
 
     #[test]

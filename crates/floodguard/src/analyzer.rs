@@ -81,7 +81,10 @@ impl Analyzer {
         let mut changed = false;
         for app in apps {
             let version = app.env.version();
-            let entry = self.last_versions.entry(app.program.name.clone()).or_insert(u64::MAX);
+            let entry = self
+                .last_versions
+                .entry(app.program.name.clone())
+                .or_insert(u64::MAX);
             if *entry != version {
                 if *entry != u64::MAX {
                     changed = true;
@@ -209,7 +212,10 @@ mod tests {
         assert!(!analyzer.detect_changes(std::slice::from_ref(&app)));
         apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xa), 1);
         assert!(analyzer.detect_changes(std::slice::from_ref(&app)));
-        assert!(!analyzer.detect_changes(std::slice::from_ref(&app)), "no further change");
+        assert!(
+            !analyzer.detect_changes(std::slice::from_ref(&app)),
+            "no further change"
+        );
     }
 
     #[test]

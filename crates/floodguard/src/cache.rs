@@ -154,7 +154,10 @@ pub struct DataPlaneCache {
 impl std::fmt::Debug for DataPlaneCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DataPlaneCache")
-            .field("queued", &self.queues.iter().map(VecDeque::len).sum::<usize>())
+            .field(
+                "queued",
+                &self.queues.iter().map(VecDeque::len).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -402,12 +405,25 @@ mod tests {
         cache.on_packet(udp_tagged(1), 0.0, &mut out);
         cache.on_packet(tcp_tagged(1), 0.0, &mut out);
         cache.on_packet(
-            Packet::icmp(mac(1), mac(2), Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 8, 98),
+            Packet::icmp(
+                mac(1),
+                mac(2),
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                8,
+                98,
+            ),
             0.0,
             &mut out,
         );
         cache.on_packet(
-            Packet::arp(1, mac(1), Ipv4Addr::new(1, 1, 1, 1), MacAddr::ZERO, Ipv4Addr::new(2, 2, 2, 2)),
+            Packet::arp(
+                1,
+                mac(1),
+                Ipv4Addr::new(1, 1, 1, 1),
+                MacAddr::ZERO,
+                Ipv4Addr::new(2, 2, 2, 2),
+            ),
             0.0,
             &mut out,
         );
@@ -471,11 +487,20 @@ mod tests {
         cache.on_packet(tcp_tagged(4), 0.0, &mut out);
         // RR starts at TCP: tcp, udp, (icmp/default empty) udp, udp.
         let order: Vec<QueueClass> = (0..4)
-            .filter_map(|_| cache.pop_round_robin(f64::INFINITY).map(|p| QueueClass::of(&p)))
+            .filter_map(|_| {
+                cache
+                    .pop_round_robin(f64::INFINITY)
+                    .map(|p| QueueClass::of(&p))
+            })
             .collect();
         assert_eq!(
             order,
-            vec![QueueClass::Tcp, QueueClass::Udp, QueueClass::Udp, QueueClass::Udp]
+            vec![
+                QueueClass::Tcp,
+                QueueClass::Udp,
+                QueueClass::Udp,
+                QueueClass::Udp
+            ]
         );
     }
 
@@ -554,9 +579,8 @@ mod tests {
         // §IV-E: with cache-resident rules, matching packets jump ahead of
         // the protocol queues.
         let (mut cache, h) = cache_with(CacheConfig::default());
-        h.lock().proactive = vec![
-            ofproto::flow_match::OfMatch::any().with_dl_dst(MacAddr::from_u64(2)),
-        ];
+        h.lock().proactive =
+            vec![ofproto::flow_match::OfMatch::any().with_dl_dst(MacAddr::from_u64(2))];
         let mut out = DeviceOutput::new();
         // Three UDP flood packets first (dst mac 2 is our builder default
         // for udp_tagged, so craft a non-matching one).

@@ -143,7 +143,11 @@ impl FloodGuard {
     /// Runs the offline symbolic-execution phase (Algorithm 1) over every
     /// registered application immediately — the paper's "preparation work"
     /// before the Idle state.
-    pub fn new(platform: ControllerPlatform, config: FloodGuardConfig, cache_port: u16) -> FloodGuard {
+    pub fn new(
+        platform: ControllerPlatform,
+        config: FloodGuardConfig,
+        cache_port: u16,
+    ) -> FloodGuard {
         let analyzer = Analyzer::offline(platform.apps());
         let cache_handle = new_handle(&config.cache);
         let agent = MigrationAgent::new(config, cache_handle.clone(), cache_port);
@@ -281,7 +285,10 @@ impl FloodGuard {
         let targets = self.switch_ports.clone();
         for (dpid, ports) in &targets {
             for fm in self.agent.install_migration(*dpid, ports) {
-                out.send(*dpid, OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)));
+                out.send(
+                    *dpid,
+                    OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)),
+                );
             }
         }
         out.charge(MODULE_NAME, 2e-4);
@@ -328,7 +335,10 @@ impl FloodGuard {
     fn enter_finish(&mut self, out: &mut ControlOutput) {
         self.stats.attacks_ended += 1;
         for (dpid, fm) in self.agent.remove_migration() {
-            out.send(dpid, OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)));
+            out.send(
+                dpid,
+                OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)),
+            );
         }
         out.charge(MODULE_NAME, 2e-4);
     }
@@ -356,11 +366,7 @@ impl ControlPlane for FloodGuard {
         now: f64,
         out: &mut ControlOutput,
     ) {
-        let ports: Vec<u16> = features
-            .ports
-            .iter()
-            .filter_map(|p| p.physical())
-            .collect();
+        let ports: Vec<u16> = features.ports.iter().filter_map(|p| p.physical()).collect();
         self.switch_ports.push((dpid, ports));
         self.platform.on_switch_connect(dpid, features, now, out);
     }
@@ -383,7 +389,6 @@ impl ControlPlane for FloodGuard {
         now: f64,
         out: &mut ControlOutput,
     ) {
-        let _device = _device;
         // Cache-generated packet_in: re-raise with the original datapath so
         // applications cannot tell it detoured through the cache.
         if let OfBody::PacketIn(pi) = &msg.body {
@@ -610,7 +615,10 @@ mod tests {
         fg.on_telemetry(&telemetry(), 1.1, &mut out);
         assert_eq!(fg.state(), State::Defense);
         let learned_from_flood = fg.analyzer().installed().len();
-        assert_eq!(learned_from_flood, 60, "spoofed sources learned pre-migration");
+        assert_eq!(
+            learned_from_flood, 60,
+            "spoofed sources learned pre-migration"
+        );
         // Keep the cache looking busy so the attack is not declared over.
         fg.cache_handle().lock().stats.received = 1000;
         // A benign host is learned mid-defense (via the cache path).

@@ -37,7 +37,11 @@ pub struct MigrationAgent {
 
 impl MigrationAgent {
     /// Creates an agent steering the cache behind `cache_port`.
-    pub fn new(config: FloodGuardConfig, cache_handle: CacheHandle, cache_port: u16) -> MigrationAgent {
+    pub fn new(
+        config: FloodGuardConfig,
+        cache_handle: CacheHandle,
+        cache_port: u16,
+    ) -> MigrationAgent {
         MigrationAgent {
             config,
             handles: vec![cache_handle],
@@ -164,7 +168,10 @@ impl MigrationAgent {
             } else if controller_utilization < target * 0.6 {
                 *rate *= 1.15;
             }
-            *rate = rate.clamp(self.config.cache.min_rate_pps, self.config.cache.max_rate_pps);
+            *rate = rate.clamp(
+                self.config.cache.min_rate_pps,
+                self.config.cache.max_rate_pps,
+            );
             last = *rate;
         }
         last
@@ -214,10 +221,7 @@ mod tests {
         assert_eq!(removals.len(), 2);
         for (dpid, fm) in &removals {
             assert_eq!(*dpid, DatapathId(1));
-            assert_eq!(
-                fm.command,
-                ofproto::flow_mod::FlowModCommand::DeleteStrict
-            );
+            assert_eq!(fm.command, ofproto::flow_mod::FlowModCommand::DeleteStrict);
         }
         assert!(!a.is_migrating());
         assert!(!a.handles[0].lock().control.intake_enabled);

@@ -57,7 +57,9 @@ pub fn decode(tos: u8) -> Option<u16> {
 /// Number of tag bits needed for `port_count` ports (paper: "If the ingress
 /// switch has 6 ingress ports, we need 3 bits").
 pub fn bits_needed(port_count: u16) -> u32 {
-    (u32::from(port_count) + 1).next_power_of_two().trailing_zeros()
+    (u32::from(port_count) + 1)
+        .next_power_of_two()
+        .trailing_zeros()
 }
 
 #[cfg(test)]

@@ -131,11 +131,17 @@ mod tests {
     #[test]
     fn illegal_transitions_rejected() {
         let mut sm = StateMachine::new();
-        assert!(!sm.transition(State::Defense, 0.0), "idle cannot jump to defense");
+        assert!(
+            !sm.transition(State::Defense, 0.0),
+            "idle cannot jump to defense"
+        );
         assert!(!sm.transition(State::Finish, 0.0));
         assert!(!sm.transition(State::Idle, 0.0), "self loop rejected");
         sm.transition(State::Init, 1.0);
-        assert!(!sm.transition(State::Idle, 1.5), "init cannot abort to idle");
+        assert!(
+            !sm.transition(State::Idle, 1.5),
+            "init cannot abort to idle"
+        );
         assert!(!sm.transition(State::Finish, 1.5));
         assert_eq!(sm.log().len(), 1);
     }

@@ -24,8 +24,7 @@ use rand::SeedableRng;
 
 use crate::host::{Host, HostId};
 use crate::iface::{
-    ControlOutput, ControlPlane, DataPlaneDevice, DeviceId, DeviceOutput, SwitchTelemetry,
-    Telemetry,
+    ControlOutput, ControlPlane, DataPlaneDevice, DeviceId, DeviceOutput, Telemetry,
 };
 use crate::metrics::{Recorder, UtilizationTracker};
 use crate::packet::Packet;
@@ -343,10 +342,9 @@ impl Simulation {
 
     fn deliver_from_port(&mut self, sw: usize, port: u16, pkt: Packet, at: f64) {
         match self.endpoint(sw, port) {
-            Endpoint::Host(h) => self.queue.schedule(
-                at + self.link_latency,
-                Ev::DeliverToHost { host: h.0, pkt },
-            ),
+            Endpoint::Host(h) => self
+                .queue
+                .schedule(at + self.link_latency, Ev::DeliverToHost { host: h.0, pkt }),
             Endpoint::Device(d) => self.queue.schedule(
                 at + self.link_latency,
                 Ev::DeliverToDevice { dev: d.0, pkt },
@@ -360,7 +358,8 @@ impl Simulation {
                 },
             ),
             Endpoint::Unconnected => {
-                self.recorder.count("unconnected_drops", u64::from(pkt.batch));
+                self.recorder
+                    .count("unconnected_drops", u64::from(pkt.batch));
             }
         }
     }
@@ -419,7 +418,8 @@ impl Simulation {
         for i in 0..self.switches.len() {
             let features = self.switches[i].features();
             let dpid = self.switches[i].dpid;
-            self.control.on_switch_connect(dpid, features, 0.0, &mut out);
+            self.control
+                .on_switch_connect(dpid, features, 0.0, &mut out);
         }
         self.apply_control_output(out, 0.0, 0.0);
         // Workload kickoff.
@@ -438,7 +438,8 @@ impl Simulation {
             let interval = self.devices[dev].tick_interval;
             self.queue.schedule(interval, Ev::DeviceTick { dev });
         }
-        self.queue.schedule(self.maintenance_interval, Ev::Maintenance);
+        self.queue
+            .schedule(self.maintenance_interval, Ev::Maintenance);
     }
 
     /// Runs the event loop until simulated time `until`.
@@ -474,31 +475,29 @@ impl Simulation {
                     self.recorder.count("switch_ingress_drops", 1);
                 }
             }
-            Ev::SwitchStart { sw } => {
-                match self.switches[sw].start_next() {
-                    Some((port, pkt)) => {
-                        let res = self.switches[sw].process(port, pkt, now);
-                        self.switch_cpu[sw].add(now, res.service);
-                        let done = now + res.service;
-                        self.switches[sw].busy_until = done;
-                        for (out_port, out_pkt) in res.forwards {
-                            self.deliver_from_port(sw, out_port, out_pkt, done);
-                        }
-                        if let Some(pi) = res.packet_in {
-                            let xid = Xid(self.ctrl_stats.processed as u32 + 1);
-                            self.send_up(sw, OfMessage::new(xid, OfBody::PacketIn(pi)), done);
-                        }
-                        if self.switches[sw].ingress_len() > 0 {
-                            self.queue.schedule(done, Ev::SwitchStart { sw });
-                        } else {
-                            self.switch_scheduled[sw] = false;
-                        }
+            Ev::SwitchStart { sw } => match self.switches[sw].start_next() {
+                Some((port, pkt)) => {
+                    let res = self.switches[sw].process(port, pkt, now);
+                    self.switch_cpu[sw].add(now, res.service);
+                    let done = now + res.service;
+                    self.switches[sw].busy_until = done;
+                    for (out_port, out_pkt) in res.forwards {
+                        self.deliver_from_port(sw, out_port, out_pkt, done);
                     }
-                    None => {
+                    if let Some(pi) = res.packet_in {
+                        let xid = Xid(self.ctrl_stats.processed as u32 + 1);
+                        self.send_up(sw, OfMessage::new(xid, OfBody::PacketIn(pi)), done);
+                    }
+                    if self.switches[sw].ingress_len() > 0 {
+                        self.queue.schedule(done, Ev::SwitchStart { sw });
+                    } else {
                         self.switch_scheduled[sw] = false;
                     }
                 }
-            }
+                None => {
+                    self.switch_scheduled[sw] = false;
+                }
+            },
             Ev::DeliverToHost { host, pkt } => {
                 let responses = self.hosts[host].receive(&pkt, now);
                 for response in responses {
@@ -521,36 +520,35 @@ impl Simulation {
                     self.maybe_schedule_ctrl(now);
                 }
             }
-            Ev::CtrlStart => {
-                match self.ctrl_queue.pop_front() {
-                    Some((src, msg)) => {
-                        let mut out = ControlOutput::new();
-                        match src {
-                            MsgSource::Switch(i) => {
-                                let dpid = self.switches[i].dpid;
-                                self.control.on_message(dpid, msg, now, &mut out);
-                            }
-                            MsgSource::Device(d) => {
-                                self.control.on_device_message(DeviceId(d), msg, now, &mut out);
-                            }
+            Ev::CtrlStart => match self.ctrl_queue.pop_front() {
+                Some((src, msg)) => {
+                    let mut out = ControlOutput::new();
+                    match src {
+                        MsgSource::Switch(i) => {
+                            let dpid = self.switches[i].dpid;
+                            self.control.on_message(dpid, msg, now, &mut out);
                         }
-                        let app_cpu = self.apply_control_output(out, now, now);
-                        let service = self.ctrl_profile.dispatch_cost + app_cpu;
-                        self.ctrl_busy_until = now + service;
-                        self.ctrl_total_cpu.add(now, service);
-                        self.ctrl_stats.processed += 1;
-                        self.ctrl_stats.cpu_seconds += service;
-                        if self.ctrl_queue.is_empty() {
-                            self.ctrl_scheduled = false;
-                        } else {
-                            self.queue.schedule(self.ctrl_busy_until, Ev::CtrlStart);
+                        MsgSource::Device(d) => {
+                            self.control
+                                .on_device_message(DeviceId(d), msg, now, &mut out);
                         }
                     }
-                    None => {
+                    let app_cpu = self.apply_control_output(out, now, now);
+                    let service = self.ctrl_profile.dispatch_cost + app_cpu;
+                    self.ctrl_busy_until = now + service;
+                    self.ctrl_total_cpu.add(now, service);
+                    self.ctrl_stats.processed += 1;
+                    self.ctrl_stats.cpu_seconds += service;
+                    if self.ctrl_queue.is_empty() {
                         self.ctrl_scheduled = false;
+                    } else {
+                        self.queue.schedule(self.ctrl_busy_until, Ev::CtrlStart);
                     }
                 }
-            }
+                None => {
+                    self.ctrl_scheduled = false;
+                }
+            },
             Ev::SwitchMsgArrive { sw, msg } => {
                 let (forwards, replies) = self.switches[sw].handle_message(msg, now);
                 for (out_port, pkt) in forwards {
@@ -597,16 +595,12 @@ impl Simulation {
                     let datapath_utilization = self.switch_cpu[sw]
                         .utilization_at((now - self.maintenance_interval * 0.5).max(0.0))
                         .min(1.0);
-                    telemetry.switches.push(SwitchTelemetry {
-                        dpid: s.dpid,
-                        buffer_utilization: s.buffer_utilization(),
-                        datapath_utilization,
-                        ingress_len: s.ingress_len(),
-                        misses: s.stats.misses,
-                        flow_count: s.table.len(),
-                    });
-                    self.recorder
-                        .sample(&format!("switch{}_buffer", sw), now, s.buffer_utilization());
+                    telemetry.switches.push(s.telemetry(datapath_utilization));
+                    self.recorder.sample(
+                        &format!("switch{}_buffer", sw),
+                        now,
+                        s.buffer_utilization(),
+                    );
                 }
                 self.recorder
                     .sample("controller_queue", now, self.ctrl_queue.len() as f64);
@@ -797,7 +791,10 @@ mod tests {
             .map(|(_, t)| *t)
             .expect("probe delivered");
         let delay = delivery - 0.5;
-        assert!(delay > 1e-3, "delay {delay} must include channel+controller");
+        assert!(
+            delay > 1e-3,
+            "delay {delay} must include channel+controller"
+        );
         assert!(delay < 0.5, "delay {delay} unreasonably large");
     }
 
@@ -910,13 +907,8 @@ mod tests {
     #[test]
     fn app_cpu_attribution_recorded() {
         let (mut sim, _sw, h1, _h2) = two_host_sim(Box::new(HubControl));
-        sim.host_mut(h1).add_source(Box::new(UdpFlood::new(
-            mac(0xa),
-            50.0,
-            0.0,
-            1.0,
-            64,
-        )));
+        sim.host_mut(h1)
+            .add_source(Box::new(UdpFlood::new(mac(0xa), 50.0, 0.0, 1.0, 64)));
         sim.run_until(1.5);
         assert_eq!(sim.app_names(), vec!["hub".to_owned()]);
         let series = sim.app_utilization("hub", 1.5);

@@ -310,7 +310,13 @@ pub struct UdpFlood {
 
 impl UdpFlood {
     /// Creates a flood of `rate_pps` packets per second over `[start, stop)`.
-    pub fn new(src_mac: MacAddr, rate_pps: f64, start: f64, stop: f64, packet_len: usize) -> UdpFlood {
+    pub fn new(
+        src_mac: MacAddr,
+        rate_pps: f64,
+        start: f64,
+        stop: f64,
+        packet_len: usize,
+    ) -> UdpFlood {
         UdpFlood {
             src_mac,
             rate_pps,
@@ -330,7 +336,11 @@ impl UdpFlood {
         let spoofed_src = MacAddr::from_u64(rng.gen::<u64>() & 0xfeff_ffff_ffff);
         // Keep the true L2 source half the time: real bots often spoof only
         // L3; either way every packet is a table miss.
-        let src_mac = if rng.gen_bool(0.5) { self.src_mac } else { spoofed_src };
+        let src_mac = if rng.gen_bool(0.5) {
+            self.src_mac
+        } else {
+            spoofed_src
+        };
         Packet::udp(
             src_mac,
             dst_mac,
@@ -464,7 +474,15 @@ impl TrafficSource for MixedFlood {
         let dst_ip = Ipv4Addr::from(rng.gen::<u32>());
         let dst_mac = MacAddr::from_u64(rng.gen::<u64>() & 0xfeff_ffff_ffff);
         let pkt = match kind {
-            0 => Packet::udp(self.src_mac, dst_mac, src_ip, dst_ip, rng.gen(), rng.gen(), 64),
+            0 => Packet::udp(
+                self.src_mac,
+                dst_mac,
+                src_ip,
+                dst_ip,
+                rng.gen(),
+                rng.gen(),
+                64,
+            ),
             1 => Packet::tcp(
                 self.src_mac,
                 dst_mac,
@@ -654,8 +672,16 @@ mod tests {
         assert!(matches!(burst[0].tag, FlowTag::Bulk { flow: 7, seq: 0 }));
         assert_eq!(s.peek_next(1.0), None, "one-shot start");
         // The priming ack opens the full window of batched packets.
-        let ack = Packet::udp(mac(2), mac(1), Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 1, 1, 64)
-            .with_tag(FlowTag::BulkAck { flow: 7, seq: 0 });
+        let ack = Packet::udp(
+            mac(2),
+            mac(1),
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            1,
+            1,
+            64,
+        )
+        .with_tag(FlowTag::BulkAck { flow: 7, seq: 0 });
         let window = s.on_receive(&ack, 1.0);
         assert_eq!(window.len(), 4);
         assert!(window.iter().all(|p| p.batch == 10));
@@ -711,7 +737,10 @@ mod tests {
         .with_tag(FlowTag::Bulk { flow: 1, seq: 3 });
         let responses = h.receive(&data, 2.0);
         assert_eq!(responses.len(), 1);
-        assert!(matches!(responses[0].tag, FlowTag::BulkAck { flow: 1, seq: 3 }));
+        assert!(matches!(
+            responses[0].tag,
+            FlowTag::BulkAck { flow: 1, seq: 3 }
+        ));
         assert_eq!(h.meter.total_bytes(), 15000);
         assert_eq!(h.received_packets, 10);
         assert_eq!(h.deliveries.len(), 1);
@@ -737,7 +766,13 @@ mod tests {
         // Reply swaps the port pair.
         match responses[0].payload {
             crate::packet::Payload::Ipv4 {
-                transport: Transport::Tcp { src_port, dst_port, flags, .. },
+                transport:
+                    Transport::Tcp {
+                        src_port,
+                        dst_port,
+                        flags,
+                        ..
+                    },
                 ..
             } => {
                 assert_eq!(src_port, 80);

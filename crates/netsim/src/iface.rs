@@ -159,7 +159,13 @@ impl ControlPlane for NullControlPlane {
     ) {
     }
 
-    fn on_message(&mut self, _dpid: DatapathId, _msg: OfMessage, _now: f64, _out: &mut ControlOutput) {
+    fn on_message(
+        &mut self,
+        _dpid: DatapathId,
+        _msg: OfMessage,
+        _now: f64,
+        _out: &mut ControlOutput,
+    ) {
     }
 }
 
@@ -183,7 +189,12 @@ mod tests {
     fn null_control_plane_is_silent() {
         let mut cp = NullControlPlane;
         let mut out = ControlOutput::new();
-        cp.on_message(DatapathId(1), OfMessage::new(Xid(1), OfBody::Hello), 0.0, &mut out);
+        cp.on_message(
+            DatapathId(1),
+            OfMessage::new(Xid(1), OfBody::Hello),
+            0.0,
+            &mut out,
+        );
         assert!(out.messages.is_empty());
         assert_eq!(out.total_cpu(), 0.0);
     }

@@ -70,7 +70,6 @@ impl Transport {
             Transport::Other { proto } => *proto,
         }
     }
-
 }
 
 /// The network-layer content of a packet.
@@ -268,7 +267,11 @@ impl Packet {
     ) -> Packet {
         Packet {
             src_mac: sender_mac,
-            dst_mac: if opcode == 1 { MacAddr::BROADCAST } else { target_mac },
+            dst_mac: if opcode == 1 {
+                MacAddr::BROADCAST
+            } else {
+                target_mac
+            },
             ethertype: ethertype::ARP,
             payload: Payload::Arp {
                 opcode,
@@ -642,7 +645,15 @@ mod tests {
 
     #[test]
     fn udp_roundtrip() {
-        let pkt = Packet::udp(mac(1), mac(2), ip(10, 0, 0, 1), ip(10, 0, 0, 2), 4000, 53, 128);
+        let pkt = Packet::udp(
+            mac(1),
+            mac(2),
+            ip(10, 0, 0, 1),
+            ip(10, 0, 0, 2),
+            4000,
+            53,
+            128,
+        );
         let bytes = pkt.to_bytes();
         assert_eq!(bytes.len(), 128);
         let parsed = Packet::parse(&bytes).unwrap();
@@ -667,7 +678,10 @@ mod tests {
         let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
         match parsed.payload {
             Payload::Ipv4 {
-                transport: Transport::Tcp { flags, dst_port, .. },
+                transport:
+                    Transport::Tcp {
+                        flags, dst_port, ..
+                    },
                 ..
             } => {
                 assert_eq!(flags, Transport::TCP_SYN);
@@ -706,7 +720,15 @@ mod tests {
 
     #[test]
     fn flow_keys_extraction_udp() {
-        let pkt = Packet::udp(mac(1), mac(2), ip(10, 0, 0, 1), ip(10, 0, 0, 2), 4000, 53, 128);
+        let pkt = Packet::udp(
+            mac(1),
+            mac(2),
+            ip(10, 0, 0, 1),
+            ip(10, 0, 0, 2),
+            4000,
+            53,
+            128,
+        );
         let keys = pkt.flow_keys(3);
         assert_eq!(keys.in_port, 3);
         assert_eq!(keys.dl_type, ethertype::IPV4);
@@ -749,8 +771,8 @@ mod tests {
 
     #[test]
     fn batch_scales_total_bytes() {
-        let pkt = Packet::udp(mac(1), mac(2), ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, 1500)
-            .with_batch(50);
+        let pkt =
+            Packet::udp(mac(1), mac(2), ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, 1500).with_batch(50);
         assert_eq!(pkt.total_bytes(), 1500 * 50);
         // Batch never drops below 1.
         let pkt = pkt.with_batch(0);

@@ -106,7 +106,11 @@ impl SwitchProfile {
     pub fn hit_cost(&self, len: usize, wildcard: bool) -> f64 {
         self.per_packet_cost
             + len as f64 * self.per_byte_cost
-            + if wildcard { self.wildcard_hit_cost } else { 0.0 }
+            + if wildcard {
+                self.wildcard_hit_cost
+            } else {
+                0.0
+            }
     }
 
     /// Datapath seconds to process one packet of `len` bytes on a miss.

@@ -189,7 +189,13 @@ impl Switch {
         Some(BufferId(id))
     }
 
-    fn make_packet_in(&mut self, packet: &Packet, in_port: u16, reason: PacketInReason, now: f64) -> PacketIn {
+    fn make_packet_in(
+        &mut self,
+        packet: &Packet,
+        in_port: u16,
+        reason: PacketInReason,
+        now: f64,
+    ) -> PacketIn {
         let data = packet.to_bytes();
         let total_len = data.len() as u16;
         let buffer_id = self.store_in_buffer(packet.clone(), in_port, now);
@@ -324,7 +330,11 @@ impl Switch {
     ///
     /// Returns `(forwards, replies)`: packets to emit on ports and messages
     /// to send back to the controller.
-    pub fn handle_message(&mut self, msg: OfMessage, now: f64) -> (Vec<(u16, Packet)>, Vec<OfMessage>) {
+    pub fn handle_message(
+        &mut self,
+        msg: OfMessage,
+        now: f64,
+    ) -> (Vec<(u16, Packet)>, Vec<OfMessage>) {
         let mut forwards = Vec::new();
         let mut replies = Vec::new();
         match msg.body {
@@ -418,6 +428,21 @@ impl Switch {
         (forwards, replies)
     }
 
+    /// A telemetry snapshot of this switch's resource state.
+    ///
+    /// `datapath_utilization` is tracked by whoever drives the datapath
+    /// clock (the simulation engine or a live endpoint), so it is passed in.
+    pub fn telemetry(&self, datapath_utilization: f64) -> crate::iface::SwitchTelemetry {
+        crate::iface::SwitchTelemetry {
+            dpid: self.dpid,
+            buffer_utilization: self.buffer_utilization(),
+            datapath_utilization: datapath_utilization.clamp(0.0, 1.0),
+            ingress_len: self.ingress_len(),
+            misses: self.stats.misses,
+            flow_count: self.table.len(),
+        }
+    }
+
     /// The switch's `features_reply` body.
     pub fn features(&self) -> ofproto::messages::FeaturesReply {
         ofproto::messages::FeaturesReply {
@@ -481,7 +506,10 @@ impl Switch {
         priority: u16,
         now: f64,
     ) -> Result<(), TableError> {
-        self.install(&FlowMod::add(of_match, actions).with_priority(priority), now)
+        self.install(
+            &FlowMod::add(of_match, actions).with_priority(priority),
+            now,
+        )
     }
 }
 
@@ -493,11 +521,7 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn test_switch() -> Switch {
-        Switch::new(
-            DatapathId(1),
-            SwitchProfile::software(),
-            vec![1, 2, 3],
-        )
+        Switch::new(DatapathId(1), SwitchProfile::software(), vec![1, 2, 3])
     }
 
     fn udp_pkt(src: u64, dst: u64) -> Packet {
@@ -676,7 +700,10 @@ mod tests {
         let (_, replies) = sw.handle_message(OfMessage::new(Xid(9), OfBody::BarrierRequest), 0.0);
         assert_eq!(replies, vec![OfMessage::new(Xid(9), OfBody::BarrierReply)]);
         let (_, replies) = sw.handle_message(
-            OfMessage::new(Xid(10), OfBody::EchoRequest(bytes::Bytes::from_static(b"x"))),
+            OfMessage::new(
+                Xid(10),
+                OfBody::EchoRequest(bytes::Bytes::from_static(b"x")),
+            ),
             0.0,
         );
         assert!(matches!(replies[0].body, OfBody::EchoReply(_)));
@@ -692,7 +719,8 @@ mod tests {
             },
             vec![1, 2],
         );
-        sw.add_rule(OfMatch::any().with_in_port(1), vec![], 10, 0.0).unwrap();
+        sw.add_rule(OfMatch::any().with_in_port(1), vec![], 10, 0.0)
+            .unwrap();
         let fm = FlowMod::add(OfMatch::any().with_in_port(2), vec![]);
         let (_, replies) = sw.handle_message(OfMessage::new(Xid(7), OfBody::FlowMod(fm)), 0.0);
         match &replies[0].body {
@@ -743,8 +771,13 @@ mod tests {
     #[test]
     fn stats_request_answered() {
         let mut sw = test_switch();
-        sw.add_rule(OfMatch::any(), vec![Action::Output(PortNo::Physical(1))], 1, 0.0)
-            .unwrap();
+        sw.add_rule(
+            OfMatch::any(),
+            vec![Action::Output(PortNo::Physical(1))],
+            1,
+            0.0,
+        )
+        .unwrap();
         sw.process(2, udp_pkt(1, 2), 0.0);
         let (_, replies) = sw.handle_message(
             OfMessage::new(
@@ -766,8 +799,13 @@ mod tests {
     fn service_time_miss_exceeds_hit() {
         let mut sw = test_switch();
         let miss = sw.process(1, udp_pkt(1, 2), 0.0);
-        sw.add_rule(OfMatch::any(), vec![Action::Output(PortNo::Physical(2))], 1, 0.0)
-            .unwrap();
+        sw.add_rule(
+            OfMatch::any(),
+            vec![Action::Output(PortNo::Physical(2))],
+            1,
+            0.0,
+        )
+        .unwrap();
         let hit = sw.process(1, udp_pkt(1, 2), 0.1);
         assert!(miss.service > hit.service * 10.0);
     }
@@ -775,8 +813,13 @@ mod tests {
     #[test]
     fn batch_scales_service_and_counters() {
         let mut sw = test_switch();
-        sw.add_rule(OfMatch::any(), vec![Action::Output(PortNo::Physical(2))], 1, 0.0)
-            .unwrap();
+        sw.add_rule(
+            OfMatch::any(),
+            vec![Action::Output(PortNo::Physical(2))],
+            1,
+            0.0,
+        )
+        .unwrap();
         let single = sw.process(1, udp_pkt(1, 2), 0.0);
         let batched = sw.process(1, udp_pkt(1, 2).with_batch(10), 0.0);
         assert!((batched.service - single.service * 10.0).abs() < 1e-12);

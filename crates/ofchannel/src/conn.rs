@@ -1,0 +1,358 @@
+//! A framed OpenFlow connection over one TCP stream.
+//!
+//! Two daemon threads serve each connection: a reader that accumulates the
+//! byte stream and drains whole frames via [`ofproto::wire::decode_frames`],
+//! and a writer that flushes a **bounded** queue of pre-encoded frames.
+//! The bounded queue is the backpressure mechanism: when the peer stops
+//! reading (the saturation scenario this repo studies), the writer blocks on
+//! the socket, the queue fills, and [`Connection::send`] starts failing with
+//! [`SendError::Backpressure`] instead of buffering without limit.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use ofproto::messages::OfMessage;
+use ofproto::wire::{self, DecodeError};
+use parking_lot::Mutex;
+
+use crate::config::ChannelConfig;
+use crate::counters::ChannelCounters;
+
+/// Why a connection stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed the stream.
+    Eof,
+    /// A socket error.
+    Io(std::io::ErrorKind),
+    /// Inbound bytes failed to decode; the stream cannot be trusted past
+    /// this point, so the connection is torn down.
+    Decode(DecodeError),
+}
+
+/// What the reader thread delivers to the endpoint.
+#[derive(Debug)]
+pub enum ConnEvent {
+    /// A decoded inbound message.
+    Message(OfMessage),
+    /// The connection is dead; no further events follow.
+    Closed(CloseReason),
+}
+
+/// Error from [`Connection::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The bounded send queue is full; the frame was **not** queued.
+    /// Callers shed load (drop the frame) or retry later.
+    Backpressure,
+    /// The writer thread is gone; the connection is dead.
+    Closed,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Backpressure => f.write_str("send queue full (backpressure)"),
+            SendError::Closed => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// A live, framed OpenFlow connection.
+pub struct Connection {
+    stream: TcpStream,
+    send_tx: Sender<bytes::Bytes>,
+    events_rx: Receiver<ConnEvent>,
+    counters: Arc<ChannelCounters>,
+    last_rx: Arc<Mutex<Instant>>,
+    peer: SocketAddr,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("peer", &self.peer)
+            .field("queued", &self.send_tx.len())
+            .finish()
+    }
+}
+
+impl Connection {
+    /// Takes ownership of a handshaken stream and starts the reader/writer
+    /// threads.
+    ///
+    /// `residue` is whatever the handshake over-read past its last frame —
+    /// the reader starts from it so coalesced post-handshake messages are
+    /// not lost.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the stream cannot be cloned for the second thread.
+    pub fn spawn(
+        stream: TcpStream,
+        config: &ChannelConfig,
+        counters: Arc<ChannelCounters>,
+        residue: BytesMut,
+    ) -> std::io::Result<Connection> {
+        let peer = stream.peer_addr()?;
+        // The handshake may have left a read timeout armed; the reader
+        // thread wants plain blocking reads.
+        stream.set_read_timeout(None)?;
+        let (send_tx, send_rx) = channel::bounded::<bytes::Bytes>(config.send_queue_cap);
+        let (events_tx, events_rx) = channel::unbounded::<ConnEvent>();
+        let last_rx = Arc::new(Mutex::new(Instant::now()));
+
+        let reader_stream = stream.try_clone()?;
+        let writer_stream = stream.try_clone()?;
+        let read_chunk = config.read_chunk;
+
+        {
+            let counters = Arc::clone(&counters);
+            let last_rx = Arc::clone(&last_rx);
+            std::thread::Builder::new()
+                .name(format!("ofchannel-read-{peer}"))
+                .spawn(move || {
+                    reader_loop(
+                        reader_stream,
+                        residue,
+                        read_chunk,
+                        counters,
+                        last_rx,
+                        events_tx,
+                    )
+                })
+                .expect("spawn reader thread");
+        }
+        {
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name(format!("ofchannel-write-{peer}"))
+                .spawn(move || writer_loop(writer_stream, send_rx, counters))
+                .expect("spawn writer thread");
+        }
+
+        Ok(Connection {
+            stream,
+            send_tx,
+            events_rx,
+            counters,
+            last_rx,
+            peer,
+        })
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Encodes and queues one message for the writer thread.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Backpressure`] when the bounded queue is full (the
+    /// frame is dropped and counted) and [`SendError::Closed`] when the
+    /// writer is gone.
+    pub fn send(&self, msg: &OfMessage) -> Result<(), SendError> {
+        let frame = wire::encode(msg);
+        match self.send_tx.try_send(frame) {
+            Ok(()) => {
+                self.counters.observe_queue_depth(self.send_tx.len());
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.counters.record_send_blocked();
+                self.counters.observe_queue_depth(self.send_tx.len());
+                Err(SendError::Backpressure)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SendError::Closed),
+        }
+    }
+
+    /// Frames currently waiting for the writer.
+    pub fn queue_len(&self) -> usize {
+        self.send_tx.len()
+    }
+
+    /// Next inbound event, if one is already waiting.
+    pub fn try_recv(&self) -> Option<ConnEvent> {
+        self.events_rx.try_recv().ok()
+    }
+
+    /// Next inbound event, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ConnEvent> {
+        match self.events_rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// How long the receive side has been silent.
+    pub fn idle_for(&self) -> Duration {
+        self.last_rx.lock().elapsed()
+    }
+
+    /// Tears the connection down; the reader/writer threads exit shortly
+    /// after. Safe to call more than once.
+    pub fn close(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
+        // Dropping `send_tx` unblocks the writer; the socket shutdown
+        // unblocks the reader. Both threads exit on their own.
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    mut buf: BytesMut,
+    read_chunk: usize,
+    counters: Arc<ChannelCounters>,
+    last_rx: Arc<Mutex<Instant>>,
+    events: Sender<ConnEvent>,
+) {
+    let mut chunk = vec![0u8; read_chunk.max(wire::OFP_HEADER_LEN)];
+    loop {
+        match wire::decode_frames(&mut buf) {
+            Ok(msgs) => {
+                if !msgs.is_empty() {
+                    *last_rx.lock() = Instant::now();
+                }
+                for msg in msgs {
+                    counters.record_frame_in(wire::wire_len(&msg));
+                    if events.send(ConnEvent::Message(msg)).is_err() {
+                        return; // endpoint dropped the connection
+                    }
+                }
+            }
+            Err(err) => {
+                counters.record_decode_error();
+                let _ = events.send(ConnEvent::Closed(CloseReason::Decode(err)));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                let _ = events.send(ConnEvent::Closed(CloseReason::Eof));
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(err) => {
+                let _ = events.send(ConnEvent::Closed(CloseReason::Io(err.kind())));
+                return;
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    mut stream: TcpStream,
+    frames: Receiver<bytes::Bytes>,
+    counters: Arc<ChannelCounters>,
+) {
+    while let Ok(frame) = frames.recv() {
+        if stream.write_all(&frame).is_err() {
+            // Make sure the reader notices too.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        counters.record_frame_out(frame.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofproto::messages::OfBody;
+    use ofproto::types::Xid;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn messages_cross_the_wire() {
+        let (a, b) = pair();
+        let counters_a = Arc::new(ChannelCounters::new());
+        let counters_b = Arc::new(ChannelCounters::new());
+        let cfg = ChannelConfig::default();
+        let conn_a = Connection::spawn(a, &cfg, counters_a.clone(), BytesMut::new()).unwrap();
+        let conn_b = Connection::spawn(b, &cfg, counters_b.clone(), BytesMut::new()).unwrap();
+
+        let msg = OfMessage::new(
+            Xid(7),
+            OfBody::EchoRequest(bytes::Bytes::from_static(b"hi")),
+        );
+        conn_a.send(&msg).unwrap();
+        match conn_b.recv_timeout(Duration::from_secs(5)) {
+            Some(ConnEvent::Message(got)) => assert_eq!(got, msg),
+            other => panic!("expected message, got {other:?}"),
+        }
+        assert_eq!(counters_a.snapshot().frames_out, 1);
+        assert_eq!(counters_b.snapshot().frames_in, 1);
+
+        conn_a.close();
+        match conn_b.recv_timeout(Duration::from_secs(5)) {
+            Some(ConnEvent::Closed(_)) => {}
+            other => panic!("expected close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_count_and_close() {
+        let (mut a, b) = pair();
+        let counters = Arc::new(ChannelCounters::new());
+        let conn = Connection::spawn(
+            b,
+            &ChannelConfig::default(),
+            counters.clone(),
+            BytesMut::new(),
+        )
+        .unwrap();
+        a.write_all(&[0xde; 64]).unwrap();
+        match conn.recv_timeout(Duration::from_secs(5)) {
+            Some(ConnEvent::Closed(CloseReason::Decode(_))) => {}
+            other => panic!("expected decode close, got {other:?}"),
+        }
+        assert_eq!(counters.snapshot().decode_errors, 1);
+    }
+
+    #[test]
+    fn full_queue_reports_backpressure() {
+        let (a, _b) = pair();
+        // _b is never read and never spawned, so after the kernel buffers
+        // fill the writer blocks and the tiny queue overflows.
+        let counters = Arc::new(ChannelCounters::new());
+        let cfg = ChannelConfig::default().with_send_queue_cap(4);
+        let conn = Connection::spawn(a, &cfg, counters.clone(), BytesMut::new()).unwrap();
+        let payload = bytes::Bytes::from(vec![0u8; 32 * 1024]);
+        let msg = OfMessage::new(Xid(1), OfBody::EchoRequest(payload));
+        let mut saw_backpressure = false;
+        for _ in 0..4096 {
+            if conn.send(&msg) == Err(SendError::Backpressure) {
+                saw_backpressure = true;
+                break;
+            }
+        }
+        assert!(saw_backpressure, "queue never filled");
+        let snap = counters.snapshot();
+        assert!(snap.sends_blocked >= 1);
+        assert!(snap.send_queue_hwm >= 4);
+    }
+}

@@ -1,0 +1,362 @@
+//! A control plane driven over live TCP connections.
+//!
+//! Owns a [`netsim::iface::ControlPlane`] (the bare POX-style platform or
+//! FloodGuard wrapping it) and maintains one outbound connection per
+//! configured target: switches and data-plane caches both. The features
+//! reply's datapath id decides the role — ids carrying
+//! [`crate::DEVICE_DPID_FLAG`] are cache connections whose messages are
+//! delivered through [`ControlPlane::on_device_message`], completing
+//! FloodGuard's migration loop over real sockets.
+//!
+//! Dead or unreachable targets are redialed with capped exponential
+//! backoff; liveness is watched per-connection through echo keepalive.
+//! Because live mode has no simulation engine to synthesize telemetry, the
+//! endpoint periodically assembles a [`Telemetry`] snapshot from what the
+//! controller can legitimately observe (its own packet_in stream and queue
+//! depths) and feeds it to the control plane — this is what arms
+//! FloodGuard's detector in live deployments.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use netsim::iface::{ControlOutput, ControlPlane, DeviceId, SwitchTelemetry, Telemetry};
+use ofproto::messages::{OfBody, OfMessage};
+use ofproto::types::{DatapathId, Xid};
+use parking_lot::Mutex;
+
+use crate::config::{next_backoff, ChannelConfig};
+use crate::conn::{ConnEvent, Connection, SendError};
+use crate::counters::{ChannelCounters, CountersSnapshot};
+use crate::{handshake, parse_device_dpid};
+
+/// Configuration for [`ControllerEndpoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Per-connection transport settings.
+    pub channel: ChannelConfig,
+    /// How often synthesized telemetry is fed to the control plane.
+    pub telemetry_interval: Duration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            channel: ChannelConfig::default(),
+            telemetry_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Liveness snapshot of the endpoint's connection table.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerStatus {
+    /// Datapaths with a completed handshake right now.
+    pub connected_switches: Vec<DatapathId>,
+    /// Devices with a completed handshake right now.
+    pub connected_devices: Vec<DeviceId>,
+}
+
+/// Handle to a control plane served over TCP.
+pub struct ControllerEndpoint {
+    counters: Arc<ChannelCounters>,
+    status: Arc<Mutex<ControllerStatus>>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Box<dyn ControlPlane>>>,
+}
+
+impl std::fmt::Debug for ControllerEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerEndpoint")
+            .field("status", &*self.status.lock())
+            .finish()
+    }
+}
+
+impl ControllerEndpoint {
+    /// Starts dialing `targets` and serving `control` over the resulting
+    /// connections. Targets may be switch or device listeners in any
+    /// order; roles are learned from the handshake.
+    pub fn spawn(
+        control: Box<dyn ControlPlane>,
+        targets: Vec<SocketAddr>,
+        config: ControllerConfig,
+    ) -> ControllerEndpoint {
+        let counters = Arc::new(ChannelCounters::new());
+        let status = Arc::new(Mutex::new(ControllerStatus::default()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let counters = Arc::clone(&counters);
+            let status = Arc::clone(&status);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("ofchannel-controller".to_owned())
+                .spawn(move || run(control, targets, config, counters, status, shutdown))
+                .expect("spawn controller endpoint thread")
+        };
+        ControllerEndpoint {
+            counters,
+            status,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    /// Current transport counters.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Current connection table.
+    pub fn status(&self) -> ControllerStatus {
+        self.status.lock().clone()
+    }
+
+    /// Stops the endpoint and returns the control plane for inspection.
+    pub fn shutdown(mut self) -> Box<dyn ControlPlane> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle
+            .take()
+            .expect("endpoint already shut down")
+            .join()
+            .expect("controller endpoint thread panicked")
+    }
+}
+
+impl Drop for ControllerEndpoint {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Identity {
+    Switch(DatapathId),
+    Device(DeviceId),
+}
+
+struct Slot {
+    addr: SocketAddr,
+    conn: Option<(Connection, Identity)>,
+    backoff: Duration,
+    next_attempt: Instant,
+    ever_connected: bool,
+    last_echo: Instant,
+}
+
+const EVENT_BUDGET: usize = 512;
+
+fn run(
+    mut control: Box<dyn ControlPlane>,
+    targets: Vec<SocketAddr>,
+    config: ControllerConfig,
+    counters: Arc<ChannelCounters>,
+    status: Arc<Mutex<ControllerStatus>>,
+    shutdown: Arc<AtomicBool>,
+) -> Box<dyn ControlPlane> {
+    let start = Instant::now();
+    let cfg = config.channel;
+    let mut slots: Vec<Slot> = targets
+        .into_iter()
+        .map(|addr| Slot {
+            addr,
+            conn: None,
+            backoff: cfg.reconnect_base,
+            next_attempt: Instant::now(),
+            ever_connected: false,
+            last_echo: Instant::now(),
+        })
+        .collect();
+    let mut xid: u32 = 1;
+    let mut last_telemetry = Instant::now();
+    let mut last_tick = start.elapsed().as_secs_f64();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let now = start.elapsed().as_secs_f64();
+
+        // Dial targets that are down and due.
+        let mut connect_out = ControlOutput::new();
+        for slot in &mut slots {
+            if slot.conn.is_some() || Instant::now() < slot.next_attempt {
+                continue;
+            }
+            match dial(slot.addr, &cfg, &counters) {
+                Ok((conn, features)) => {
+                    let identity = match parse_device_dpid(features.datapath_id) {
+                        Some(device) => Identity::Device(device),
+                        None => Identity::Switch(features.datapath_id),
+                    };
+                    if slot.ever_connected {
+                        counters.record_reconnect();
+                    }
+                    slot.ever_connected = true;
+                    slot.backoff = cfg.reconnect_base;
+                    slot.last_echo = Instant::now();
+                    if let Identity::Switch(dpid) = identity {
+                        control.on_switch_connect(dpid, features, now, &mut connect_out);
+                    }
+                    slot.conn = Some((conn, identity));
+                }
+                Err(()) => {
+                    counters.record_connect_failure();
+                    slot.next_attempt = Instant::now() + slot.backoff;
+                    slot.backoff = next_backoff(&cfg, slot.backoff);
+                }
+            }
+        }
+        flush(&slots, connect_out);
+
+        // Drain inbound messages.
+        let mut pending = ControlOutput::new();
+        for slot in &mut slots {
+            let mut died = false;
+            for _ in 0..EVENT_BUDGET {
+                let Some((conn, identity)) = &slot.conn else {
+                    break;
+                };
+                match conn.try_recv() {
+                    Some(ConnEvent::Message(msg)) => match msg.body {
+                        OfBody::EchoRequest(data) => {
+                            let _ = conn.send(&OfMessage::new(msg.xid, OfBody::EchoReply(data)));
+                        }
+                        OfBody::EchoReply(_) => {}
+                        _ => match *identity {
+                            Identity::Switch(dpid) => {
+                                control.on_message(dpid, msg, now, &mut pending);
+                            }
+                            Identity::Device(device) => {
+                                control.on_device_message(device, msg, now, &mut pending);
+                            }
+                        },
+                    },
+                    Some(ConnEvent::Closed(_)) => {
+                        died = true;
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            if died {
+                slot.conn = None;
+                slot.backoff = cfg.reconnect_base;
+                slot.next_attempt = Instant::now() + slot.backoff;
+            }
+        }
+        flush(&slots, pending);
+
+        // Synthesized telemetry: what a live controller can observe.
+        if last_telemetry.elapsed() >= config.telemetry_interval {
+            last_telemetry = Instant::now();
+            let telemetry = Telemetry {
+                switches: slots
+                    .iter()
+                    .filter_map(|s| match s.conn {
+                        Some((_, Identity::Switch(dpid))) => Some(SwitchTelemetry {
+                            dpid,
+                            buffer_utilization: 0.0,
+                            datapath_utilization: 0.0,
+                            ingress_len: 0,
+                            misses: 0,
+                            flow_count: 0,
+                        }),
+                        _ => None,
+                    })
+                    .collect(),
+                controller_queue: 0,
+                controller_utilization: 0.0,
+            };
+            let mut out = ControlOutput::new();
+            control.on_telemetry(&telemetry, now, &mut out);
+            flush(&slots, out);
+        }
+
+        // Control-plane tick.
+        if let Some(interval) = control.tick_interval() {
+            if now - last_tick >= interval {
+                last_tick = now;
+                let mut out = ControlOutput::new();
+                control.on_tick(now, &mut out);
+                flush(&slots, out);
+            }
+        }
+
+        // Keepalive probes and liveness.
+        for slot in &mut slots {
+            let Some((conn, _)) = &slot.conn else {
+                continue;
+            };
+            if slot.last_echo.elapsed() >= cfg.echo_interval {
+                slot.last_echo = Instant::now();
+                xid = xid.wrapping_add(1);
+                let _ = conn.send(&OfMessage::new(
+                    Xid(xid),
+                    OfBody::EchoRequest(bytes::Bytes::new()),
+                ));
+            }
+            if conn.idle_for() >= cfg.liveness_timeout {
+                counters.record_keepalive_timeout();
+                conn.close();
+                slot.conn = None;
+                slot.backoff = cfg.reconnect_base;
+                slot.next_attempt = Instant::now() + slot.backoff;
+            }
+        }
+
+        // Publish liveness for observers.
+        {
+            let mut st = status.lock();
+            st.connected_switches = slots
+                .iter()
+                .filter_map(|s| match s.conn {
+                    Some((_, Identity::Switch(dpid))) => Some(dpid),
+                    _ => None,
+                })
+                .collect();
+            st.connected_devices = slots
+                .iter()
+                .filter_map(|s| match s.conn {
+                    Some((_, Identity::Device(device))) => Some(device),
+                    _ => None,
+                })
+                .collect();
+        }
+
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    control
+}
+
+fn dial(
+    addr: SocketAddr,
+    cfg: &ChannelConfig,
+    counters: &Arc<ChannelCounters>,
+) -> Result<(Connection, ofproto::messages::FeaturesReply), ()> {
+    let mut stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout).map_err(|_| ())?;
+    let _ = stream.set_nodelay(true);
+    let (features, residue) = handshake::initiate(&mut stream, cfg).map_err(|_| ())?;
+    let conn = Connection::spawn(stream, cfg, Arc::clone(counters), residue).map_err(|_| ())?;
+    Ok((conn, features))
+}
+
+/// Routes queued control-plane messages to the connection owning each
+/// datapath. Messages to datapaths that are not connected, plus frames
+/// rejected by backpressure, are dropped — the control plane will observe
+/// the gap the same way it would observe loss on a congested channel.
+fn flush(slots: &[Slot], out: ControlOutput) {
+    for (dpid, msg) in out.messages {
+        let target = slots.iter().find_map(|s| match &s.conn {
+            Some((conn, Identity::Switch(d))) if *d == dpid => Some(conn),
+            _ => None,
+        });
+        if let Some(conn) = target {
+            match conn.send(&msg) {
+                Ok(()) | Err(SendError::Backpressure) | Err(SendError::Closed) => {}
+            }
+        }
+    }
+}

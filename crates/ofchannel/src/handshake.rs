@@ -1,0 +1,247 @@
+//! The OpenFlow 1.0 session handshake.
+//!
+//! Runs synchronously on the fresh stream before the reader/writer threads
+//! take over: `HELLO` exchange, then `FEATURES_REQUEST`/`FEATURES_REPLY`.
+//! The features reply is the identity step — its `datapath_id` tells the
+//! controller which switch (or, with [`crate::DEVICE_DPID_FLAG`], which
+//! data-plane cache) it is talking to.
+//!
+//! Both sides tolerate reordering and keepalive probes mid-handshake, and
+//! both return the bytes they over-read so the connection's reader thread
+//! can pick up exactly where the handshake stopped.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use bytes::BytesMut;
+use ofproto::messages::{FeaturesReply, OfBody, OfMessage};
+use ofproto::types::Xid;
+use ofproto::wire::{self, DecodeError};
+
+use crate::config::ChannelConfig;
+
+/// Why a handshake failed.
+#[derive(Debug)]
+pub enum HandshakeError {
+    /// Socket error.
+    Io(std::io::Error),
+    /// The peer sent bytes that are not OpenFlow 1.0.
+    Decode(DecodeError),
+    /// The peer sent a valid but out-of-place message.
+    Unexpected(&'static str),
+    /// The peer went silent past the handshake budget.
+    Timeout,
+    /// The peer closed the stream mid-handshake.
+    Eof,
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::Io(e) => write!(f, "handshake I/O error: {e}"),
+            HandshakeError::Decode(e) => write!(f, "handshake decode error: {e}"),
+            HandshakeError::Unexpected(what) => {
+                write!(f, "unexpected {what} during handshake")
+            }
+            HandshakeError::Timeout => f.write_str("handshake timed out"),
+            HandshakeError::Eof => f.write_str("peer closed during handshake"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+impl From<std::io::Error> for HandshakeError {
+    fn from(e: std::io::Error) -> HandshakeError {
+        HandshakeError::Io(e)
+    }
+}
+
+impl From<DecodeError> for HandshakeError {
+    fn from(e: DecodeError) -> HandshakeError {
+        HandshakeError::Decode(e)
+    }
+}
+
+/// Controller side: sends `HELLO` + `FEATURES_REQUEST`, waits for the
+/// peer's `FEATURES_REPLY`.
+///
+/// Returns the reply and any over-read bytes.
+///
+/// # Errors
+///
+/// Any [`HandshakeError`]; the stream should be discarded on failure.
+pub fn initiate(
+    stream: &mut TcpStream,
+    config: &ChannelConfig,
+) -> Result<(FeaturesReply, BytesMut), HandshakeError> {
+    let deadline = Instant::now() + config.handshake_timeout;
+    write_msg(stream, &OfMessage::new(Xid(0), OfBody::Hello))?;
+    write_msg(stream, &OfMessage::new(Xid(1), OfBody::FeaturesRequest))?;
+    let mut buf = BytesMut::new();
+    loop {
+        let msg = read_frame(stream, &mut buf, deadline)?;
+        match msg.body {
+            OfBody::Hello => {}
+            OfBody::EchoRequest(data) => {
+                write_msg(stream, &OfMessage::new(msg.xid, OfBody::EchoReply(data)))?;
+            }
+            OfBody::FeaturesReply(features) => return Ok((features, buf)),
+            _ => return Err(HandshakeError::Unexpected("message")),
+        }
+    }
+}
+
+/// Switch/device side: sends `HELLO`, answers the peer's
+/// `FEATURES_REQUEST` with `features`.
+///
+/// Returns any over-read bytes.
+///
+/// # Errors
+///
+/// Any [`HandshakeError`]; the stream should be discarded on failure.
+pub fn accept(
+    stream: &mut TcpStream,
+    features: &FeaturesReply,
+    config: &ChannelConfig,
+) -> Result<BytesMut, HandshakeError> {
+    let deadline = Instant::now() + config.handshake_timeout;
+    write_msg(stream, &OfMessage::new(Xid(0), OfBody::Hello))?;
+    let mut buf = BytesMut::new();
+    let mut saw_hello = false;
+    loop {
+        let msg = read_frame(stream, &mut buf, deadline)?;
+        match msg.body {
+            OfBody::Hello => saw_hello = true,
+            OfBody::EchoRequest(data) => {
+                write_msg(stream, &OfMessage::new(msg.xid, OfBody::EchoReply(data)))?;
+            }
+            OfBody::FeaturesRequest => {
+                if !saw_hello {
+                    return Err(HandshakeError::Unexpected("features_request before hello"));
+                }
+                write_msg(
+                    stream,
+                    &OfMessage::new(msg.xid, OfBody::FeaturesReply(features.clone())),
+                )?;
+                return Ok(buf);
+            }
+            _ => return Err(HandshakeError::Unexpected("message")),
+        }
+    }
+}
+
+fn write_msg(stream: &mut TcpStream, msg: &OfMessage) -> Result<(), HandshakeError> {
+    stream.write_all(&wire::encode(msg))?;
+    Ok(())
+}
+
+/// Reads exactly one frame, leaving any extra bytes in `buf`.
+fn read_frame(
+    stream: &mut TcpStream,
+    buf: &mut BytesMut,
+    deadline: Instant,
+) -> Result<OfMessage, HandshakeError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(len) = wire::frame_len(&buf[..])? {
+            if buf.len() >= len {
+                let frame = buf.split_to(len);
+                return Ok(wire::decode(&frame[..])?);
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(HandshakeError::Timeout);
+        }
+        stream.set_read_timeout(Some(deadline - now))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HandshakeError::Eof),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HandshakeError::Timeout);
+            }
+            Err(e) => return Err(HandshakeError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofproto::types::{DatapathId, PortNo};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn features() -> FeaturesReply {
+        FeaturesReply {
+            datapath_id: DatapathId(42),
+            n_buffers: 64,
+            n_tables: 1,
+            ports: vec![PortNo::Physical(1), PortNo::Physical(2)],
+        }
+    }
+
+    #[test]
+    fn full_handshake_completes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cfg = ChannelConfig::default();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            accept(&mut stream, &features(), &ChannelConfig::default()).unwrap()
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (reply, residue) = initiate(&mut client, &cfg).unwrap();
+        assert_eq!(reply, features());
+        assert!(residue.is_empty());
+        let server_residue = server.join().unwrap();
+        assert!(server_residue.is_empty());
+    }
+
+    #[test]
+    fn garbage_peer_fails_decode() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Consume the client's HELLO + FEATURES_REQUEST and hold the
+            // stream open until the client is done, so no RST races the
+            // garbage delivery.
+            let mut hello_and_features = [0u8; 16];
+            stream.read_exact(&mut hello_and_features).unwrap();
+            stream.write_all(&[0xff; 32]).unwrap();
+            let mut sink = [0u8; 64];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let cfg = ChannelConfig::default();
+        match initiate(&mut client, &cfg) {
+            Err(HandshakeError::Decode(_)) => {}
+            other => panic!("expected decode error, got {other:?}"),
+        }
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn silent_peer_times_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let cfg = ChannelConfig {
+            handshake_timeout: Duration::from_millis(100),
+            ..ChannelConfig::default()
+        };
+        match initiate(&mut client, &cfg) {
+            Err(HandshakeError::Timeout) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // Keep the listener alive so the connect cannot be refused.
+        drop(listener);
+    }
+}

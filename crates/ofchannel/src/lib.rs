@@ -1,0 +1,105 @@
+//! Live OpenFlow 1.0 transport for the FloodGuard reproduction.
+//!
+//! Everything else in this workspace exercises the defense inside a
+//! discrete-event simulation; this crate runs the same components over real
+//! TCP sockets. It provides:
+//!
+//! * [`conn::Connection`] — one framed connection: a reader thread driving
+//!   [`ofproto::wire::decode_frames`] over the byte stream and a writer
+//!   thread draining a **bounded** send queue, so a peer that stops reading
+//!   surfaces as explicit [`conn::SendError::Backpressure`] instead of
+//!   unbounded buffering.
+//! * [`handshake`] — the synchronous `HELLO` → `FEATURES` exchange that
+//!   opens every session and identifies the peer.
+//! * [`switch_endpoint::SwitchEndpoint`] — a [`netsim::switch::Switch`]
+//!   (plus attached data-plane devices) served from a listening socket,
+//!   the way Open vSwitch serves a bridge in `ptcp` mode.
+//! * [`controller_endpoint::ControllerEndpoint`] — a
+//!   [`netsim::iface::ControlPlane`] (the controller platform, optionally
+//!   wrapped by FloodGuard) dialing switches and caches, with echo
+//!   keepalive, liveness timeouts, and capped-exponential-backoff
+//!   reconnect.
+//! * [`counters::ChannelCounters`] — frames/bytes in/out, decode errors,
+//!   reconnects, backpressure rejections and queue high-water marks, so
+//!   channel saturation is measurable from outside.
+//!
+//! Data-plane cache connections are distinguished from switch connections
+//! by [`DEVICE_DPID_FLAG`] in the handshake's datapath id, mirroring how
+//! the paper gives the cache its own controller connection.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod conn;
+pub mod controller_endpoint;
+pub mod counters;
+pub mod handshake;
+pub mod switch_endpoint;
+
+pub use config::ChannelConfig;
+pub use conn::{CloseReason, ConnEvent, Connection, SendError};
+pub use controller_endpoint::{ControllerConfig, ControllerEndpoint, ControllerStatus};
+pub use counters::{ChannelCounters, CountersSnapshot};
+pub use switch_endpoint::SwitchEndpoint;
+
+use netsim::iface::DeviceId;
+use ofproto::messages::FeaturesReply;
+use ofproto::types::DatapathId;
+
+/// High bit marking a datapath id as a data-plane device connection.
+///
+/// OpenFlow 1.0 datapath ids embed a 48-bit MAC plus an implementer-defined
+/// upper 16 bits, so real switches never carry this bit. A features reply
+/// whose id has it set announces "I am data-plane cache *n*", and the
+/// controller routes its messages through
+/// [`netsim::iface::ControlPlane::on_device_message`].
+pub const DEVICE_DPID_FLAG: u64 = 1 << 63;
+
+/// The datapath id a device connection announces for device index `index`.
+pub fn device_dpid(index: usize) -> DatapathId {
+    DatapathId(DEVICE_DPID_FLAG | index as u64)
+}
+
+/// Extracts the device id from a flagged datapath id, if the flag is set.
+pub fn parse_device_dpid(dpid: DatapathId) -> Option<DeviceId> {
+    if dpid.0 & DEVICE_DPID_FLAG != 0 {
+        Some(DeviceId((dpid.0 & !DEVICE_DPID_FLAG) as usize))
+    } else {
+        None
+    }
+}
+
+/// The features reply a device connection presents during its handshake.
+///
+/// Devices are not switches: no ports, no buffers — the reply exists only
+/// to carry the flagged identity.
+pub fn device_features(index: usize) -> FeaturesReply {
+    FeaturesReply {
+        datapath_id: device_dpid(index),
+        n_buffers: 0,
+        n_tables: 0,
+        ports: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_dpid_roundtrip() {
+        for index in [0usize, 1, 7, 4095] {
+            let dpid = device_dpid(index);
+            assert_eq!(parse_device_dpid(dpid), Some(DeviceId(index)));
+        }
+        assert_eq!(parse_device_dpid(DatapathId(1)), None);
+        assert_eq!(parse_device_dpid(DatapathId(0xff_ffff)), None);
+    }
+
+    #[test]
+    fn device_features_carry_identity() {
+        let f = device_features(3);
+        assert_eq!(parse_device_dpid(f.datapath_id), Some(DeviceId(3)));
+        assert!(f.ports.is_empty());
+    }
+}

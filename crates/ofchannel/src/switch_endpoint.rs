@@ -1,0 +1,450 @@
+//! A netsim switch served live over TCP.
+//!
+//! The endpoint owns a [`netsim::switch::Switch`] plus its attached
+//! data-plane devices (FloodGuard's cache) and exposes them the way Open
+//! vSwitch exposes a bridge in `ptcp` mode: it listens, a controller
+//! connects, and the OpenFlow session runs over the socket. Each device
+//! gets its own listener — mirroring the paper's deployment where the data
+//! plane cache keeps a separate controller connection — and identifies
+//! itself during the handshake with a [`crate::DEVICE_DPID_FLAG`]-tagged
+//! datapath id.
+//!
+//! Packets enter the data plane via [`SwitchEndpoint::inject`]; misses
+//! become real `packet_in` frames on the wire, and `flow_mod`/`packet_out`
+//! frames from the controller drive the same switch logic the simulator
+//! uses. Forwards that land on a device port are handed to the device
+//! in-process (the cable between a switch port and its cache is not
+//! modelled as a socket).
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use netsim::iface::{DataPlaneDevice, DeviceOutput, SwitchTelemetry};
+use netsim::packet::Packet;
+use netsim::switch::Switch;
+use ofproto::messages::{OfBody, OfMessage};
+use ofproto::types::Xid;
+use parking_lot::Mutex;
+
+use crate::config::ChannelConfig;
+use crate::conn::{ConnEvent, Connection, SendError};
+use crate::counters::{ChannelCounters, CountersSnapshot};
+use crate::{device_features, handshake};
+
+enum Cmd {
+    Inject { in_port: u16, packet: Packet },
+}
+
+/// Handle to a switch being served over TCP.
+pub struct SwitchEndpoint {
+    switch_addr: SocketAddr,
+    device_addrs: Vec<SocketAddr>,
+    cmd_tx: Sender<Cmd>,
+    counters: Arc<ChannelCounters>,
+    telemetry: Arc<Mutex<SwitchTelemetry>>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Switch>>,
+}
+
+impl std::fmt::Debug for SwitchEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchEndpoint")
+            .field("switch_addr", &self.switch_addr)
+            .field("device_addrs", &self.device_addrs)
+            .finish()
+    }
+}
+
+impl SwitchEndpoint {
+    /// Starts serving `switch` on an ephemeral loopback port.
+    ///
+    /// `devices` attach data-plane devices by `(switch port, logic)`;
+    /// each gets its own listener whose address appears in
+    /// [`SwitchEndpoint::device_addrs`] at the same index.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a listener cannot be bound.
+    pub fn spawn(
+        switch: Switch,
+        devices: Vec<(u16, Box<dyn DataPlaneDevice>)>,
+        config: ChannelConfig,
+    ) -> std::io::Result<SwitchEndpoint> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let switch_addr = listener.local_addr()?;
+
+        let mut device_slots = Vec::new();
+        let mut device_addrs = Vec::new();
+        for (index, (port, logic)) in devices.into_iter().enumerate() {
+            let dev_listener = TcpListener::bind("127.0.0.1:0")?;
+            dev_listener.set_nonblocking(true)?;
+            device_addrs.push(dev_listener.local_addr()?);
+            device_slots.push(DeviceSlot {
+                index,
+                port,
+                logic,
+                listener: dev_listener,
+                conn: None,
+                last_echo: Instant::now(),
+                last_tick: Instant::now(),
+                connected_before: false,
+            });
+        }
+
+        let (cmd_tx, cmd_rx) = channel::unbounded();
+        let counters = Arc::new(ChannelCounters::new());
+        let telemetry = Arc::new(Mutex::new(switch.telemetry(0.0)));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let handle = {
+            let counters = Arc::clone(&counters);
+            let telemetry = Arc::clone(&telemetry);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("ofchannel-switch-{}", switch.dpid.0))
+                .spawn(move || {
+                    run(
+                        switch,
+                        listener,
+                        device_slots,
+                        config,
+                        cmd_rx,
+                        counters,
+                        telemetry,
+                        shutdown,
+                    )
+                })?
+        };
+
+        Ok(SwitchEndpoint {
+            switch_addr,
+            device_addrs,
+            cmd_tx,
+            counters,
+            telemetry,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// Where the controller should connect for the switch session.
+    pub fn switch_addr(&self) -> SocketAddr {
+        self.switch_addr
+    }
+
+    /// Where the controller should connect for each device session.
+    pub fn device_addrs(&self) -> &[SocketAddr] {
+        &self.device_addrs
+    }
+
+    /// Feeds one packet into the data plane at `in_port`.
+    pub fn inject(&self, in_port: u16, packet: Packet) {
+        let _ = self.cmd_tx.send(Cmd::Inject { in_port, packet });
+    }
+
+    /// Current transport counters.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Latest switch resource snapshot.
+    pub fn telemetry(&self) -> SwitchTelemetry {
+        *self.telemetry.lock()
+    }
+
+    /// Stops serving and returns the switch for inspection.
+    pub fn shutdown(mut self) -> Switch {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle
+            .take()
+            .expect("endpoint already shut down")
+            .join()
+            .expect("switch endpoint thread panicked")
+    }
+}
+
+impl Drop for SwitchEndpoint {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct DeviceSlot {
+    index: usize,
+    port: u16,
+    logic: Box<dyn DataPlaneDevice>,
+    listener: TcpListener,
+    conn: Option<Connection>,
+    last_echo: Instant,
+    last_tick: Instant,
+    connected_before: bool,
+}
+
+/// How many data-plane packets one loop iteration may process before
+/// servicing the sockets again; keeps packet_in latency bounded under load.
+const DATAPATH_BUDGET: usize = 512;
+
+/// How many inbound control messages one loop iteration drains per
+/// connection.
+const EVENT_BUDGET: usize = 512;
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    mut switch: Switch,
+    listener: TcpListener,
+    mut devices: Vec<DeviceSlot>,
+    config: ChannelConfig,
+    cmd_rx: Receiver<Cmd>,
+    counters: Arc<ChannelCounters>,
+    telemetry: Arc<Mutex<SwitchTelemetry>>,
+    shutdown: Arc<AtomicBool>,
+) -> Switch {
+    let start = Instant::now();
+    let mut conn: Option<Connection> = None;
+    let mut connected_before = false;
+    let mut last_echo = Instant::now();
+    let mut last_expire = Instant::now();
+    let mut xid: u32 = 1;
+    let mut busy_accum = 0.0_f64;
+    let mut last_util_at = Instant::now();
+    let mut datapath_util = 0.0_f64;
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let now = start.elapsed().as_secs_f64();
+
+        // Controller (re)connects.
+        if let Ok((mut stream, _)) = listener.accept() {
+            let _ = stream.set_nodelay(true);
+            match handshake::accept(&mut stream, &switch.features(), &config) {
+                Ok(residue) => {
+                    match Connection::spawn(stream, &config, Arc::clone(&counters), residue) {
+                        Ok(new_conn) => {
+                            if connected_before {
+                                counters.record_reconnect();
+                            }
+                            connected_before = true;
+                            conn = Some(new_conn);
+                            last_echo = Instant::now();
+                        }
+                        Err(_) => counters.record_connect_failure(),
+                    }
+                }
+                Err(_) => counters.record_connect_failure(),
+            }
+        }
+        for dev in &mut devices {
+            if let Ok((mut stream, _)) = dev.listener.accept() {
+                let _ = stream.set_nodelay(true);
+                let features = device_features(dev.index);
+                match handshake::accept(&mut stream, &features, &config) {
+                    Ok(residue) => {
+                        match Connection::spawn(stream, &config, Arc::clone(&counters), residue) {
+                            Ok(new_conn) => {
+                                if dev.connected_before {
+                                    counters.record_reconnect();
+                                }
+                                dev.connected_before = true;
+                                dev.conn = Some(new_conn);
+                                dev.last_echo = Instant::now();
+                            }
+                            Err(_) => counters.record_connect_failure(),
+                        }
+                    }
+                    Err(_) => counters.record_connect_failure(),
+                }
+            }
+        }
+
+        // Ingest injected packets; the 1 ms wait paces the loop when idle.
+        match cmd_rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(Cmd::Inject { in_port, packet }) => {
+                switch.enqueue(in_port, packet);
+                while let Ok(Cmd::Inject { in_port, packet }) = cmd_rx.try_recv() {
+                    switch.enqueue(in_port, packet);
+                }
+            }
+            Err(_) => {}
+        }
+
+        // Pump the datapath.
+        for _ in 0..DATAPATH_BUDGET {
+            let Some((in_port, packet)) = switch.start_next() else {
+                break;
+            };
+            let res = switch.process(in_port, packet, now);
+            busy_accum += res.service;
+            route_forwards(res.forwards, &mut devices, now);
+            if let Some(pi) = res.packet_in {
+                xid = xid.wrapping_add(1);
+                send_best_effort(&conn, &OfMessage::new(Xid(xid), OfBody::PacketIn(pi)));
+            }
+        }
+
+        // Control messages from the controller.
+        let mut conn_died = false;
+        if let Some(active) = &conn {
+            for _ in 0..EVENT_BUDGET {
+                match active.try_recv() {
+                    Some(ConnEvent::Message(msg)) => match msg.body {
+                        OfBody::EchoRequest(data) => {
+                            send_best_effort(
+                                &conn,
+                                &OfMessage::new(msg.xid, OfBody::EchoReply(data)),
+                            );
+                        }
+                        OfBody::EchoReply(_) => {}
+                        _ => {
+                            let (forwards, replies) = switch.handle_message(msg, now);
+                            route_forwards(forwards, &mut devices, now);
+                            for reply in replies {
+                                send_best_effort(&conn, &reply);
+                            }
+                        }
+                    },
+                    Some(ConnEvent::Closed(_)) => {
+                        conn_died = true;
+                        break;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if conn_died {
+            conn = None;
+        }
+
+        // Control messages to/from devices, plus their periodic ticks.
+        for dev in &mut devices {
+            let mut died = false;
+            if let Some(active) = &dev.conn {
+                for _ in 0..EVENT_BUDGET {
+                    match active.try_recv() {
+                        Some(ConnEvent::Message(msg)) => match msg.body {
+                            OfBody::EchoRequest(data) => {
+                                let _ =
+                                    active.send(&OfMessage::new(msg.xid, OfBody::EchoReply(data)));
+                            }
+                            OfBody::EchoReply(_) => {}
+                            _ => {
+                                let mut out = DeviceOutput::new();
+                                dev.logic.on_message(msg, now, &mut out);
+                                for up in out.to_controller {
+                                    let _ = active.send(&up);
+                                }
+                            }
+                        },
+                        Some(ConnEvent::Closed(_)) => {
+                            died = true;
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if died {
+                dev.conn = None;
+            }
+            // Devices are ticked on a fixed cadence, like the engine's
+            // `DeviceTick` events; a device-requested `next_tick` sooner
+            // than that is honoured too.
+            let due_fixed = dev.last_tick.elapsed() >= config.device_tick_interval;
+            let due_requested = dev.logic.next_tick(now).is_some_and(|t| t <= now);
+            if due_fixed || due_requested {
+                dev.last_tick = Instant::now();
+                let mut out = DeviceOutput::new();
+                dev.logic.on_tick(now, &mut out);
+                if let Some(active) = &dev.conn {
+                    for up in out.to_controller {
+                        let _ = active.send(&up);
+                    }
+                }
+            }
+        }
+
+        // Flow/buffer expiry.
+        if last_expire.elapsed() >= Duration::from_millis(10) {
+            last_expire = Instant::now();
+            for msg in switch.expire(now) {
+                send_best_effort(&conn, &msg);
+            }
+        }
+
+        // Keepalive probes and liveness.
+        if let Some(active) = &conn {
+            if last_echo.elapsed() >= config.echo_interval {
+                last_echo = Instant::now();
+                xid = xid.wrapping_add(1);
+                let _ = active.send(&OfMessage::new(
+                    Xid(xid),
+                    OfBody::EchoRequest(bytes::Bytes::new()),
+                ));
+            }
+            if active.idle_for() >= config.liveness_timeout {
+                counters.record_keepalive_timeout();
+                active.close();
+                conn = None;
+            }
+        }
+        for dev in &mut devices {
+            if let Some(active) = &dev.conn {
+                if dev.last_echo.elapsed() >= config.echo_interval {
+                    dev.last_echo = Instant::now();
+                    xid = xid.wrapping_add(1);
+                    let _ = active.send(&OfMessage::new(
+                        Xid(xid),
+                        OfBody::EchoRequest(bytes::Bytes::new()),
+                    ));
+                }
+                if active.idle_for() >= config.liveness_timeout {
+                    counters.record_keepalive_timeout();
+                    active.close();
+                    dev.conn = None;
+                }
+            }
+        }
+
+        // Telemetry snapshot (drives dashboards and the example binary).
+        let dt = last_util_at.elapsed().as_secs_f64();
+        if dt >= 0.05 {
+            datapath_util = (busy_accum / dt).min(1.0);
+            busy_accum = 0.0;
+            last_util_at = Instant::now();
+        }
+        *telemetry.lock() = switch.telemetry(datapath_util);
+    }
+    switch
+}
+
+/// Hands forwarded packets that land on a device port to the device;
+/// other ports lead to hosts, which live mode does not model.
+fn route_forwards(forwards: Vec<(u16, Packet)>, devices: &mut [DeviceSlot], now: f64) {
+    for (out_port, packet) in forwards {
+        if let Some(dev) = devices.iter_mut().find(|d| d.port == out_port) {
+            let mut out = DeviceOutput::new();
+            dev.logic.on_packet(packet, now, &mut out);
+            if let Some(active) = &dev.conn {
+                for up in out.to_controller {
+                    let _ = active.send(&up);
+                }
+            }
+        }
+    }
+}
+
+/// Sends on the connection if one is up; backpressure and closure both
+/// drop the frame (the counters record each backpressure rejection).
+fn send_best_effort(conn: &Option<Connection>, msg: &OfMessage) {
+    if let Some(active) = conn {
+        match active.send(msg) {
+            Ok(()) | Err(SendError::Backpressure) | Err(SendError::Closed) => {}
+        }
+    }
+}

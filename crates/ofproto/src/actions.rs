@@ -69,7 +69,10 @@ impl Action {
     /// Length of this action on the wire, in bytes.
     pub fn wire_len(&self) -> usize {
         match self {
-            Action::Output(_) | Action::StripVlan | Action::SetVlanVid(_) | Action::SetVlanPcp(_) => 8,
+            Action::Output(_)
+            | Action::StripVlan
+            | Action::SetVlanVid(_)
+            | Action::SetVlanPcp(_) => 8,
             Action::SetNwSrc(_) | Action::SetNwDst(_) | Action::SetNwTos(_) => 8,
             Action::SetTpSrc(_) | Action::SetTpDst(_) => 8,
             Action::SetDlSrc(_) | Action::SetDlDst(_) => 16,
@@ -269,7 +272,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(Action::Output(PortNo::Physical(3)).to_string(), "output:port3");
+        assert_eq!(
+            Action::Output(PortNo::Physical(3)).to_string(),
+            "output:port3"
+        );
         assert_eq!(Action::SetNwTos(1).to_string(), "set_tos_bits:1");
     }
 }

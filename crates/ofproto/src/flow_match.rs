@@ -458,10 +458,18 @@ impl fmt::Display for OfMatch {
             parts.push(format!("nw_proto={}", self.keys.nw_proto));
         }
         if w.nw_src_bits() < 32 {
-            parts.push(format!("nw_src={}/{}", self.keys.nw_src, 32 - w.nw_src_bits()));
+            parts.push(format!(
+                "nw_src={}/{}",
+                self.keys.nw_src,
+                32 - w.nw_src_bits()
+            ));
         }
         if w.nw_dst_bits() < 32 {
-            parts.push(format!("nw_dst={}/{}", self.keys.nw_dst, 32 - w.nw_dst_bits()));
+            parts.push(format!(
+                "nw_dst={}/{}",
+                self.keys.nw_dst,
+                32 - w.nw_dst_bits()
+            ));
         }
         if !w.contains(Wildcards::TP_SRC) {
             parts.push(format!("tp_src={}", self.keys.tp_src));

@@ -341,7 +341,11 @@ impl FlowTable {
     /// Aggregate statistics for rules whose match is a subset of `of_match`.
     pub fn aggregate_stats(&self, of_match: &OfMatch) -> AggregateStats {
         let mut agg = AggregateStats::default();
-        for e in self.entries.iter().filter(|e| e.of_match.is_subset_of(of_match)) {
+        for e in self
+            .entries
+            .iter()
+            .filter(|e| e.of_match.is_subset_of(of_match))
+        {
             agg.packet_count += e.packet_count;
             agg.byte_count += e.byte_count;
             agg.flow_count += 1;
@@ -386,7 +390,8 @@ mod tests {
     fn priority_order_wins() {
         let mut t = FlowTable::new(None);
         t.apply(&add(OfMatch::any(), 1, 1), 0.0).unwrap();
-        t.apply(&add(OfMatch::any().with_in_port(5), 100, 2), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(5), 100, 2), 0.0)
+            .unwrap();
         let hit = t.lookup(&keys_udp(5), 0.0, 64).unwrap();
         assert_eq!(hit.actions, vec![Action::Output(PortNo::Physical(2))]);
         let hit = t.lookup(&keys_udp(6), 0.0, 64).unwrap();
@@ -397,7 +402,8 @@ mod tests {
     fn equal_priority_first_installed_wins() {
         let mut t = FlowTable::new(None);
         t.apply(&add(OfMatch::any(), 10, 1), 0.0).unwrap();
-        t.apply(&add(OfMatch::any().with_in_port(5), 10, 2), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(5), 10, 2), 0.0)
+            .unwrap();
         let hit = t.lookup(&keys_udp(5), 0.0, 64).unwrap();
         assert_eq!(hit.actions, vec![Action::Output(PortNo::Physical(1))]);
     }
@@ -418,21 +424,25 @@ mod tests {
     #[test]
     fn capacity_enforced() {
         let mut t = FlowTable::new(Some(2));
-        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
-        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0)
+            .unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0)
+            .unwrap();
         assert_eq!(
             t.apply(&add(OfMatch::any().with_in_port(3), 10, 3), 0.0),
             Err(TableError::TableFull)
         );
         // Replacing an existing rule still works at capacity.
-        t.apply(&add(OfMatch::any().with_in_port(1), 10, 9), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 9), 0.0)
+            .unwrap();
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn check_overlap_rejects() {
         let mut t = FlowTable::new(None);
-        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0)
+            .unwrap();
         let mut fm = add(OfMatch::any(), 10, 2);
         fm.flags = FlowModFlags {
             check_overlap: true,
@@ -447,7 +457,8 @@ mod tests {
     #[test]
     fn idle_timeout_expires() {
         let mut t = FlowTable::new(None);
-        t.apply(&add(OfMatch::any(), 10, 1).with_idle_timeout(5), 0.0).unwrap();
+        t.apply(&add(OfMatch::any(), 10, 1).with_idle_timeout(5), 0.0)
+            .unwrap();
         assert!(t.lookup(&keys_udp(1), 3.0, 64).is_some());
         // Traffic at t=3 refreshes the idle clock.
         assert!(t.lookup(&keys_udp(1), 7.9, 64).is_some());
@@ -460,7 +471,8 @@ mod tests {
     #[test]
     fn hard_timeout_expires_despite_traffic() {
         let mut t = FlowTable::new(None);
-        t.apply(&add(OfMatch::any(), 10, 1).with_hard_timeout(10), 0.0).unwrap();
+        t.apply(&add(OfMatch::any(), 10, 1).with_hard_timeout(10), 0.0)
+            .unwrap();
         for i in 0..9 {
             assert!(t.lookup(&keys_udp(1), f64::from(i), 64).is_some());
         }
@@ -472,8 +484,13 @@ mod tests {
     #[test]
     fn delete_nonstrict_uses_subset() {
         let mut t = FlowTable::new(None);
-        t.apply(&add(OfMatch::any().with_in_port(1).with_nw_proto(17), 10, 1), 0.0).unwrap();
-        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0).unwrap();
+        t.apply(
+            &add(OfMatch::any().with_in_port(1).with_nw_proto(17), 10, 1),
+            0.0,
+        )
+        .unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0)
+            .unwrap();
         let removed = t
             .apply(&FlowMod::delete(OfMatch::any().with_in_port(1)), 1.0)
             .unwrap();
@@ -497,19 +514,25 @@ mod tests {
     #[test]
     fn delete_filtered_by_out_port() {
         let mut t = FlowTable::new(None);
-        t.apply(&add(OfMatch::any().with_in_port(1), 10, 7), 0.0).unwrap();
-        t.apply(&add(OfMatch::any().with_in_port(2), 10, 8), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 7), 0.0)
+            .unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 8), 0.0)
+            .unwrap();
         let mut del = FlowMod::delete(OfMatch::any());
         del.out_port = PortNo::Physical(7);
         let removed = t.apply(&del, 1.0).unwrap();
         assert_eq!(removed.len(), 1);
-        assert_eq!(removed[0].entry.actions, vec![Action::Output(PortNo::Physical(7))]);
+        assert_eq!(
+            removed[0].entry.actions,
+            vec![Action::Output(PortNo::Physical(7))]
+        );
     }
 
     #[test]
     fn modify_updates_actions_preserving_counters() {
         let mut t = FlowTable::new(None);
-        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0)
+            .unwrap();
         t.lookup(&keys_udp(1), 0.5, 64).unwrap();
         let mut fm = add(OfMatch::any(), 0, 9);
         fm.command = FlowModCommand::Modify;
@@ -543,8 +566,10 @@ mod tests {
     #[test]
     fn stats_filtered_by_match() {
         let mut t = FlowTable::new(None);
-        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0).unwrap();
-        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0).unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(1), 10, 1), 0.0)
+            .unwrap();
+        t.apply(&add(OfMatch::any().with_in_port(2), 10, 2), 0.0)
+            .unwrap();
         t.lookup(&keys_udp(1), 1.0, 100).unwrap();
         let stats = t.flow_stats(&OfMatch::any().with_in_port(1), 2.0);
         assert_eq!(stats.len(), 1);

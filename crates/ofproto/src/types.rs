@@ -347,7 +347,9 @@ mod tests {
 
     #[test]
     fn portno_wire_roundtrip() {
-        for raw in [0u16, 1, 47, 0xfefe, 0xfff8, 0xfff9, 0xfffa, 0xfffb, 0xfffc, 0xfffd, 0xfffe, 0xffff] {
+        for raw in [
+            0u16, 1, 47, 0xfefe, 0xfff8, 0xfff9, 0xfffa, 0xfffb, 0xfffc, 0xfffd, 0xfffe, 0xffff,
+        ] {
             assert_eq!(PortNo::from_u16(raw).to_u16(), raw);
         }
         assert_eq!(PortNo::from_u16(0xfffd), PortNo::Controller);

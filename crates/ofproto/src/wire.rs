@@ -267,7 +267,10 @@ fn get_actions(buf: &mut impl Buf, mut len: usize) -> Result<Vec<Action>, Decode
 pub fn wire_len(msg: &OfMessage) -> usize {
     OFP_HEADER_LEN
         + match &msg.body {
-            OfBody::Hello | OfBody::FeaturesRequest | OfBody::BarrierRequest | OfBody::BarrierReply => 0,
+            OfBody::Hello
+            | OfBody::FeaturesRequest
+            | OfBody::BarrierRequest
+            | OfBody::BarrierReply => 0,
             OfBody::EchoRequest(data) | OfBody::EchoReply(data) => data.len(),
             OfBody::Error(e) => 4 + e.data.len(),
             OfBody::FeaturesReply(fr) => 24 + fr.ports.len() * OFP_PHY_PORT_LEN,
@@ -312,7 +315,8 @@ pub fn encode(msg: &OfMessage) -> Bytes {
     buf.put_u16(total as u16);
     buf.put_u32(msg.xid.0);
     match &msg.body {
-        OfBody::Hello | OfBody::FeaturesRequest | OfBody::BarrierRequest | OfBody::BarrierReply => {}
+        OfBody::Hello | OfBody::FeaturesRequest | OfBody::BarrierRequest | OfBody::BarrierReply => {
+        }
         OfBody::EchoRequest(data) | OfBody::EchoReply(data) => buf.put_slice(data),
         OfBody::Error(e) => {
             buf.put_u16(e.err_type);
@@ -452,6 +456,58 @@ pub fn encode(msg: &OfMessage) -> Bytes {
     buf.freeze()
 }
 
+/// Peeks at a frame header and reports how many bytes the frame spans.
+///
+/// Returns `Ok(None)` when `data` holds fewer than [`OFP_HEADER_LEN`] bytes
+/// (read more and retry). Header validation happens here so a hostile peer
+/// cannot park garbage at the front of a stream: a wrong version byte or a
+/// length field below the header size fails immediately instead of stalling.
+///
+/// # Errors
+///
+/// [`DecodeError::BadVersion`] for a non-1.0 version byte and
+/// [`DecodeError::BadLength`] when the declared length cannot even cover the
+/// header.
+pub fn frame_len(data: &[u8]) -> Result<Option<usize>, DecodeError> {
+    if data.len() < OFP_HEADER_LEN {
+        return Ok(None);
+    }
+    if data[0] != OFP_VERSION {
+        return Err(DecodeError::BadVersion(data[0]));
+    }
+    let length = usize::from(u16::from_be_bytes([data[2], data[3]]));
+    if length < OFP_HEADER_LEN {
+        return Err(DecodeError::BadLength);
+    }
+    Ok(Some(length))
+}
+
+/// Drains every complete frame from a streaming read buffer.
+///
+/// TCP delivers a byte stream, so a single `read` may carry half a message
+/// or several coalesced ones. This consumes whole frames from the front of
+/// `buf` — leaving a trailing partial frame in place for the next read — and
+/// decodes each. On error the offending frame has already been consumed, so
+/// a caller that chooses to tolerate decode errors can call again to resync
+/// at the next frame boundary.
+///
+/// # Errors
+///
+/// Propagates the first [`DecodeError`] encountered; frames decoded before
+/// the error are lost, which is acceptable because both in-tree callers tear
+/// the connection down on any decode error.
+pub fn decode_frames(buf: &mut BytesMut) -> Result<Vec<OfMessage>, DecodeError> {
+    let mut messages = Vec::new();
+    while let Some(len) = frame_len(&buf[..])? {
+        if buf.len() < len {
+            break;
+        }
+        let frame = buf.split_to(len);
+        messages.push(decode(&frame[..])?);
+    }
+    Ok(messages)
+}
+
 /// Decodes one message from `data`.
 ///
 /// # Errors
@@ -467,7 +523,10 @@ pub fn decode(data: &[u8]) -> Result<OfMessage, DecodeError> {
     }
     let type_code = buf.get_u8();
     let length = buf.get_u16() as usize;
-    if length < OFP_HEADER_LEN || data.len() < length {
+    if length < OFP_HEADER_LEN {
+        return Err(DecodeError::BadLength);
+    }
+    if data.len() < length {
         return Err(DecodeError::Truncated);
     }
     let xid = Xid(buf.get_u32());
@@ -516,8 +575,8 @@ pub fn decode(data: &[u8]) -> Result<OfMessage, DecodeError> {
             let total_len = buf.get_u16();
             let in_port = PortNo::from_u16(buf.get_u16());
             let reason_raw = buf.get_u8();
-            let reason =
-                PacketInReason::from_u8(reason_raw).ok_or(DecodeError::UnknownReason(reason_raw))?;
+            let reason = PacketInReason::from_u8(reason_raw)
+                .ok_or(DecodeError::UnknownReason(reason_raw))?;
             buf.advance(1);
             OfBody::PacketIn(PacketIn {
                 buffer_id,
@@ -949,7 +1008,11 @@ mod tests {
             OfBody::FlowMod(FlowMod::add(OfMatch::any(), vec![])),
         ));
         for cut in [0, 4, 7, bytes.len() - 1] {
-            assert_eq!(decode(&bytes[..cut]), Err(DecodeError::Truncated), "cut={cut}");
+            assert_eq!(
+                decode(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "cut={cut}"
+            );
         }
     }
 
@@ -1003,7 +1066,8 @@ mod proptests {
             any::<u8>().prop_map(Action::SetNwTos),
             any::<u16>().prop_map(Action::SetTpSrc),
             any::<u16>().prop_map(Action::SetTpDst),
-            (arb_port(), any::<u32>()).prop_map(|(port, queue_id)| Action::Enqueue { port, queue_id }),
+            (arb_port(), any::<u32>())
+                .prop_map(|(port, queue_id)| Action::Enqueue { port, queue_id }),
         ]
     }
 
@@ -1023,7 +1087,20 @@ mod proptests {
             any::<u8>(),
         )
             .prop_map(
-                |(in_port, src, dst, dl_type, proto, nw_src, nw_dst, sbits, dbits, tp_src, tp_dst, tos)| {
+                |(
+                    in_port,
+                    src,
+                    dst,
+                    dl_type,
+                    proto,
+                    nw_src,
+                    nw_dst,
+                    sbits,
+                    dbits,
+                    tp_src,
+                    tp_dst,
+                    tos,
+                )| {
                     OfMatch::any()
                         .with_in_port(in_port)
                         .with_dl_src(src)
@@ -1037,6 +1114,100 @@ mod proptests {
                         .with_nw_tos(tos)
                 },
             )
+    }
+
+    #[test]
+    fn hostile_headers_fail_cleanly() {
+        // Empty and sub-header inputs.
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x01, 0x00, 0x00]), Err(DecodeError::Truncated));
+        // Wrong version.
+        assert_eq!(
+            decode(&[0x04, 0, 0, 8, 0, 0, 0, 0]),
+            Err(DecodeError::BadVersion(0x04))
+        );
+        // Length field smaller than the header itself.
+        assert_eq!(
+            decode(&[0x01, 0, 0, 7, 0, 0, 0, 0]),
+            Err(DecodeError::BadLength)
+        );
+        assert_eq!(
+            decode(&[0x01, 0, 0, 0, 0, 0, 0, 0]),
+            Err(DecodeError::BadLength)
+        );
+        // Length field larger than the available bytes.
+        assert_eq!(
+            decode(&[0x01, 0, 0xff, 0xff, 0, 0, 0, 0]),
+            Err(DecodeError::Truncated)
+        );
+        // Unknown type code with a well-formed header.
+        assert_eq!(
+            decode(&[0x01, 200, 0, 8, 0, 0, 0, 0]),
+            Err(DecodeError::UnknownType(200))
+        );
+    }
+
+    #[test]
+    fn hostile_bodies_fail_cleanly() {
+        // packet_in whose declared length covers the header but whose body
+        // is shorter than the fixed packet_in prefix.
+        let mut raw = vec![0x01, 10, 0, 12, 0, 0, 0, 1];
+        raw.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(decode(&raw), Err(DecodeError::Truncated));
+        // flow_mod truncated mid-match.
+        let mut raw = vec![0x01, 14, 0, 20, 0, 0, 0, 2];
+        raw.extend_from_slice(&[0u8; 12]);
+        assert_eq!(decode(&raw), Err(DecodeError::Truncated));
+        // Declared length longer than the actual frame must not over-read
+        // into trailing bytes owned by the next frame.
+        let echo = encode(&OfMessage::new(Xid(3), OfBody::EchoRequest(Bytes::new())));
+        let mut raw = echo.to_vec();
+        raw[3] = 200; // inflate the length field past the buffer
+        assert_eq!(decode(&raw), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn frame_len_peeks_without_consuming() {
+        assert_eq!(frame_len(&[0x01, 0, 0, 16]), Ok(None));
+        let hello = encode(&OfMessage::new(Xid(1), OfBody::Hello));
+        assert_eq!(frame_len(&hello), Ok(Some(OFP_HEADER_LEN)));
+        assert_eq!(
+            frame_len(&[0x02, 0, 0, 8, 0, 0, 0, 0]),
+            Err(DecodeError::BadVersion(0x02))
+        );
+        assert_eq!(
+            frame_len(&[0x01, 0, 0, 3, 0, 0, 0, 0]),
+            Err(DecodeError::BadLength)
+        );
+    }
+
+    #[test]
+    fn decode_frames_handles_partial_and_coalesced_reads() {
+        let first = OfMessage::new(Xid(1), OfBody::EchoRequest(Bytes::from_static(b"abcd")));
+        let second = OfMessage::new(Xid(2), OfBody::BarrierRequest);
+        let mut wire = encode(&first).to_vec();
+        wire.extend_from_slice(&encode(&second));
+
+        // Feed the stream one byte at a time; messages must pop out exactly
+        // at their frame boundaries and never twice.
+        let mut buf = BytesMut::new();
+        let mut seen = Vec::new();
+        for byte in &wire {
+            buf.extend_from_slice(&[*byte]);
+            seen.extend(decode_frames(&mut buf).expect("valid stream"));
+        }
+        assert_eq!(seen, vec![first.clone(), second.clone()]);
+        assert!(buf.is_empty());
+
+        // Both frames coalesced into one read drain in a single call.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&wire);
+        assert_eq!(decode_frames(&mut buf).unwrap(), vec![first, second]);
+
+        // A bad version byte surfaces as an error even mid-stream.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[0x55; 16]);
+        assert_eq!(decode_frames(&mut buf), Err(DecodeError::BadVersion(0x55)));
     }
 
     proptest! {

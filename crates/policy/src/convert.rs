@@ -43,7 +43,11 @@ impl ProactiveRule {
 /// # Errors
 ///
 /// [`EvalError::Type`] when the value's type does not fit the field.
-pub fn constrain_exact(of_match: OfMatch, field: Field, value: &Value) -> Result<OfMatch, EvalError> {
+pub fn constrain_exact(
+    of_match: OfMatch,
+    field: Field,
+    value: &Value,
+) -> Result<OfMatch, EvalError> {
     Ok(match field {
         Field::InPort => of_match.with_in_port(value.as_int()? as u16),
         Field::DlSrc => of_match.with_dl_src(value.as_mac()?),
@@ -158,8 +162,12 @@ mod tests {
     fn exact_constraints_by_field_type() {
         let m = constrain_exact(OfMatch::any(), Field::InPort, &Value::Int(4)).unwrap();
         assert_eq!(m.keys.in_port, 4);
-        let m = constrain_exact(OfMatch::any(), Field::DlDst, &Value::Mac(MacAddr::from_u64(9)))
-            .unwrap();
+        let m = constrain_exact(
+            OfMatch::any(),
+            Field::DlDst,
+            &Value::Mac(MacAddr::from_u64(9)),
+        )
+        .unwrap();
         assert_eq!(m.keys.dl_dst, MacAddr::from_u64(9));
         assert!(constrain_exact(OfMatch::any(), Field::DlDst, &Value::Int(9)).is_err());
     }

@@ -471,7 +471,10 @@ mod tests {
     fn field_reads() {
         let env = Env::new();
         assert_eq!(eval(&field(Field::InPort), &env), Value::Int(3));
-        assert_eq!(eval(&field(Field::DlSrc), &env), Value::Mac(MacAddr::from_u64(0xa)));
+        assert_eq!(
+            eval(&field(Field::DlSrc), &env),
+            Value::Mac(MacAddr::from_u64(0xa))
+        );
         assert_eq!(eval(&field(Field::NwProto), &env), Value::Int(17));
     }
 
@@ -504,8 +507,14 @@ mod tests {
     #[test]
     fn high_bit_and_broadcast() {
         let env = Env::new();
-        assert_eq!(eval(&high_bit(field(Field::NwSrc)), &env), Value::Bool(true));
-        assert_eq!(eval(&high_bit(field(Field::NwDst)), &env), Value::Bool(false));
+        assert_eq!(
+            eval(&high_bit(field(Field::NwSrc)), &env),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&high_bit(field(Field::NwDst)), &env),
+            Value::Bool(false)
+        );
         assert_eq!(
             eval(&is_broadcast(field(Field::DlDst)), &env),
             Value::Bool(false)
@@ -519,7 +528,10 @@ mod tests {
             eval(&prefix(field(Field::NwDst), 24), &env),
             Value::Ip(Ipv4Addr::new(10, 1, 2, 0))
         );
-        assert_eq!(mask_ip(Ipv4Addr::new(255, 255, 255, 255), 0), Ipv4Addr::UNSPECIFIED);
+        assert_eq!(
+            mask_ip(Ipv4Addr::new(255, 255, 255, 255), 0),
+            Ipv4Addr::UNSPECIFIED
+        );
         assert_eq!(
             mask_ip(Ipv4Addr::new(1, 2, 3, 4), 32),
             Ipv4Addr::new(1, 2, 3, 4)
@@ -542,10 +554,16 @@ mod tests {
         let sub = e.substitute(&env).unwrap();
         assert_eq!(
             sub,
-            eq(field(Field::NwDst), constant(Value::Ip(Ipv4Addr::new(10, 1, 2, 3))))
+            eq(
+                field(Field::NwDst),
+                constant(Value::Ip(Ipv4Addr::new(10, 1, 2, 3)))
+            )
         );
         // Fully concrete expressions fold to constants.
-        let e = eq(global("vip"), constant(Value::Ip(Ipv4Addr::new(10, 1, 2, 3))));
+        let e = eq(
+            global("vip"),
+            constant(Value::Ip(Ipv4Addr::new(10, 1, 2, 3))),
+        );
         assert_eq!(e.substitute(&env).unwrap(), constant(true));
     }
 
@@ -573,7 +591,10 @@ mod tests {
 
     #[test]
     fn display_readable() {
-        let e = eq(field(Field::DlDst), constant(Value::Mac(MacAddr::BROADCAST)));
+        let e = eq(
+            field(Field::DlDst),
+            constant(Value::Mac(MacAddr::BROADCAST)),
+        );
         assert_eq!(e.to_string(), "(pt.dl_dst == ff:ff:ff:ff:ff:ff)");
     }
 }

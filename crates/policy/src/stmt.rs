@@ -177,8 +177,13 @@ impl fmt::Display for Decision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Decision::InstallRule(rule) => {
-                write!(f, "install_rule(pri={}, {} matches, {} actions)",
-                    rule.priority, rule.match_on.len(), rule.actions.len())
+                write!(
+                    f,
+                    "install_rule(pri={}, {} matches, {} actions)",
+                    rule.priority,
+                    rule.match_on.len(),
+                    rule.actions.len()
+                )
             }
             Decision::PacketOutPort(e) => write!(f, "packet_out({e})"),
             Decision::PacketOutFlood => f.write_str("packet_out(flood)"),

@@ -191,7 +191,10 @@ mod tests {
             assert_eq!(path.decision, Some(Decision::Drop));
         }
         // The then-branch path records the write; the else path does not.
-        assert!(pcs.paths.iter().any(|p| p.writes == vec!["seen".to_owned()]));
+        assert!(pcs
+            .paths
+            .iter()
+            .any(|p| p.writes == vec!["seen".to_owned()]));
         assert!(pcs.paths.iter().any(|p| p.writes.is_empty()));
     }
 

@@ -39,7 +39,9 @@ impl Path {
     /// Whether this path ends in a Modify State Message — the only paths
     /// Algorithm 2 converts to proactive flow rules.
     pub fn is_modify_state(&self) -> bool {
-        self.decision.as_ref().is_some_and(Decision::is_modify_state)
+        self.decision
+            .as_ref()
+            .is_some_and(Decision::is_modify_state)
     }
 
     /// Every global variable the path's constraints read.

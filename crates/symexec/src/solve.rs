@@ -55,23 +55,44 @@ enum Atom {
     True,
     False,
     /// `key == value` (or `!=` when `eq` is false).
-    Cmp { key: KeyExpr, value: Value, eq: bool },
+    Cmp {
+        key: KeyExpr,
+        value: Value,
+        eq: bool,
+    },
     /// `field` lies within `net`/`len`.
-    PrefixIs { field: Field, net: Ipv4Addr, len: u32 },
+    PrefixIs {
+        field: Field,
+        net: Ipv4Addr,
+        len: u32,
+    },
     /// `key` takes one of `values` (enumeration source).
-    In { key: KeyExpr, values: Vec<Value> },
+    In {
+        key: KeyExpr,
+        values: Vec<Value>,
+    },
     /// `key` takes none of `values`.
-    NotIn { key: KeyExpr, values: Vec<Value> },
+    NotIn {
+        key: KeyExpr,
+        values: Vec<Value>,
+    },
     /// Arbitrary residual expression checked by concrete evaluation once
     /// its fields are assigned.
-    Opaque { expr: Expr, polarity: bool },
+    Opaque {
+        expr: Expr,
+        polarity: bool,
+    },
 }
 
 /// Normalizes `(expr, polarity)` to a disjunction of atom conjunctions.
 fn atomize(expr: &Expr, polarity: bool) -> Vec<Vec<Atom>> {
     match expr {
         Expr::Const(Value::Bool(b)) => {
-            vec![vec![if *b == polarity { Atom::True } else { Atom::False }]]
+            vec![vec![if *b == polarity {
+                Atom::True
+            } else {
+                Atom::False
+            }]]
         }
         Expr::Not(inner) => atomize(inner, !polarity),
         Expr::And(a, b) if polarity => conjoin(atomize(a, true), atomize(b, true)),
@@ -228,10 +249,9 @@ impl Candidate {
                 _ => false,
             },
             KeyExpr::Tuple(keys) => match value {
-                Value::Tuple(values) if values.len() == keys.len() => keys
-                    .iter()
-                    .zip(values)
-                    .all(|(k, v)| self.bind(k, v)),
+                Value::Tuple(values) if values.len() == keys.len() => {
+                    keys.iter().zip(values).all(|(k, v)| self.bind(k, v))
+                }
                 _ => false,
             },
         }
@@ -447,7 +467,11 @@ fn solve_conjunction(
         match atom {
             Atom::True => {}
             Atom::False => return Ok(0),
-            Atom::Cmp { key, value, eq: true } => {
+            Atom::Cmp {
+                key,
+                value,
+                eq: true,
+            } => {
                 if !base.bind(key, value) {
                     return Ok(0);
                 }
@@ -502,13 +526,18 @@ fn solve_conjunction(
                 // application would install matches on its template fields
                 // only, so the disequality cannot over-select — accept,
                 // mirroring the reactive behaviour.
-                Atom::Cmp { key: KeyExpr::Field(f), value, .. }
-                    if candidate.assign.get(f) == Some(value) =>
-                {
+                Atom::Cmp {
+                    key: KeyExpr::Field(f),
+                    value,
+                    ..
+                } if candidate.assign.get(f) == Some(value) => {
                     out.stats.candidates_rejected += 1;
                     continue 'candidates;
                 }
-                Atom::NotIn { key: KeyExpr::Field(f), values } => {
+                Atom::NotIn {
+                    key: KeyExpr::Field(f),
+                    values,
+                } => {
                     if let Some(v) = candidate.assign.get(f) {
                         if values.contains(v) {
                             out.stats.candidates_rejected += 1;
@@ -721,7 +750,10 @@ mod tests {
         );
         let conv = convert_to_rules(&pcs, &env);
         assert_eq!(conv.rules.len(), 2);
-        assert!(conv.rules.iter().all(|r| r.actions.is_empty()), "drop rules");
+        assert!(
+            conv.rules.iter().all(|r| r.actions.is_empty()),
+            "drop rules"
+        );
     }
 
     #[test]
@@ -818,7 +850,10 @@ mod tests {
             vec![],
             vec![if_else(
                 eq(constant(1u64), constant(2u64)),
-                vec![emit(Decision::InstallRule(RuleTemplate::new(vec![], vec![])))],
+                vec![emit(Decision::InstallRule(RuleTemplate::new(
+                    vec![],
+                    vec![],
+                )))],
                 vec![emit(Decision::Drop)],
             )],
         );
@@ -889,14 +924,14 @@ mod tests {
         );
         let pcs = generate_path_conditions(&program);
         let mut env = Env::new();
-        env.set("a", set_value([Value::Int(1), Value::Int(2), Value::Int(3)]));
+        env.set(
+            "a",
+            set_value([Value::Int(1), Value::Int(2), Value::Int(3)]),
+        );
         env.set("b", set_value([Value::Int(2)]));
         let conv = convert_to_rules(&pcs, &env);
         assert_eq!(conv.rules.len(), 2);
-        assert!(!conv
-            .rules
-            .iter()
-            .any(|r| r.of_match.keys.tp_dst == 2));
+        assert!(!conv.rules.iter().any(|r| r.of_match.keys.tp_dst == 2));
         assert!(conv.stats.candidates_rejected >= 1);
     }
 }

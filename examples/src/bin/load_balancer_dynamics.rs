@@ -44,7 +44,10 @@ fn main() {
     // Initial conversion: Algorithm 2 over the balancer's current state.
     let rules = analyzer.convert(std::slice::from_ref(&app));
     let update = analyzer.dispatch(rules, 0xF100D, 0.0);
-    println!("initial proactive rules ({} installed):", update.to_add.len());
+    println!(
+        "initial proactive rules ({} installed):",
+        update.to_add.len()
+    );
     describe(analyzer.installed());
 
     // The operator swaps the replicas mid-defense.

@@ -12,7 +12,9 @@ use bench::{human_bps, run, AttackProtocol, Defense, Scenario};
 use floodguard::FloodGuardConfig;
 
 fn measure(defense: Defense, protocol: AttackProtocol) -> f64 {
-    let mut scenario = Scenario::software().with_defense(defense).with_attack(500.0);
+    let mut scenario = Scenario::software()
+        .with_defense(defense)
+        .with_attack(500.0);
     scenario.attack_protocol = protocol;
     run(&scenario).bandwidth_bps
 }
@@ -21,11 +23,17 @@ fn main() {
     println!("Protocol independence: 500 PPS floods vs three configurations\n");
     let clean = run(&Scenario::software()).bandwidth_bps;
     println!("no-attack baseline: {}\n", human_bps(clean));
-    println!("{:<24} {:>16} {:>16}", "defense", "TCP SYN flood", "UDP flood");
+    println!(
+        "{:<24} {:>16} {:>16}",
+        "defense", "TCP SYN flood", "UDP flood"
+    );
     for (name, defense) in [
         ("none", Defense::None),
         ("AvantGuard (SYN proxy)", Defense::AvantGuard),
-        ("FloodGuard", Defense::FloodGuard(FloodGuardConfig::default())),
+        (
+            "FloodGuard",
+            Defense::FloodGuard(FloodGuardConfig::default()),
+        ),
     ] {
         let syn = measure(defense.clone(), AttackProtocol::TcpSyn);
         let udp = measure(defense, AttackProtocol::Udp);

@@ -17,8 +17,14 @@ fn main() {
     // 1. The undefended network (the paper's \"existing OpenFlow network\").
     let undefended = run(&Scenario::software().with_attack(500.0));
     println!("without FloodGuard:");
-    println!("  benign bandwidth under attack : {}", human_bps(undefended.bandwidth_bps));
-    println!("  controller messages handled   : {}", undefended.controller.processed);
+    println!(
+        "  benign bandwidth under attack : {}",
+        human_bps(undefended.bandwidth_bps)
+    );
+    println!(
+        "  controller messages handled   : {}",
+        undefended.controller.processed
+    );
     println!(
         "  switch table misses           : {}",
         undefended.sim.switch(SwitchId(0)).stats.misses
@@ -30,12 +36,24 @@ fn main() {
         .with_defense(Defense::FloodGuard(FloodGuardConfig::default()))
         .with_attack(500.0));
     println!("\nwith FloodGuard:");
-    println!("  benign bandwidth under attack : {}", human_bps(defended.bandwidth_bps));
-    println!("  controller messages handled   : {}", defended.controller.processed);
+    println!(
+        "  benign bandwidth under attack : {}",
+        human_bps(defended.bandwidth_bps)
+    );
+    println!(
+        "  controller messages handled   : {}",
+        defended.controller.processed
+    );
     let cache = defended.cache.as_ref().expect("floodguard cache");
     let stats = cache.lock().stats;
-    println!("  flood packets absorbed by the data plane cache: {}", stats.received);
-    println!("  rate-limited packet_ins re-submitted           : {}", stats.emitted);
+    println!(
+        "  flood packets absorbed by the data plane cache: {}",
+        stats.received
+    );
+    println!(
+        "  rate-limited packet_ins re-submitted           : {}",
+        stats.emitted
+    );
 
     // 3. The punchline.
     let ratio = defended.bandwidth_bps / undefended.bandwidth_bps.max(1.0);

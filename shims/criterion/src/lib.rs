@@ -1,0 +1,296 @@
+//! Offline vendored subset of [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! reimplements the benchmark-harness API the workspace's `benches/` use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark is calibrated
+//! to roughly 100 ms of work and reports the mean ns/iteration to stdout —
+//! enough to compare codec and defense variants by eye in this repo. Under
+//! `cargo test` (`--test` mode) every benchmark runs exactly one iteration
+//! so bench targets still act as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Harness entry point; collects groups of benchmarks.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` runs bench targets with `--test`; bail to a single
+        // iteration there so benches double as smoke tests.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).run(&id, f);
+        self
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration; reported as MiB/s.
+    Bytes(u64),
+    /// Bytes processed per iteration; reported as MB/s.
+    BytesDecimal(u64),
+    /// Items processed per iteration; reported as items/s.
+    Elements(u64),
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration work so results include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().label;
+        self.run(&id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id().label;
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (output is already flushed per-benchmark).
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.test_mode {
+            f(&mut bencher);
+            println!("{}/{}: ok (test mode, 1 iter)", self.name, id);
+            return;
+        }
+        // Calibrate: grow the iteration count until a sample takes >= 25 ms,
+        // then measure a ~100 ms batch.
+        loop {
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(25) || bencher.iters >= 1 << 24 {
+                break;
+            }
+            bencher.iters *= 4;
+        }
+        let scale = (Duration::from_millis(100).as_secs_f64() / bencher.elapsed.as_secs_f64())
+            .clamp(1.0, 64.0);
+        bencher.iters = ((bencher.iters as f64) * scale) as u64;
+        f(&mut bencher);
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        let rate = self.throughput.map(|t| {
+            let per_sec = 1e9 / ns_per_iter;
+            match t {
+                Throughput::Bytes(n) => {
+                    format!(", {:.1} MiB/s", per_sec * n as f64 / (1024.0 * 1024.0))
+                }
+                Throughput::BytesDecimal(n) => {
+                    format!(", {:.1} MB/s", per_sec * n as f64 / 1e6)
+                }
+                Throughput::Elements(n) => format!(", {:.0} items/s", per_sec * n as f64),
+            }
+        });
+        println!(
+            "{}/{}: {:.1} ns/iter ({} iters{})",
+            self.name,
+            id,
+            ns_per_iter,
+            bencher.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Times the closure handed to `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the harness-chosen number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for the `bench_*` entry points.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("one", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("two", 42), &42u32, |b, &n| {
+                b.iter(|| black_box(n + 1));
+            });
+            group.finish();
+        }
+        assert!(ran >= 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline vendored subset of the [`serde`](https://docs.rs/serde) facade.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` — no in-tree code
+//! drives a serializer (there is no `serde_json` in the dependency set), and
+//! the build environment has no network access to fetch the real crate. The
+//! traits here are empty markers and the derives (from the sibling
+//! `serde_derive` shim) expand to empty impls, so the annotations keep
+//! compiling and generic bounds like `T: Serialize` remain satisfiable.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,55 @@
+//! Offline no-op replacements for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types for
+//! downstream consumers, but nothing in-tree serializes through them (there
+//! is no `serde_json` or similar in the dependency set). With no network
+//! access to crates.io, these derives expand to marker trait impls so the
+//! attribute positions keep compiling and trait bounds stay satisfiable.
+
+use proc_macro::TokenStream;
+
+/// Extracts the identifier of the type a `derive` was applied to.
+///
+/// Scans past attributes, visibility, and the `struct`/`enum` keyword; the
+/// next identifier is the type name. Returns the name plus whether any
+/// generics follow (in which case we emit nothing rather than guess at
+/// bounds — no generic type in this workspace derives serde traits).
+fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(proc_macro::TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}

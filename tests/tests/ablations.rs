@@ -92,12 +92,9 @@ fn of_firewall_is_the_slowest_app_to_convert() {
     for i in 0..60u64 {
         apps::l2_learning::learn_host(&mut l2.env, MacAddr::from_u64(1 + i), 1);
     }
-    let fw_rules = convert_to_rules(
-        &generate_path_conditions(&firewall.program),
-        &firewall.env,
-    )
-    .rules
-    .len();
+    let fw_rules = convert_to_rules(&generate_path_conditions(&firewall.program), &firewall.env)
+        .rules
+        .len();
     let l2_rules = convert_to_rules(&generate_path_conditions(&l2.program), &l2.env)
         .rules
         .len();

@@ -47,7 +47,10 @@ fn check_soundness_l2(env: &mut Env) {
         let result = execute(&program, &keys, &mut probe_env).expect("execution");
         match result.decision {
             ConcreteDecision::Install(reactive) => {
-                assert_eq!(&reactive, rule, "proactive rule must match reactive behaviour");
+                assert_eq!(
+                    &reactive, rule,
+                    "proactive rule must match reactive behaviour"
+                );
             }
             other => panic!("expected install for {rule:?}, got {other:?}"),
         }

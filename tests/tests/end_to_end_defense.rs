@@ -128,7 +128,10 @@ fn naive_drop_protects_bandwidth_but_kills_new_flows() {
     // Attack packets now hit the wildcard drop rule, which still costs the
     // hardware switch its software-table slow path — bandwidth is protected
     // but not perfectly flat.
-    assert!(bw > clean * 0.7, "bandwidth protected: {bw:e} vs clean {clean:e}");
+    assert!(
+        bw > clean * 0.7,
+        "bandwidth protected: {bw:e} vs clean {clean:e}"
+    );
     let lost = outcome
         .probe_delays
         .iter()

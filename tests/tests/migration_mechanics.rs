@@ -14,7 +14,9 @@ fn fg_default() -> Defense {
 
 #[test]
 fn migration_rules_installed_per_port_and_lowest_priority() {
-    let mut scenario = Scenario::software().with_defense(fg_default()).with_attack(300.0);
+    let mut scenario = Scenario::software()
+        .with_defense(fg_default())
+        .with_attack(300.0);
     scenario.duration = 2.0;
     scenario.attack_start = 0.5;
     scenario.attack_stop = 2.0;
@@ -46,7 +48,9 @@ fn inport_survives_the_cache_detour() {
     // The l2_learning table must learn attacker MACs on the attacker's real
     // ingress port (3) even though every flood packet detoured through the
     // cache — proving the TOS tag round-trip works end to end.
-    let mut scenario = Scenario::software().with_defense(fg_default()).with_attack(200.0);
+    let mut scenario = Scenario::software()
+        .with_defense(fg_default())
+        .with_attack(200.0);
     scenario.duration = 3.0;
     scenario.attack_start = 0.5;
     scenario.attack_stop = 3.0;
@@ -57,7 +61,11 @@ fn inport_survives_the_cache_detour() {
     // unknown MAC came from the attacker on port 3.)
     let cache = outcome.cache.expect("floodguard run has a cache");
     let shared = cache.lock();
-    assert!(shared.stats.received > 100, "flood was migrated: {:?}", shared.stats);
+    assert!(
+        shared.stats.received > 100,
+        "flood was migrated: {:?}",
+        shared.stats
+    );
     assert!(shared.stats.emitted > 0, "cache re-submitted packets");
     drop(shared);
     // No amplified packet_ins once migration is active: the switch buffer
@@ -102,7 +110,9 @@ fn cache_rate_limit_bounds_packet_in_rate() {
 
 #[test]
 fn fsm_returns_to_idle_after_the_attack() {
-    let mut scenario = Scenario::software().with_defense(fg_default()).with_attack(300.0);
+    let mut scenario = Scenario::software()
+        .with_defense(fg_default())
+        .with_attack(300.0);
     scenario.attack_start = 0.5;
     scenario.attack_stop = 1.2;
     scenario.duration = 6.0;
@@ -119,13 +129,18 @@ fn fsm_returns_to_idle_after_the_attack() {
 fn proactive_rules_reflect_learned_hosts_during_defense() {
     // While defending, the analyzer installs dl_dst rules for both benign
     // hosts so the bulk flow keeps forwarding entirely in the data plane.
-    let mut scenario = Scenario::software().with_defense(fg_default()).with_attack(400.0);
+    let mut scenario = Scenario::software()
+        .with_defense(fg_default())
+        .with_attack(400.0);
     scenario.duration = 3.0;
     scenario.attack_start = 0.5;
     scenario.attack_stop = 3.0;
     let outcome = run(&scenario);
     let sw = outcome.sim.switch(SwitchId(0));
-    for host_mac in [MacAddr([0, 0, 0, 0, 0, 0x0a]), MacAddr([0, 0, 0, 0, 0, 0x0b])] {
+    for host_mac in [
+        MacAddr([0, 0, 0, 0, 0, 0x0a]),
+        MacAddr([0, 0, 0, 0, 0, 0x0b]),
+    ] {
         assert!(
             sw.table
                 .iter()
@@ -168,7 +183,9 @@ fn state_sensitive_variables_match_table3() {
 fn monitor_reports_full_lifecycle() {
     // The shared monitor exposes the FSM walk after the sim owns the
     // boxed control plane.
-    let mut scenario = Scenario::software().with_defense(fg_default()).with_attack(300.0);
+    let mut scenario = Scenario::software()
+        .with_defense(fg_default())
+        .with_attack(300.0);
     scenario.attack_start = 0.5;
     scenario.attack_stop = 1.2;
     scenario.duration = 6.0;

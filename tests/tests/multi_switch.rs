@@ -98,28 +98,32 @@ fn build() -> Net {
 fn both_switches_protected_by_one_floodguard() {
     let mut net = build();
     // Benign bulk pairs inside each switch; the attacker floods sw1.
-    net.sim.host_mut(net.h1a).add_source(Box::new(BulkSender::new(
-        mac(0x1a),
-        ip(11),
-        mac(0x1b),
-        ip(12),
-        1,
-        8,
-        50,
-        1500,
-        0.05,
-    )));
-    net.sim.host_mut(net.h2a).add_source(Box::new(BulkSender::new(
-        mac(0x2a),
-        ip(21),
-        mac(0x2b),
-        ip(22),
-        2,
-        8,
-        50,
-        1500,
-        0.05,
-    )));
+    net.sim
+        .host_mut(net.h1a)
+        .add_source(Box::new(BulkSender::new(
+            mac(0x1a),
+            ip(11),
+            mac(0x1b),
+            ip(12),
+            1,
+            8,
+            50,
+            1500,
+            0.05,
+        )));
+    net.sim
+        .host_mut(net.h2a)
+        .add_source(Box::new(BulkSender::new(
+            mac(0x2a),
+            ip(21),
+            mac(0x2b),
+            ip(22),
+            2,
+            8,
+            50,
+            1500,
+            0.05,
+        )));
     net.sim
         .host_mut(net.h3)
         .add_source(Box::new(UdpFlood::new(mac(0xcc), 400.0, 1.0, 4.0, 64)));

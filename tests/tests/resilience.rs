@@ -107,7 +107,11 @@ fn tiny_cache_overflows_gracefully() {
     assert!(outcome.bandwidth_bps > 1.4e9, "{:e}", outcome.bandwidth_bps);
     let cache = outcome.cache.expect("cache");
     let shared = cache.lock();
-    assert!(shared.stats.dropped > 0, "overflow must drop: {:?}", shared.stats);
+    assert!(
+        shared.stats.dropped > 0,
+        "overflow must drop: {:?}",
+        shared.stats
+    );
     assert!(shared.stats.queued <= 4 * 16, "bounded by capacity");
 }
 
@@ -120,7 +124,10 @@ fn long_run_stays_stable() {
     scenario.attack_stop = 20.0;
     let outcome = run(&scenario);
     assert!(outcome.bandwidth_bps > 1.4e9, "{:e}", outcome.bandwidth_bps);
-    assert_eq!(outcome.controller.dropped, 0, "controller queue never overflowed");
+    assert_eq!(
+        outcome.controller.dropped, 0,
+        "controller queue never overflowed"
+    );
     let sw = outcome.sim.switch(SwitchId(0));
     // Spoofed-source rules are bounded by what the rate-limited cache can
     // re-raise, far below the table capacity.

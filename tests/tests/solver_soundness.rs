@@ -127,7 +127,10 @@ fn known_conditions_produce_rules() {
     let mut env = Env::new();
     env.set(
         "macs",
-        set_value([Value::Mac(MacAddr::from_u64(1)), Value::Mac(MacAddr::from_u64(2))]),
+        set_value([
+            Value::Mac(MacAddr::from_u64(1)),
+            Value::Mac(MacAddr::from_u64(2)),
+        ]),
     );
     env.set("ports", map_value([(Value::Int(3), Value::Int(1))]));
     let cases = vec![

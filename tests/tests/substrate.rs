@@ -34,17 +34,37 @@ fn two_switch_topology_forwards_end_to_end() {
     let h2 = sim.add_host(sw1, 2, mac(0xb), ip(2));
     // sw0: toward h2 via trunk, toward h1 locally.
     sim.switch_mut(sw0)
-        .add_rule(OfMatch::any().with_dl_dst(mac(0xb)), vec![Action::Output(PortNo::Physical(10))], 10, 0.0)
+        .add_rule(
+            OfMatch::any().with_dl_dst(mac(0xb)),
+            vec![Action::Output(PortNo::Physical(10))],
+            10,
+            0.0,
+        )
         .unwrap();
     sim.switch_mut(sw0)
-        .add_rule(OfMatch::any().with_dl_dst(mac(0xa)), vec![Action::Output(PortNo::Physical(1))], 10, 0.0)
+        .add_rule(
+            OfMatch::any().with_dl_dst(mac(0xa)),
+            vec![Action::Output(PortNo::Physical(1))],
+            10,
+            0.0,
+        )
         .unwrap();
     // sw1: mirror image.
     sim.switch_mut(sw1)
-        .add_rule(OfMatch::any().with_dl_dst(mac(0xa)), vec![Action::Output(PortNo::Physical(10))], 10, 0.0)
+        .add_rule(
+            OfMatch::any().with_dl_dst(mac(0xa)),
+            vec![Action::Output(PortNo::Physical(10))],
+            10,
+            0.0,
+        )
         .unwrap();
     sim.switch_mut(sw1)
-        .add_rule(OfMatch::any().with_dl_dst(mac(0xb)), vec![Action::Output(PortNo::Physical(2))], 10, 0.0)
+        .add_rule(
+            OfMatch::any().with_dl_dst(mac(0xb)),
+            vec![Action::Output(PortNo::Physical(2))],
+            10,
+            0.0,
+        )
         .unwrap();
     sim.host_mut(h1).add_source(Box::new(BulkSender::new(
         mac(0xa),
@@ -153,7 +173,11 @@ fn packet_out_bytes_round_trip_through_switch() {
     assert_eq!(forwards.len(), 1);
     let (port, out_pkt) = &forwards[0];
     assert_eq!(*port, 2);
-    assert_eq!(out_pkt.tos(), Some(9), "action applied after byte round-trip");
+    assert_eq!(
+        out_pkt.tos(),
+        Some(9),
+        "action applied after byte round-trip"
+    );
     assert_eq!(out_pkt.dst_mac, mac(2));
 }
 
@@ -174,7 +198,8 @@ fn flood_loops_are_impossible_without_cycles() {
     }
     // One packet from h1: it must reach h2 exactly once.
     let mut sim2 = sim;
-    sim2.host_mut(_h1).add_source(Box::new(UdpFlood::new(mac(0xa), 1.0, 0.0, 0.5, 64)));
+    sim2.host_mut(_h1)
+        .add_source(Box::new(UdpFlood::new(mac(0xa), 1.0, 0.0, 0.5, 64)));
     sim2.run_until(2.0);
     assert_eq!(sim2.host(h2).received_packets, 1, "no flood loop");
 }

@@ -1,0 +1,427 @@
+//! Property tests for the OpenFlow 1.0 wire codec.
+//!
+//! Every [`OfBody`] variant — including `OFPT_ERROR` — is generated with
+//! randomized contents and pushed through `encode`/`decode`, asserting the
+//! two invariants the live transport depends on:
+//!
+//! * `decode(encode(m)) == m` (lossless round-trip), and
+//! * `wire_len(m) == encode(m).len()` (the advertised header length is the
+//!   real frame length, so `decode_frames` framing never drifts).
+//!
+//! Strategies stick to *canonical* wire values: physical port numbers stay
+//! below the reserved `OFPP_*` range, buffer ids below the `NO_BUFFER`
+//! sentinel, and `packet_out` payloads are `None` or non-empty, because the
+//! wire format cannot distinguish `Some(empty)` from `None`.
+
+use std::net::Ipv4Addr;
+
+use bytes::{Bytes, BytesMut};
+use ofproto::actions::Action;
+use ofproto::flow_match::{FlowKeys, OfMatch, Wildcards};
+use ofproto::flow_mod::{FlowMod, FlowModCommand, FlowModFlags};
+use ofproto::messages::{
+    AggregateStats, ErrorMsg, FeaturesReply, FlowRemoved, FlowRemovedReason, FlowStats, OfBody,
+    OfMessage, PacketIn, PacketInReason, PacketOut, PortStatus, PortStatusReason, StatsReply,
+    StatsRequest,
+};
+use ofproto::types::{BufferId, DatapathId, MacAddr, PortNo, Xid};
+use ofproto::wire;
+use proptest::prelude::*;
+
+/// Physical ports must stay below the reserved `OFPP_*` range (0xfff8) or
+/// `PortNo::from_u16` maps them back to a named variant.
+fn physical_port() -> impl Strategy<Value = PortNo> {
+    (0u16..0xfff8).prop_map(PortNo::Physical)
+}
+
+fn any_port() -> impl Strategy<Value = PortNo> {
+    prop_oneof![
+        physical_port(),
+        Just(PortNo::InPort),
+        Just(PortNo::Table),
+        Just(PortNo::Normal),
+        Just(PortNo::Flood),
+        Just(PortNo::All),
+        Just(PortNo::Controller),
+        Just(PortNo::Local),
+        Just(PortNo::None),
+    ]
+}
+
+fn mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn payload(max: usize) -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+/// Buffer ids below the `NO_BUFFER` sentinel; `None` is the sentinel itself.
+fn buffer_id() -> impl Strategy<Value = Option<BufferId>> {
+    prop_oneof![
+        Just(None),
+        (0u32..BufferId::NO_BUFFER_RAW).prop_map(|raw| Some(BufferId(raw))),
+    ]
+}
+
+fn flow_keys() -> impl Strategy<Value = FlowKeys> {
+    (
+        any::<u16>(),
+        mac(),
+        mac(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u8>(),
+        ipv4(),
+        ipv4(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(
+            |(
+                in_port,
+                dl_src,
+                dl_dst,
+                dl_vlan,
+                dl_vlan_pcp,
+                dl_type,
+                nw_tos,
+                nw_proto,
+                nw_src,
+                nw_dst,
+                tp_src,
+                tp_dst,
+            )| FlowKeys {
+                in_port,
+                dl_src,
+                dl_dst,
+                dl_vlan,
+                dl_vlan_pcp,
+                dl_type,
+                nw_tos,
+                nw_proto,
+                nw_src,
+                nw_dst,
+                tp_src,
+                tp_dst,
+            },
+        )
+}
+
+/// Wildcards are carried as a raw `u32` on the wire, so any value
+/// round-trips; mix fully-random words with the canonical constants.
+fn of_match() -> impl Strategy<Value = OfMatch> {
+    let wildcards = prop_oneof![
+        Just(Wildcards::ALL),
+        Just(Wildcards::NONE),
+        any::<u32>().prop_map(Wildcards),
+    ];
+    (wildcards, flow_keys()).prop_map(|(wildcards, keys)| OfMatch { wildcards, keys })
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        any_port().prop_map(Action::Output),
+        any::<u16>().prop_map(Action::SetVlanVid),
+        any::<u8>().prop_map(Action::SetVlanPcp),
+        Just(Action::StripVlan),
+        mac().prop_map(Action::SetDlSrc),
+        mac().prop_map(Action::SetDlDst),
+        ipv4().prop_map(Action::SetNwSrc),
+        ipv4().prop_map(Action::SetNwDst),
+        any::<u8>().prop_map(Action::SetNwTos),
+        any::<u16>().prop_map(Action::SetTpSrc),
+        any::<u16>().prop_map(Action::SetTpDst),
+        (any_port(), any::<u32>()).prop_map(|(port, queue_id)| Action::Enqueue { port, queue_id }),
+    ]
+}
+
+fn actions(max: usize) -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(action(), 0..max)
+}
+
+fn packet_in() -> impl Strategy<Value = PacketIn> {
+    (
+        buffer_id(),
+        any::<u16>(),
+        any_port(),
+        prop_oneof![Just(PacketInReason::NoMatch), Just(PacketInReason::Action)],
+        payload(1600),
+    )
+        .prop_map(|(buffer_id, total_len, in_port, reason, data)| PacketIn {
+            buffer_id,
+            total_len,
+            in_port,
+            reason,
+            data,
+        })
+}
+
+fn packet_out() -> impl Strategy<Value = PacketOut> {
+    // The wire cannot tell `Some(empty)` from `None`, so payloads are
+    // either absent or non-empty.
+    let data = prop_oneof![
+        Just(None),
+        proptest::collection::vec(any::<u8>(), 1..1600).prop_map(|v| Some(Bytes::from(v))),
+    ];
+    (buffer_id(), any_port(), actions(8), data).prop_map(|(buffer_id, in_port, actions, data)| {
+        PacketOut {
+            buffer_id,
+            in_port,
+            actions,
+            data,
+        }
+    })
+}
+
+fn flow_mod() -> impl Strategy<Value = FlowMod> {
+    let command = prop_oneof![
+        Just(FlowModCommand::Add),
+        Just(FlowModCommand::Modify),
+        Just(FlowModCommand::ModifyStrict),
+        Just(FlowModCommand::Delete),
+        Just(FlowModCommand::DeleteStrict),
+    ];
+    let flags = (any::<bool>(), any::<bool>()).prop_map(|(send_flow_removed, check_overlap)| {
+        FlowModFlags {
+            send_flow_removed,
+            check_overlap,
+        }
+    });
+    (
+        command,
+        of_match(),
+        any::<u64>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+        buffer_id(),
+        any_port(),
+        flags,
+        actions(8),
+    )
+        .prop_map(
+            |(
+                command,
+                of_match,
+                cookie,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id,
+                out_port,
+                flags,
+                actions,
+            )| FlowMod {
+                command,
+                of_match,
+                cookie,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id,
+                out_port,
+                flags,
+                actions,
+            },
+        )
+}
+
+fn flow_removed() -> impl Strategy<Value = FlowRemoved> {
+    (
+        of_match(),
+        any::<u64>(),
+        any::<u16>(),
+        prop_oneof![
+            Just(FlowRemovedReason::IdleTimeout),
+            Just(FlowRemovedReason::HardTimeout),
+            Just(FlowRemovedReason::Delete),
+        ],
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(of_match, cookie, priority, reason, duration_sec, packet_count, byte_count)| {
+                FlowRemoved {
+                    of_match,
+                    cookie,
+                    priority,
+                    reason,
+                    duration_sec,
+                    packet_count,
+                    byte_count,
+                }
+            },
+        )
+}
+
+fn port_status() -> impl Strategy<Value = PortStatus> {
+    (
+        prop_oneof![
+            Just(PortStatusReason::Add),
+            Just(PortStatusReason::Delete),
+            Just(PortStatusReason::Modify),
+        ],
+        any_port(),
+        mac(),
+        any::<bool>(),
+    )
+        .prop_map(|(reason, port_no, hw_addr, link_up)| PortStatus {
+            reason,
+            port_no,
+            hw_addr,
+            link_up,
+        })
+}
+
+fn features_reply() -> impl Strategy<Value = FeaturesReply> {
+    (
+        any::<u64>().prop_map(DatapathId),
+        any::<u32>(),
+        any::<u8>(),
+        proptest::collection::vec(any_port(), 0..16),
+    )
+        .prop_map(|(datapath_id, n_buffers, n_tables, ports)| FeaturesReply {
+            datapath_id,
+            n_buffers,
+            n_tables,
+            ports,
+        })
+}
+
+fn error_msg() -> impl Strategy<Value = ErrorMsg> {
+    (any::<u16>(), any::<u16>(), payload(128)).prop_map(|(err_type, code, data)| ErrorMsg {
+        err_type,
+        code,
+        data,
+    })
+}
+
+fn flow_stats() -> impl Strategy<Value = FlowStats> {
+    (
+        of_match(),
+        any::<u16>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        actions(4),
+    )
+        .prop_map(
+            |(of_match, priority, cookie, packet_count, byte_count, duration_sec, actions)| {
+                FlowStats {
+                    of_match,
+                    priority,
+                    cookie,
+                    packet_count,
+                    byte_count,
+                    duration_sec,
+                    actions,
+                }
+            },
+        )
+}
+
+fn stats_request() -> impl Strategy<Value = StatsRequest> {
+    prop_oneof![
+        of_match().prop_map(StatsRequest::Flow),
+        of_match().prop_map(StatsRequest::Aggregate),
+    ]
+}
+
+fn stats_reply() -> impl Strategy<Value = StatsReply> {
+    let aggregate = (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+        |(packet_count, byte_count, flow_count)| AggregateStats {
+            packet_count,
+            byte_count,
+            flow_count,
+        },
+    );
+    prop_oneof![
+        proptest::collection::vec(flow_stats(), 0..4).prop_map(StatsReply::Flow),
+        aggregate.prop_map(StatsReply::Aggregate),
+    ]
+}
+
+/// Every `OfBody` variant, weighted evenly.
+fn of_body() -> impl Strategy<Value = OfBody> {
+    prop_oneof![
+        Just(OfBody::Hello),
+        error_msg().prop_map(OfBody::Error),
+        payload(256).prop_map(OfBody::EchoRequest),
+        payload(256).prop_map(OfBody::EchoReply),
+        Just(OfBody::FeaturesRequest),
+        features_reply().prop_map(OfBody::FeaturesReply),
+        packet_in().prop_map(OfBody::PacketIn),
+        packet_out().prop_map(OfBody::PacketOut),
+        flow_mod().prop_map(OfBody::FlowMod),
+        flow_removed().prop_map(OfBody::FlowRemoved),
+        port_status().prop_map(OfBody::PortStatus),
+        Just(OfBody::BarrierRequest),
+        Just(OfBody::BarrierReply),
+        stats_request().prop_map(OfBody::StatsRequest),
+        stats_reply().prop_map(OfBody::StatsReply),
+    ]
+}
+
+fn of_message() -> impl Strategy<Value = OfMessage> {
+    (any::<u32>().prop_map(Xid), of_body()).prop_map(|(xid, body)| OfMessage { xid, body })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_roundtrip(msg in of_message()) {
+        let encoded = wire::encode(&msg);
+        let decoded = wire::decode(&encoded[..]).expect("decode of encoded frame");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn wire_len_matches_encoding(msg in of_message()) {
+        let encoded = wire::encode(&msg);
+        prop_assert_eq!(wire::wire_len(&msg), encoded.len());
+        // The header's length field agrees too.
+        let header_len = u16::from_be_bytes([encoded[2], encoded[3]]) as usize;
+        prop_assert_eq!(header_len, encoded.len());
+    }
+
+    #[test]
+    fn decode_frames_recovers_concatenated_stream(msgs in proptest::collection::vec(of_message(), 1..8)) {
+        let mut stream = BytesMut::new();
+        for msg in &msgs {
+            stream.extend_from_slice(&wire::encode(msg));
+        }
+        // Hold back the final byte so the last frame stays incomplete.
+        let total = stream.len();
+        let mut partial = BytesMut::new();
+        partial.extend_from_slice(&stream[..total - 1]);
+        let complete = wire::decode_frames(&mut partial).expect("decode_frames");
+        prop_assert_eq!(complete.len(), msgs.len() - 1);
+        for (got, want) in complete.iter().zip(&msgs) {
+            prop_assert_eq!(got, want);
+        }
+        // Delivering the final byte completes the last frame exactly.
+        partial.extend_from_slice(&stream[total - 1..]);
+        let rest = wire::decode_frames(&mut partial).expect("decode_frames tail");
+        prop_assert_eq!(rest.len(), 1);
+        prop_assert_eq!(&rest[0], &msgs[msgs.len() - 1]);
+        prop_assert!(partial.is_empty());
+    }
+
+    #[test]
+    fn truncation_never_panics_or_overreads(msg in of_message(), cut in any::<u16>()) {
+        let encoded = wire::encode(&msg);
+        let cut = (cut as usize) % encoded.len();
+        // Any strict prefix must fail cleanly, never panic.
+        let _ = wire::decode(&encoded[..cut]);
+    }
+}
