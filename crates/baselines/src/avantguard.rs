@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use netsim::packet::{Packet, Payload, Transport};
 use netsim::switch::{MissHook, MissOverride};
+use ofproto::types::ipproto;
 
 /// Statistics of the SYN proxy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,23 +65,18 @@ impl SynProxy {
     }
 
     fn key_of(packet: &Packet) -> Option<FlowKey> {
-        match packet.payload {
-            Payload::Ipv4 {
-                src,
-                dst,
-                transport:
-                    Transport::Tcp {
-                        src_port, dst_port, ..
-                    },
-                ..
-            } => Some(FlowKey {
-                src,
-                dst,
-                sport: src_port,
-                dport: dst_port,
-            }),
-            _ => None,
+        // The handshake is keyed on the connection 4-tuple, carved out of
+        // the same FlowKeys extraction the flow table indexes on.
+        if packet.ip_proto() != Some(ipproto::TCP) {
+            return None;
         }
+        let keys = packet.flow_keys(0);
+        Some(FlowKey {
+            src: keys.nw_src,
+            dst: keys.nw_dst,
+            sport: keys.tp_src,
+            dport: keys.tp_dst,
+        })
     }
 
     fn expire(&mut self, now: f64) {

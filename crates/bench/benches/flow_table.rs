@@ -1,0 +1,204 @@
+//! Before/after benchmarks of the flow-table lookup path: the indexed
+//! two-tier [`FlowTable`] against the seed linear scan preserved as
+//! [`linear::LinearFlowTable`].
+//!
+//! Three table shapes at 100/1k/10k entries:
+//!
+//! * **exact_heavy** — N distinct exact-match rules (the reactive
+//!   l2_learning / cache re-raise steady state), lookups cycling over all
+//!   installed flows;
+//! * **wildcard_heavy** — N single-field wildcard rules, worst case for
+//!   the index (both implementations stop at the first match);
+//! * **mixed_defense** — the FloodGuard defense-round shape: ~90% exact
+//!   high-priority rules over a handful of priority-0 wildcard migration
+//!   rules, with exact-rule hits.
+//!
+//! Numbers are recorded in EXPERIMENTS.md; CI runs this with `--test` so
+//! the harness cannot rot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofproto::actions::Action;
+use ofproto::flow_match::{FlowKeys, OfMatch};
+use ofproto::flow_mod::FlowMod;
+use ofproto::flow_table::{linear::LinearFlowTable, FlowTable};
+use ofproto::types::{ethertype, ipproto, MacAddr, PortNo};
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+/// Deterministic distinct 12-tuples: one UDP flow per index.
+fn keys(i: usize) -> FlowKeys {
+    FlowKeys {
+        in_port: (i % 48) as u16 + 1,
+        dl_src: MacAddr::from_u64(0x10_0000 + i as u64),
+        dl_dst: MacAddr::from_u64(0x20_0000 + (i as u64).rotate_left(17)),
+        dl_type: ethertype::IPV4,
+        nw_proto: ipproto::UDP,
+        nw_src: std::net::Ipv4Addr::from(0x0a00_0000u32 | (i as u32 & 0xffff)),
+        nw_dst: std::net::Ipv4Addr::from(0x0a01_0000u32 | ((i as u32).wrapping_mul(7) & 0xffff)),
+        tp_src: (1024 + i % 50_000) as u16,
+        tp_dst: 53,
+        ..FlowKeys::default()
+    }
+}
+
+fn exact_rule(i: usize, priority: u16) -> FlowMod {
+    FlowMod::add(
+        OfMatch::exact(keys(i)),
+        vec![Action::Output(PortNo::Physical((i % 48) as u16 + 1))],
+    )
+    .with_priority(priority)
+}
+
+fn wildcard_rule(i: usize) -> FlowMod {
+    FlowMod::add(
+        OfMatch::any().with_dl_dst(MacAddr::from_u64(0x20_0000 + (i as u64).rotate_left(17))),
+        vec![Action::Output(PortNo::Physical(1))],
+    )
+    .with_priority((i % 8) as u16 + 1)
+}
+
+/// Builds both tables with the same rules via the shared closure.
+fn build(n: usize, rule: impl Fn(usize) -> FlowMod) -> (FlowTable, LinearFlowTable) {
+    let mut indexed = FlowTable::new(None);
+    let mut linear = LinearFlowTable::new(None);
+    for i in 0..n {
+        let fm = rule(i);
+        indexed.apply(&fm, 0.0).unwrap();
+        linear.apply(&fm, 0.0).unwrap();
+    }
+    (indexed, linear)
+}
+
+fn bench_exact_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table_exact_heavy");
+    for n in SIZES {
+        let (mut indexed, mut linear) = build(n, |i| exact_rule(i, 100));
+        group.throughput(Throughput::Elements(1));
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| {
+                cursor = (cursor + 1) % n;
+                let k = keys(cursor);
+                std::hint::black_box(indexed.lookup(&k, 1.0, 64)).is_some()
+            })
+        });
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| {
+                cursor = (cursor + 1) % n;
+                let k = keys(cursor);
+                std::hint::black_box(linear.lookup(&k, 1.0, 64)).is_some()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wildcard_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table_wildcard_heavy");
+    for n in SIZES {
+        let (mut indexed, mut linear) = build(n, wildcard_rule);
+        group.throughput(Throughput::Elements(1));
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| {
+                cursor = (cursor + 1) % n;
+                let k = keys(cursor);
+                std::hint::black_box(indexed.lookup(&k, 1.0, 64)).is_some()
+            })
+        });
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| {
+                cursor = (cursor + 1) % n;
+                let k = keys(cursor);
+                std::hint::black_box(linear.lookup(&k, 1.0, 64)).is_some()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_defense(c: &mut Criterion) {
+    // The defense-round shape: mostly exact reactive rules above a few
+    // low-priority wildcard migration rules (one per ingress port).
+    let mut group = c.benchmark_group("flow_table_mixed_defense");
+    for n in SIZES {
+        let migration_rules = (n / 10).max(1);
+        let rule = |i: usize| {
+            if i < migration_rules {
+                FlowMod::add(
+                    OfMatch::any().with_in_port((i % 48) as u16 + 1),
+                    vec![Action::SetNwTos(1), Action::Output(PortNo::Physical(99))],
+                )
+                .with_priority(0)
+            } else {
+                exact_rule(i, 100)
+            }
+        };
+        let (mut indexed, mut linear) = build(n, rule);
+        group.throughput(Throughput::Elements(1));
+        let mut cursor = migration_rules;
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| {
+                cursor += 1;
+                if cursor >= n {
+                    cursor = migration_rules;
+                }
+                let k = keys(cursor);
+                std::hint::black_box(indexed.lookup(&k, 1.0, 64)).is_some()
+            })
+        });
+        let mut cursor = migration_rules;
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| {
+                cursor += 1;
+                if cursor >= n {
+                    cursor = migration_rules;
+                }
+                let k = keys(cursor);
+                std::hint::black_box(linear.lookup(&k, 1.0, 64)).is_some()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // Incremental maintenance: add + delete cycles at a steady table size,
+    // the pattern expire/apply produce during an attack round.
+    let mut group = c.benchmark_group("flow_table_churn");
+    for n in SIZES {
+        let (mut indexed, mut linear) = build(n, |i| exact_rule(i, 100));
+        let mut next = n;
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                indexed.apply(&exact_rule(next, 100), 1.0).unwrap();
+                indexed
+                    .apply(&FlowMod::delete(OfMatch::exact(keys(next - n))), 1.0)
+                    .unwrap();
+                next += 1;
+            })
+        });
+        let mut next = n;
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| {
+                linear.apply(&exact_rule(next, 100), 1.0).unwrap();
+                linear
+                    .apply(&FlowMod::delete(OfMatch::exact(keys(next - n))), 1.0)
+                    .unwrap();
+                next += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_heavy,
+    bench_wildcard_heavy,
+    bench_mixed_defense,
+    bench_churn
+);
+criterion_main!(benches);

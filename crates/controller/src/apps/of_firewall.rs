@@ -81,7 +81,7 @@ pub fn seed(env: &mut Env, n: usize) {
             env,
             Ipv4Addr::from(0x0a00_0000 | i),
             Ipv4Addr::from(0xc0a8_0000u32 | (i % 256)),
-            if i.is_multiple_of(2) { 6 } else { 17 },
+            if i % 2 == 0 { 6 } else { 17 },
             (1000 + i % 5000) as u16,
         );
     }

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 
 use netsim::iface::{DataPlaneDevice, DeviceOutput};
 use netsim::packet::Packet;
-use ofproto::flow_match::OfMatch;
+use ofproto::flow_match::MatchSet;
 
 use crate::config::CacheConfig;
 use crate::migration::tag;
@@ -119,8 +119,8 @@ pub struct CacheShared {
     pub probes: Vec<ProbeRecord>,
     /// Cache-resident proactive rule matches (§IV-E: the TCAM-limited
     /// design option). Packets matching any of these take the priority
-    /// lane.
-    pub proactive: Vec<OfMatch>,
+    /// lane; exact rules are probed through the set's hash tier.
+    pub proactive: MatchSet,
 }
 
 /// Shared handle to [`CacheShared`].
@@ -135,7 +135,7 @@ pub fn new_handle(config: &CacheConfig) -> CacheHandle {
         },
         stats: CacheStats::default(),
         probes: Vec::new(),
-        proactive: Vec::new(),
+        proactive: MatchSet::new(),
     }))
 }
 
@@ -214,10 +214,11 @@ impl DataPlaneCache {
             let shared = self.handle.lock();
             if !shared.proactive.is_empty() {
                 let in_port = packet.tos().and_then(tag::decode).unwrap_or(0);
-                let mut restored = packet.clone();
-                restored.set_tos(0);
-                let keys = restored.flow_keys(in_port);
-                if shared.proactive.iter().any(|m| m.matches(&keys)) {
+                // Keys as at true ingress: the TOS byte carries the migration
+                // tag, so zero nw_tos rather than cloning the whole packet.
+                let mut keys = packet.flow_keys(in_port);
+                keys.nw_tos = 0;
+                if shared.proactive.matches(&keys) {
                     drop(shared);
                     if self.priority.len() >= self.config.queue_capacity {
                         self.priority.pop_front();
@@ -580,7 +581,9 @@ mod tests {
         // the protocol queues.
         let (mut cache, h) = cache_with(CacheConfig::default());
         h.lock().proactive =
-            vec![ofproto::flow_match::OfMatch::any().with_dl_dst(MacAddr::from_u64(2))];
+            [ofproto::flow_match::OfMatch::any().with_dl_dst(MacAddr::from_u64(2))]
+                .into_iter()
+                .collect();
         let mut out = DeviceOutput::new();
         // Three UDP flood packets first (dst mac 2 is our builder default
         // for udp_tagged, so craft a non-matching one).

@@ -260,12 +260,12 @@ impl Switch {
         match self.table.lookup(&keys, now, packet.wire_len) {
             Some(entry) => {
                 // A hit on any non-exact rule takes the software-table slow
-                // path (exact-match entries are fast-pathed).
-                let wildcard = entry.of_match.wildcards != ofproto::flow_match::Wildcards::NONE;
-                let actions = entry.actions.clone();
+                // path (exact-match entries are fast-pathed, mirroring the
+                // table's own hash tier).
+                let wildcard = !entry.of_match.is_exact();
                 let service = self.profile.hit_cost(packet.wire_len, wildcard) * batch;
                 let mut keys = keys;
-                let outs = apply_all(&actions, &mut keys);
+                let outs = apply_all(&entry.actions, &mut keys);
                 if outs.is_empty() {
                     self.stats.action_drops += u64::from(packet.batch);
                     return ProcessResult {

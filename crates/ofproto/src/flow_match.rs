@@ -418,6 +418,28 @@ impl OfMatch {
     pub fn is_any(&self) -> bool {
         self.wildcards.is_all()
     }
+
+    /// Whether this match constrains all twelve fields, i.e. it matches a
+    /// packet iff the packet's [`FlowKeys`] equal `self.keys` exactly.
+    ///
+    /// Exact matches are the common case for reactive rules (l2_learning,
+    /// FloodGuard cache re-raises) and are what the flow table's hash index
+    /// is keyed on.
+    pub fn is_exact(&self) -> bool {
+        let w = self.wildcards;
+        !w.contains(Wildcards::IN_PORT)
+            && !w.contains(Wildcards::DL_VLAN)
+            && !w.contains(Wildcards::DL_SRC)
+            && !w.contains(Wildcards::DL_DST)
+            && !w.contains(Wildcards::DL_TYPE)
+            && !w.contains(Wildcards::NW_PROTO)
+            && !w.contains(Wildcards::TP_SRC)
+            && !w.contains(Wildcards::TP_DST)
+            && !w.contains(Wildcards::DL_VLAN_PCP)
+            && !w.contains(Wildcards::NW_TOS)
+            && w.nw_src_bits() == 0
+            && w.nw_dst_bits() == 0
+    }
 }
 
 impl Default for OfMatch {
@@ -481,6 +503,66 @@ impl fmt::Display for OfMatch {
     }
 }
 
+/// An action-less set of matches answering "does any rule here match these
+/// keys?" — the flow table's two-tier layout without priorities or state.
+///
+/// Exact matches ([`OfMatch::is_exact`]) go into a hash set probed in O(1);
+/// everything else lands in a scan list. FloodGuard's data-plane cache uses
+/// this for its §IV-E cache-resident proactive rules, where every queued
+/// packet is tested against the whole rule set.
+#[derive(Debug, Clone, Default)]
+pub struct MatchSet {
+    exact: std::collections::HashSet<FlowKeys>,
+    wildcard: Vec<OfMatch>,
+}
+
+impl MatchSet {
+    /// Creates an empty set.
+    pub fn new() -> MatchSet {
+        MatchSet::default()
+    }
+
+    /// Adds a match to the appropriate tier.
+    pub fn insert(&mut self, m: OfMatch) {
+        if m.is_exact() {
+            self.exact.insert(m.keys);
+        } else {
+            self.wildcard.push(m);
+        }
+    }
+
+    /// Number of matches held.
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.wildcard.len()
+    }
+
+    /// Whether no matches are held.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.wildcard.is_empty()
+    }
+
+    /// Whether any held match covers `keys`.
+    pub fn matches(&self, keys: &FlowKeys) -> bool {
+        self.exact.contains(keys) || self.wildcard.iter().any(|m| m.matches(keys))
+    }
+
+    /// Removes every match.
+    pub fn clear(&mut self) {
+        self.exact.clear();
+        self.wildcard.clear();
+    }
+}
+
+impl FromIterator<OfMatch> for MatchSet {
+    fn from_iter<I: IntoIterator<Item = OfMatch>>(iter: I) -> MatchSet {
+        let mut set = MatchSet::new();
+        for m in iter {
+            set.insert(m);
+        }
+        set
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +599,25 @@ mod tests {
         let mut other = keys;
         other.tp_dst = 54;
         assert!(!m.matches(&other));
+    }
+
+    #[test]
+    fn match_set_covers_both_tiers() {
+        let keys = sample_keys();
+        let set: MatchSet = [OfMatch::exact(keys), OfMatch::any().with_in_port(7)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+        assert!(set.matches(&keys));
+        let mut other = keys;
+        other.tp_dst = 54;
+        assert!(!set.matches(&other), "exact tier must not prefix-match");
+        other.in_port = 7;
+        assert!(set.matches(&other), "wildcard tier still scans");
+        let mut set = set;
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.matches(&keys));
     }
 
     #[test]
@@ -574,6 +675,23 @@ mod tests {
         assert!(narrow.is_subset_of(&wide));
         assert!(!wide.is_subset_of(&narrow));
         assert!(!disjoint.is_subset_of(&wide));
+    }
+
+    #[test]
+    fn is_exact_requires_all_twelve_fields() {
+        assert!(OfMatch::exact(sample_keys()).is_exact());
+        assert!(!OfMatch::any().is_exact());
+        assert!(!OfMatch::any().with_in_port(1).is_exact());
+        // A /31 source prefix is not exact even if every flag bit is clear.
+        let mut m = OfMatch::exact(sample_keys());
+        m.wildcards = m.wildcards.with_nw_src_bits(1);
+        assert!(!m.is_exact());
+        // Exactness implies matching is key equality.
+        let m = OfMatch::exact(sample_keys());
+        assert!(m.matches(&sample_keys()));
+        let mut other = sample_keys();
+        other.dl_vlan_pcp = 5;
+        assert!(!m.matches(&other));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! implements the `crossbeam::channel` API surface the workspace uses —
 //! bounded/unbounded MPMC channels with `try_send`/`recv_timeout` — over
 //! `std::sync::{Mutex, Condvar}`. Semantics match upstream for this subset:
-//! `try_send` on a full bounded channel fails with [`TrySendError::Full`],
+//! `try_send` on a full bounded channel fails with
+//! [`channel::TrySendError::Full`],
 //! all receivers observing an empty channel with no senders see
 //! disconnection, and senders/receivers are cloneable.
 

@@ -217,7 +217,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among equally-weighted strategies ([`prop_oneof!`]).
+    /// Uniform choice among equally-weighted strategies ([`crate::prop_oneof!`]).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -411,7 +411,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -1,0 +1,181 @@
+//! Cross-crate equivalence: the indexed `FlowTable` must be observationally
+//! identical to the seed linear scan (`flow_table::linear::LinearFlowTable`)
+//! when driven with *real* packets from `netsim` — keys extracted by
+//! `Packet::flow_keys`, rule shapes the controller and FloodGuard actually
+//! install (exact reactive rules, per-port wildcard migration rules,
+//! proactive prefix rules) — not just synthetic tuples.
+//!
+//! The in-crate proptest (`ofproto::flow_table::proptests`) covers random
+//! flow-mod scripts; this suite locks the workload shapes the simulator
+//! produces end to end.
+
+use std::net::Ipv4Addr;
+
+use netsim::packet::Packet;
+use ofproto::actions::Action;
+use ofproto::flow_match::{FlowKeys, OfMatch};
+use ofproto::flow_mod::FlowMod;
+use ofproto::flow_table::{linear::LinearFlowTable, FlowEntry, FlowTable};
+use ofproto::types::{MacAddr, PortNo};
+use proptest::prelude::*;
+
+fn fingerprint(e: Option<&FlowEntry>) -> Option<(OfMatch, u16, Vec<Action>, u64, u64)> {
+    e.map(|e| {
+        (
+            e.of_match,
+            e.priority,
+            e.actions.clone(),
+            e.packet_count,
+            e.byte_count,
+        )
+    })
+}
+
+/// A small host universe so flows collide with installed rules often.
+fn arb_packet() -> impl Strategy<Value = (Packet, u16)> {
+    (0u64..6, 0u64..6, 1u16..4000, 0u8..2, 1u16..5).prop_map(
+        |(src, dst, sport, proto, in_port)| {
+            let (s, d) = (
+                Ipv4Addr::new(10, 0, 0, src as u8 + 1),
+                Ipv4Addr::new(10, 0, 0, dst as u8 + 1),
+            );
+            let pkt = if proto == 0 {
+                Packet::udp(
+                    MacAddr::from_u64(src + 1),
+                    MacAddr::from_u64(dst + 1),
+                    s,
+                    d,
+                    sport,
+                    53,
+                    128,
+                )
+            } else {
+                Packet::tcp(
+                    MacAddr::from_u64(src + 1),
+                    MacAddr::from_u64(dst + 1),
+                    s,
+                    d,
+                    sport,
+                    80,
+                    netsim::packet::Transport::TCP_SYN,
+                    64,
+                )
+            };
+            (pkt, in_port)
+        },
+    )
+}
+
+/// The rule shapes the workspace installs: exact reactive rules (from a
+/// packet's own keys), per-port priority-0 migration rules, and proactive
+/// dl_dst / nw_dst-prefix rules.
+fn arb_install() -> impl Strategy<Value = FlowMod> {
+    (arb_packet(), 0u8..4, 0u8..4).prop_map(|((pkt, in_port), shape, timeout)| {
+        let keys = pkt.flow_keys(in_port);
+        let fm = match shape {
+            0 => FlowMod::add(
+                OfMatch::exact(keys),
+                vec![Action::Output(PortNo::Physical(2))],
+            )
+            .with_priority(100),
+            1 => FlowMod::add(
+                OfMatch::any().with_in_port(in_port),
+                vec![Action::SetNwTos(1), Action::Output(PortNo::Physical(99))],
+            )
+            .with_priority(0),
+            2 => FlowMod::add(
+                OfMatch::any().with_dl_dst(keys.dl_dst),
+                vec![Action::Output(PortNo::Physical(3))],
+            )
+            .with_priority(10),
+            _ => FlowMod::add(
+                OfMatch::any().with_nw_dst_prefix(keys.nw_dst, 24),
+                vec![Action::Output(PortNo::Physical(4))],
+            )
+            .with_priority(5),
+        };
+        if timeout > 0 {
+            fm.with_idle_timeout(u16::from(timeout)).with_hard_timeout(4)
+        } else {
+            fm
+        }
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Install(FlowMod),
+    Forward(Packet, u16),
+    DeleteByDst(u64),
+    Expire,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (arb_install(), arb_packet(), 0u64..6, 0u8..8).prop_map(|(fm, (pkt, port), dst, sel)| {
+        match sel {
+            0 | 1 => Step::Install(fm),
+            2 => Step::DeleteByDst(dst),
+            3 => Step::Expire,
+            _ => Step::Forward(pkt, port),
+        }
+    })
+}
+
+proptest! {
+    /// Both tables, fed the exact per-packet keys netsim computes, agree on
+    /// every forwarding decision, counter, removal batch and final state.
+    #[test]
+    fn indexed_table_forwards_like_linear_scan(
+        steps in proptest::collection::vec(arb_step(), 1..50),
+    ) {
+        let mut indexed = FlowTable::new(None);
+        let mut reference = LinearFlowTable::new(None);
+        for (i, step) in steps.iter().enumerate() {
+            let now = i as f64 * 0.5;
+            match step {
+                Step::Install(fm) => {
+                    prop_assert_eq!(indexed.apply(fm, now), reference.apply(fm, now));
+                }
+                Step::Forward(pkt, in_port) => {
+                    let keys = pkt.flow_keys(*in_port);
+                    let a = fingerprint(indexed.lookup(&keys, now, pkt.wire_len));
+                    let b = fingerprint(reference.lookup(&keys, now, pkt.wire_len));
+                    prop_assert_eq!(a, b, "forwarding diverged at step {}", i);
+                }
+                Step::DeleteByDst(dst) => {
+                    let del = FlowMod::delete(
+                        OfMatch::any().with_dl_dst(MacAddr::from_u64(dst + 1)),
+                    );
+                    prop_assert_eq!(indexed.apply(&del, now), reference.apply(&del, now));
+                }
+                Step::Expire => {
+                    prop_assert_eq!(indexed.expire(now), reference.expire(now));
+                }
+            }
+        }
+        prop_assert_eq!(indexed.lookup_count(), reference.lookup_count());
+        prop_assert_eq!(indexed.miss_count(), reference.miss_count());
+        let a: Vec<FlowEntry> = indexed.iter().cloned().collect();
+        let b: Vec<FlowEntry> = reference.iter().cloned().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Capacity pressure (the paper's TCAM-exhaustion scenario): both
+    /// tables reject the same adds and keep the same survivors.
+    #[test]
+    fn capacity_exhaustion_is_identical(
+        installs in proptest::collection::vec(arb_install(), 1..40),
+        capacity in 1usize..8,
+    ) {
+        let mut indexed = FlowTable::new(Some(capacity));
+        let mut reference = LinearFlowTable::new(Some(capacity));
+        for (i, fm) in installs.iter().enumerate() {
+            let now = i as f64 * 0.3;
+            prop_assert_eq!(indexed.apply(fm, now), reference.apply(fm, now));
+            prop_assert_eq!(indexed.len(), reference.len());
+        }
+        let a: Vec<FlowEntry> = indexed.iter().cloned().collect();
+        let b: Vec<FlowEntry> = reference.iter().cloned().collect();
+        prop_assert_eq!(a, b);
+    }
+}
