@@ -100,7 +100,7 @@ impl ControlPlane for NaiveDrop {
             .map(|s| s.datapath_utilization)
             .fold(0.0_f64, f64::max);
         self.detector
-            .record_utilization(buffer, datapath, telemetry.controller_utilization);
+            .record_utilization(buffer, datapath, telemetry.controller_utilization, now);
         match self.sm.state() {
             State::Idle if self.detector.is_attack(now) && self.sm.transition(State::Init, now) => {
                 self.stats.attacks_detected += 1;

@@ -9,7 +9,8 @@
 
 pub mod scenario;
 
+pub use netsim::faults::Fault;
 pub use scenario::{
     bandwidth_sweep, human_bps, run, AttackProtocol, Defense, Outcome, Scenario, CACHE_PORT, H1_IP,
-    H1_MAC, H2_IP, H2_MAC, H3_IP, H3_MAC,
+    H1_MAC, H2_IP, H2_MAC, H3_IP, H3_MAC, STANDBY_PORT,
 };

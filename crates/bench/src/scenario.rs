@@ -15,6 +15,7 @@ use floodguard::cache::CacheHandle;
 use floodguard::state::Transition;
 use floodguard::{FloodGuard, FloodGuardConfig, MonitorHandle};
 use netsim::engine::Simulation;
+use netsim::faults::Fault;
 use netsim::host::{BulkSender, MixedFlood, NewFlowProbe, SynFlood, UdpFlood};
 use netsim::packet::{FlowTag, Payload, Transport};
 use netsim::profile::SwitchProfile;
@@ -35,6 +36,8 @@ pub const H2_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 pub const H3_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
 /// Switch port the data plane cache hangs off.
 pub const CACHE_PORT: u16 = 99;
+/// Switch port the standby cache hangs off (when enabled).
+pub const STANDBY_PORT: u16 = 98;
 
 /// Which defense protects the network.
 #[derive(Debug, Clone)]
@@ -83,12 +86,22 @@ pub struct Scenario {
     pub bulk_batch: u32,
     /// New-flow probe times (h1→h2 TCP SYNs; Table IV measurement).
     pub probes: Vec<f64>,
+    /// Probe times toward a destination MAC nobody owns: the packet can
+    /// only reach h2 via a controller-driven flood, so it observes whether
+    /// unmatched traffic is still forwarded at all (fail-open vs fail-safe).
+    pub unknown_probes: Vec<f64>,
     /// Total simulated duration.
     pub duration: f64,
     /// RNG seed.
     pub seed: u64,
     /// Controller machine model override (`None` uses the default).
     pub controller: Option<netsim::ControllerProfile>,
+    /// Infrastructure faults to inject, as `(time, fault)` pairs
+    /// (scheduled into the deterministic event queue).
+    pub faults: Vec<(f64, Fault)>,
+    /// Attach a standby data plane cache behind [`STANDBY_PORT`]
+    /// (FloodGuard defense only).
+    pub standby_cache: bool,
 }
 
 impl Scenario {
@@ -105,9 +118,12 @@ impl Scenario {
             bulk: true,
             bulk_batch: 50,
             probes: Vec::new(),
+            unknown_probes: Vec::new(),
             duration: 4.0,
             seed: 42,
             controller: None,
+            faults: Vec::new(),
+            standby_cache: false,
         }
     }
 
@@ -138,6 +154,20 @@ impl Scenario {
     #[must_use]
     pub fn with_apps(mut self, apps: Vec<Program>) -> Scenario {
         self.apps = apps;
+        self
+    }
+
+    /// Schedules `fault` at simulation time `t` (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, t: f64, fault: Fault) -> Scenario {
+        self.faults.push((t, fault));
+        self
+    }
+
+    /// Attaches a standby cache behind [`STANDBY_PORT`] (FloodGuard only).
+    #[must_use]
+    pub fn with_standby_cache(mut self) -> Scenario {
+        self.standby_cache = true;
         self
     }
 }
@@ -171,7 +201,12 @@ pub fn run(scenario: &Scenario) -> Outcome {
     if let Some(profile) = scenario.controller {
         sim.set_controller_profile(profile);
     }
-    let sw = sim.add_switch(scenario.profile, vec![1, 2, 3, CACHE_PORT]);
+    let ports = if scenario.standby_cache {
+        vec![1, 2, 3, STANDBY_PORT, CACHE_PORT]
+    } else {
+        vec![1, 2, 3, CACHE_PORT]
+    };
+    let sw = sim.add_switch(scenario.profile, ports);
     let h1 = sim.add_host(sw, 1, H1_MAC, H1_IP);
     let h2 = sim.add_host(sw, 2, H2_MAC, H2_IP);
     let h3 = sim.add_host(sw, 3, H3_MAC, H3_IP);
@@ -198,6 +233,17 @@ pub fn run(scenario: &Scenario) -> Outcome {
                 scenario.profile.channel_latency,
                 1e-3,
             );
+            if scenario.standby_cache {
+                let standby = fg.build_standby_cache(ofproto::types::DatapathId(1), STANDBY_PORT);
+                sim.attach_device(
+                    sw,
+                    STANDBY_PORT,
+                    Box::new(standby),
+                    scenario.profile.channel_bandwidth,
+                    scenario.profile.channel_latency,
+                    1e-3,
+                );
+            }
             sim.set_control_plane(Box::new(fg));
         }
         Defense::NaiveDrop => {
@@ -261,6 +307,23 @@ pub fn run(scenario: &Scenario) -> Outcome {
         sim.host_mut(h1).add_source(Box::new(NewFlowProbe::new(
             H1_MAC, H1_IP, H2_MAC, H2_IP, id, at,
         )));
+    }
+    for (i, &at) in scenario.unknown_probes.iter().enumerate() {
+        let id = (scenario.probes.len() + i) as u32 + 1;
+        probe_ids.push((id, at));
+        // No host owns this MAC: delivery to h2 requires a flood decision.
+        sim.host_mut(h1).add_source(Box::new(NewFlowProbe::new(
+            H1_MAC,
+            H1_IP,
+            MacAddr::from_u64(0x00DE_AD00_0001),
+            Ipv4Addr::new(10, 0, 0, 77),
+            id,
+            at,
+        )));
+    }
+
+    for &(at, fault) in &scenario.faults {
+        sim.schedule_fault(at, fault);
     }
 
     sim.run_until(scenario.duration);

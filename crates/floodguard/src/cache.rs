@@ -113,6 +113,10 @@ pub struct ProbeRecord {
 pub struct CacheShared {
     /// Agent-driven knobs.
     pub control: CacheControl,
+    /// Whether the cache device is alive. Cleared by
+    /// `DataPlaneDevice::on_crash`, restored by `on_restart`; the migration
+    /// agent polls this to drive failover.
+    pub healthy: bool,
     /// Cache-maintained counters.
     pub stats: CacheStats,
     /// Residency log of tagged new-flow probes.
@@ -133,6 +137,7 @@ pub fn new_handle(config: &CacheConfig) -> CacheHandle {
             rate_pps: config.base_rate_pps,
             intake_enabled: false,
         },
+        healthy: true,
         stats: CacheStats::default(),
         probes: Vec::new(),
         proactive: MatchSet::new(),
@@ -351,6 +356,24 @@ impl DataPlaneDevice for DataPlaneCache {
             // Keep the shared queue gauge fresh even when idle.
             self.sync_stats::<()>(|_| {});
         }
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile state is gone: queued packets, the priority lane and the
+        // token bucket. Cumulative counters survive in the shared handle,
+        // but the health bit flips so the agent can fail over.
+        self.queues = Default::default();
+        self.priority.clear();
+        self.rr_next = 0;
+        self.tokens = 0.0;
+        let mut shared = self.handle.lock();
+        shared.healthy = false;
+        shared.stats.queued = 0;
+    }
+
+    fn on_restart(&mut self, now: f64) {
+        self.last_tick = now;
+        self.handle.lock().healthy = true;
     }
 }
 
@@ -612,6 +635,30 @@ mod tests {
         })
         .unwrap();
         assert_eq!(first.dst_mac, mac(2), "prioritized packet emitted first");
+    }
+
+    #[test]
+    fn crash_wipes_queues_and_flips_health() {
+        use netsim::iface::DataPlaneDevice as _;
+        let (mut cache, h) = cache_with(CacheConfig::default());
+        let mut out = DeviceOutput::new();
+        for port in 1..=5u8 {
+            cache.on_packet(udp_tagged(port), 0.0, &mut out);
+        }
+        assert!(h.lock().healthy);
+        cache.on_crash();
+        assert_eq!(cache.queued(), 0);
+        assert!(!h.lock().healthy);
+        assert_eq!(h.lock().stats.queued, 0);
+        assert_eq!(h.lock().stats.received, 5, "cumulative counters survive");
+        cache.on_restart(2.0);
+        assert!(h.lock().healthy);
+        // The restarted (empty) cache accepts and emits again.
+        let mut out = DeviceOutput::new();
+        cache.on_packet(udp_tagged(6), 2.0, &mut out);
+        let mut out = DeviceOutput::new();
+        cache.on_tick(3.0, &mut out);
+        assert_eq!(out.to_controller.len(), 1);
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub struct DetectionConfig {
     pub end_fraction: f64,
     /// Seconds of calm required to declare the attack over.
     pub end_hysteresis: f64,
+    /// Utilization readings older than this (seconds) are considered stale
+    /// (telemetry stopped arriving — e.g. a control-channel partition) and
+    /// start decaying toward zero instead of freezing at the last value.
+    pub utilization_timeout: f64,
+    /// Half-life (seconds) of the exponential decay applied to stale
+    /// utilization readings.
+    pub utilization_half_life: f64,
 }
 
 impl Default for DetectionConfig {
@@ -53,6 +60,10 @@ impl Default for DetectionConfig {
             controller_weight: 0.15,
             end_fraction: 0.2,
             end_hysteresis: 0.3,
+            // Telemetry normally arrives every 0.05 s; five missed rounds
+            // means the feed is gone.
+            utilization_timeout: 0.25,
+            utilization_half_life: 0.25,
         }
     }
 }
@@ -109,6 +120,42 @@ pub enum RulePlacement {
     Cache,
 }
 
+/// What FloodGuard does when every registered data plane cache (including
+/// standbys) is dead while migration is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheFailPolicy {
+    /// Remove the migration rules: table misses reach the controller again
+    /// and traffic keeps forwarding, at the cost of re-exposing the control
+    /// plane to the flood until a cache comes back.
+    FailOpen,
+    /// Turn the migration rules into drops: the data plane and control plane
+    /// stay protected, at the cost of blackholing *new* flows until a cache
+    /// comes back (established flows keep their higher-priority rules).
+    FailSafe,
+}
+
+/// Failure-recovery parameters: rule repair and cache failover.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Degradation policy when no healthy cache remains.
+    pub cache_fail_policy: CacheFailPolicy,
+    /// Maximum rule-repair rounds per switch before giving up (until fresh
+    /// evidence — a reconnect — resets the budget).
+    pub repair_max_attempts: u32,
+    /// Base backoff between repair rounds, seconds (doubled each attempt).
+    pub repair_backoff: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            cache_fail_policy: CacheFailPolicy::FailOpen,
+            repair_max_attempts: 5,
+            repair_backoff: 0.05,
+        }
+    }
+}
+
 /// Top-level FloodGuard configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FloodGuardConfig {
@@ -131,6 +178,8 @@ pub struct FloodGuardConfig {
     /// Target controller utilization the adaptive rate limiter steers
     /// toward.
     pub target_controller_utilization: f64,
+    /// Failure recovery: rule repair and cache failover.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for FloodGuardConfig {
@@ -148,6 +197,7 @@ impl Default for FloodGuardConfig {
             // them out instead.
             remove_proactive_on_idle: false,
             target_controller_utilization: 0.5,
+            recovery: RecoveryConfig::default(),
         }
     }
 }

@@ -17,6 +17,7 @@ pub struct Detector {
     buffer_utilization: f64,
     datapath_utilization: f64,
     controller_utilization: f64,
+    utilization_at: Option<f64>,
     calm_since: Option<f64>,
     last_score: f64,
 }
@@ -30,6 +31,7 @@ impl Detector {
             buffer_utilization: 0.0,
             datapath_utilization: 0.0,
             controller_utilization: 0.0,
+            utilization_at: None,
             calm_since: None,
             last_score: 0.0,
         }
@@ -42,11 +44,31 @@ impl Detector {
         self.evict(now);
     }
 
-    /// Feeds infrastructure utilization from telemetry.
-    pub fn record_utilization(&mut self, buffer: f64, datapath: f64, controller: f64) {
+    /// Feeds infrastructure utilization from telemetry, stamped with the
+    /// arrival time so a dead feed decays instead of freezing (see
+    /// [`Detector::staleness_factor`]).
+    pub fn record_utilization(&mut self, buffer: f64, datapath: f64, controller: f64, now: f64) {
         self.buffer_utilization = buffer.clamp(0.0, 1.0);
         self.datapath_utilization = datapath.clamp(0.0, 1.0);
         self.controller_utilization = controller.clamp(0.0, 1.0);
+        self.utilization_at = Some(now);
+    }
+
+    /// Discount applied to the stored utilization readings at `now`.
+    ///
+    /// Fresh readings (younger than `utilization_timeout`) count in full;
+    /// once telemetry stops arriving — a partition, a crashed switch — the
+    /// readings decay exponentially with `utilization_half_life`, so a stale
+    /// high-water mark cannot pin the anomaly score (and the FSM) in attack
+    /// state forever.
+    pub fn staleness_factor(&self, now: f64) -> f64 {
+        match self.utilization_at {
+            Some(at) if now - at > self.config.utilization_timeout => {
+                let overdue = now - at - self.config.utilization_timeout;
+                0.5f64.powf(overdue / self.config.utilization_half_life.max(1e-9))
+            }
+            _ => 1.0,
+        }
     }
 
     fn evict(&mut self, now: f64) {
@@ -69,10 +91,12 @@ impl Detector {
     /// rate, buffer utilization and controller utilization.
     pub fn score(&mut self, now: f64) -> f64 {
         let rate_term = (self.rate(now) / self.config.rate_capacity_pps).min(2.0);
+        let fresh = self.staleness_factor(now);
         let score = self.config.rate_weight * rate_term
-            + self.config.buffer_weight * self.buffer_utilization
-            + self.config.datapath_weight * self.datapath_utilization
-            + self.config.controller_weight * self.controller_utilization;
+            + fresh
+                * (self.config.buffer_weight * self.buffer_utilization
+                    + self.config.datapath_weight * self.datapath_utilization
+                    + self.config.controller_weight * self.controller_utilization);
         self.last_score = score;
         score
     }
@@ -157,8 +181,35 @@ mod tests {
             d.record_packet_in(f64::from(i) * 0.03);
         }
         assert!(!d.is_attack(0.25), "rate alone below threshold");
-        d.record_utilization(0.95, 0.9, 0.9);
+        d.record_utilization(0.95, 0.9, 0.9, 0.25);
         assert!(d.is_attack(0.25), "utilization pushes the score over");
+    }
+
+    #[test]
+    fn stale_utilization_decays_instead_of_freezing() {
+        let mut d = detector();
+        d.record_utilization(1.0, 1.0, 1.0, 0.0);
+        assert!(d.is_attack(0.1), "fresh saturation signals attack");
+        // Telemetry stops (partition). Within the timeout the reading holds…
+        assert!((d.staleness_factor(0.2) - 1.0).abs() < 1e-12);
+        // …then decays: after timeout + several half-lives the stale
+        // high-water mark can no longer hold the score over threshold.
+        assert!(d.staleness_factor(0.25 + 0.25) < 0.51);
+        assert!(d.staleness_factor(0.25 + 2.0) < 0.01);
+        assert!(
+            !d.is_attack(3.0),
+            "a dead feed must not pin the FSM in attack state"
+        );
+        // A new reading restores full weight.
+        d.record_utilization(1.0, 1.0, 1.0, 3.0);
+        assert!((d.staleness_factor(3.1) - 1.0).abs() < 1e-12);
+        assert!(d.is_attack(3.1));
+    }
+
+    #[test]
+    fn unfed_detector_scores_zero_utilization() {
+        let mut d = detector();
+        assert_eq!(d.score(5.0), 0.0);
     }
 
     #[test]

@@ -66,11 +66,12 @@ use parking_lot::Mutex;
 use crate::analyzer::Analyzer;
 use crate::cache::{new_handle, CacheHandle, DataPlaneCache};
 use crate::detector::Detector;
-use crate::migration::MigrationAgent;
+use crate::migration::{CacheFailover, MigrationAgent};
 use crate::state::Transition;
 
 pub use crate::config::{
-    CacheConfig, DetectionConfig, FloodGuardConfig, RulePlacement, UpdateStrategy,
+    CacheConfig, CacheFailPolicy, DetectionConfig, FloodGuardConfig, RecoveryConfig, RulePlacement,
+    UpdateStrategy,
 };
 pub use crate::state::{State, StateMachine};
 
@@ -92,6 +93,25 @@ pub struct FloodGuardStats {
     pub updates: u64,
     /// `packet_in`s re-raised from the data plane cache.
     pub reraised: u64,
+    /// Flow-mods re-sent by rule repair (after a flow-table wipe or a
+    /// control-channel reconnect).
+    pub rules_repaired: u64,
+    /// Cache failovers (standby promotions and recoveries from degraded).
+    pub cache_failovers: u64,
+    /// Times the defense degraded because no healthy cache remained.
+    pub degraded: u64,
+}
+
+/// Per-switch rule-repair bookkeeping (bounded retry with backoff).
+#[derive(Debug, Clone, Copy, Default)]
+struct RepairEntry {
+    /// A repair round is owed (table wipe detected, or reconnect while
+    /// migrating).
+    pending: bool,
+    /// Rounds already spent on the current incident.
+    attempts: u32,
+    /// Earliest time the next round may fire.
+    next_at: f64,
 }
 
 /// A live snapshot of FloodGuard's externally observable state, shared
@@ -120,6 +140,7 @@ pub struct FloodGuard {
     agent: MigrationAgent,
     cache_handle: CacheHandle,
     switch_ports: Vec<(DatapathId, Vec<u16>)>,
+    repairs: Vec<(DatapathId, RepairEntry)>,
     /// Datapath each cache device serves, in device-attachment order.
     device_dpids: Vec<DatapathId>,
     monitor: MonitorHandle,
@@ -160,6 +181,7 @@ impl FloodGuard {
             agent,
             cache_handle,
             switch_ports: Vec::new(),
+            repairs: Vec::new(),
             device_dpids: Vec::new(),
             monitor: Arc::new(Mutex::new(Monitor::default())),
             stats: FloodGuardStats::default(),
@@ -201,9 +223,28 @@ impl FloodGuard {
         DataPlaneCache::new(self.config.cache, handle)
     }
 
+    /// Builds a **standby** cache for switch `dpid` behind physical port
+    /// `port`: it stays closed until every active cache dies, at which point
+    /// the next telemetry tick promotes it and re-points the migration rules
+    /// (see [`CacheFailPolicy`] for what happens when no standby exists).
+    ///
+    /// Like [`FloodGuard::build_cache_for`], attach it to the simulation in
+    /// build order.
+    pub fn build_standby_cache(&mut self, dpid: DatapathId, port: u16) -> DataPlaneCache {
+        let handle = new_handle(&self.config.cache);
+        self.agent.register_standby(handle.clone(), port);
+        self.device_dpids.push(dpid);
+        DataPlaneCache::new(self.config.cache, handle)
+    }
+
     /// The shared cache handle (rate knob + live statistics).
     pub fn cache_handle(&self) -> CacheHandle {
         self.cache_handle.clone()
+    }
+
+    /// The migration agent (cache registry, failover and degrade state).
+    pub fn agent(&self) -> &MigrationAgent {
+        &self.agent
     }
 
     /// The current lifecycle state.
@@ -356,6 +397,155 @@ impl FloodGuard {
             }
         }
     }
+
+    /// Flags switch `dpid` for a rule-repair round. `fresh_evidence` (a
+    /// reconnect) resets the attempt budget; a telemetry audit failure only
+    /// re-arms an idle entry, so a switch that keeps reporting a short table
+    /// cannot burn unbounded repair rounds.
+    fn mark_repair(&mut self, dpid: DatapathId, now: f64, fresh_evidence: bool) {
+        let entry = match self.repairs.iter_mut().find(|(d, _)| *d == dpid) {
+            Some((_, e)) => e,
+            None => {
+                self.repairs.push((dpid, RepairEntry::default()));
+                &mut self.repairs.last_mut().expect("just pushed").1
+            }
+        };
+        if fresh_evidence {
+            entry.attempts = 0;
+            entry.next_at = now;
+        }
+        if !entry.pending {
+            entry.pending = true;
+            entry.next_at = entry.next_at.max(now);
+        }
+    }
+
+    /// Runs due repair rounds: re-sends the migration redirect rules and —
+    /// under [`RulePlacement::Switch`] — the installed proactive rules.
+    /// Re-sending is idempotent (an OpenFlow `Add` with an identical match
+    /// and priority replaces in place), so a spurious repair is harmless.
+    fn process_repairs(&mut self, now: f64, out: &mut ControlOutput) {
+        if !self.agent.is_migrating() || self.agent.is_degraded() {
+            return;
+        }
+        let recovery = self.config.recovery;
+        let due: Vec<DatapathId> = self
+            .repairs
+            .iter()
+            .filter(|(_, e)| e.pending && now >= e.next_at)
+            .map(|(d, _)| *d)
+            .collect();
+        for dpid in due {
+            let Some(ports) = self
+                .switch_ports
+                .iter()
+                .find(|(d, _)| *d == dpid)
+                .map(|(_, p)| p.clone())
+            else {
+                continue;
+            };
+            let entry = &mut self
+                .repairs
+                .iter_mut()
+                .find(|(d, _)| *d == dpid)
+                .expect("entry exists")
+                .1;
+            if entry.attempts >= recovery.repair_max_attempts {
+                // Budget exhausted: stand down until fresh evidence
+                // (a reconnect) resets it.
+                entry.pending = false;
+                continue;
+            }
+            entry.attempts += 1;
+            entry.next_at = now + recovery.repair_backoff * f64::from(1u32 << (entry.attempts - 1));
+            let mut mods = self.agent.reinstall_migration(dpid, &ports);
+            if self.config.rule_placement == RulePlacement::Switch {
+                mods.extend(
+                    self.analyzer
+                        .installed()
+                        .iter()
+                        .map(|r| r.to_flow_mod().with_cookie(self.config.cookie)),
+                );
+            }
+            self.stats.rules_repaired += mods.len() as u64;
+            for fm in mods {
+                out.send(
+                    dpid,
+                    OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)),
+                );
+            }
+            out.charge(MODULE_NAME, 5e-5);
+        }
+    }
+
+    /// Audits telemetry against the migration rules the agent believes are
+    /// installed: a `flow_count` below that baseline means the table was
+    /// wiped (crash-restart) behind our back.
+    fn audit_tables(&mut self, telemetry: &Telemetry, now: f64) {
+        if !self.agent.is_migrating() || self.agent.is_degraded() {
+            return;
+        }
+        for sw in &telemetry.switches {
+            let expected = self.agent.installed_for(sw.dpid);
+            if expected == 0 {
+                continue;
+            }
+            if sw.flow_count < expected {
+                self.mark_repair(sw.dpid, now, false);
+            } else if let Some((_, e)) = self.repairs.iter_mut().find(|(d, _)| *d == sw.dpid) {
+                // Audit passes: the incident is over, restore the budget.
+                e.pending = false;
+                e.attempts = 0;
+            }
+        }
+    }
+
+    /// Polls cache health and reacts: promotes standbys (re-pointing the
+    /// migration rules), or degrades per [`CacheFailPolicy`] when nothing
+    /// healthy remains.
+    fn check_cache_failover(&mut self, out: &mut ControlOutput) {
+        if !self.agent.is_migrating() && !self.agent.is_degraded() {
+            return;
+        }
+        match self.agent.check_cache_health() {
+            CacheFailover::Ok => {}
+            CacheFailover::Promoted { port: _ } => {
+                self.stats.cache_failovers += 1;
+                if self.agent.is_migrating() {
+                    // Re-point every switch's redirect rules at the promoted
+                    // cache (overwrites fail-safe drops in place too).
+                    let targets = self.switch_ports.clone();
+                    for (dpid, ports) in &targets {
+                        for fm in self.agent.reinstall_migration(*dpid, ports) {
+                            out.send(
+                                *dpid,
+                                OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)),
+                            );
+                        }
+                    }
+                    out.charge(MODULE_NAME, 2e-4);
+                }
+            }
+            CacheFailover::Degraded => {
+                self.stats.degraded += 1;
+                // Pending repairs would reinstall redirects to a dead cache.
+                for (_, e) in &mut self.repairs {
+                    e.pending = false;
+                }
+                let mods = match self.config.recovery.cache_fail_policy {
+                    CacheFailPolicy::FailOpen => self.agent.degrade_fail_open(),
+                    CacheFailPolicy::FailSafe => self.agent.degrade_fail_safe(),
+                };
+                for (dpid, fm) in mods {
+                    out.send(
+                        dpid,
+                        OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm)),
+                    );
+                }
+                out.charge(MODULE_NAME, 2e-4);
+            }
+        }
+    }
 }
 
 impl ControlPlane for FloodGuard {
@@ -367,8 +557,29 @@ impl ControlPlane for FloodGuard {
         out: &mut ControlOutput,
     ) {
         let ports: Vec<u16> = features.ports.iter().filter_map(|p| p.physical()).collect();
-        self.switch_ports.push((dpid, ports));
+        match self.switch_ports.iter_mut().find(|(d, _)| *d == dpid) {
+            // A reconnect (crash-restart or healed partition): the switch may
+            // have lost its table, so owe it a repair round with a fresh
+            // attempt budget.
+            Some((_, p)) => {
+                *p = ports;
+                if self.agent.is_migrating() {
+                    self.mark_repair(dpid, now, true);
+                }
+            }
+            None => self.switch_ports.push((dpid, ports)),
+        }
         self.platform.on_switch_connect(dpid, features, now, out);
+    }
+
+    fn on_switch_disconnect(&mut self, dpid: DatapathId, now: f64, _out: &mut ControlOutput) {
+        // Nothing can be sent while the switch is gone; owe it a repair so
+        // the defense re-converges the moment it reconnects (belt-and-braces
+        // with the reconnect path, and it covers liveness-timeout declares
+        // where no re-handshake follows immediately).
+        if self.agent.is_migrating() {
+            self.mark_repair(dpid, now, false);
+        }
     }
 
     fn on_message(&mut self, dpid: DatapathId, msg: OfMessage, now: f64, out: &mut ControlOutput) {
@@ -419,10 +630,20 @@ impl ControlPlane for FloodGuard {
             .map(|s| s.datapath_utilization)
             .fold(0.0_f64, f64::max);
         self.detector
-            .record_utilization(buffer, datapath, telemetry.controller_utilization);
+            .record_utilization(buffer, datapath, telemetry.controller_utilization, now);
+        // Failure recovery runs before the FSM step: health and table audits
+        // may change what the lifecycle logic below is allowed to do.
+        self.audit_tables(telemetry, now);
+        self.check_cache_failover(out);
+        self.process_repairs(now, out);
         match self.sm.state() {
             State::Idle => {
-                if self.detector.is_attack(now) && self.sm.transition(State::Init, now) {
+                // While degraded there is no cache to migrate to — starting a
+                // defense episode would blackhole or self-DoS.
+                if !self.agent.is_degraded()
+                    && self.detector.is_attack(now)
+                    && self.sm.transition(State::Init, now)
+                {
                     self.enter_init(now, out);
                 }
             }
@@ -431,6 +652,22 @@ impl ControlPlane for FloodGuard {
                 // migration starts (conversion latency).
                 self.run_update(now, out);
                 self.sm.transition(State::Defense, now);
+            }
+            State::Defense if self.agent.is_degraded() => {
+                match self.config.recovery.cache_fail_policy {
+                    // Fail-open removed the migration rules: the episode is
+                    // over, walk to Finish and let the (empty) backlog drain
+                    // to Idle. `enter_finish` is skipped — it would re-remove
+                    // the already-removed rules.
+                    CacheFailPolicy::FailOpen => {
+                        self.stats.attacks_ended += 1;
+                        self.sm.transition(State::Finish, now);
+                    }
+                    // Fail-safe holds the drop rules in Defense until a cache
+                    // comes back; the zero arrival rate at the dead cache
+                    // must not be read as "attack over".
+                    CacheFailPolicy::FailSafe => {}
+                }
             }
             State::Defense => {
                 // Track application state and refresh rules per strategy.
@@ -453,7 +690,10 @@ impl ControlPlane for FloodGuard {
                 if self.agent.cache_backlog() == 0 && self.sm.transition(State::Idle, now) {
                     self.enter_idle(out);
                     self.detector.reset_end_tracking();
-                } else if self.detector.is_attack(now) && self.sm.transition(State::Init, now) {
+                } else if !self.agent.is_degraded()
+                    && self.detector.is_attack(now)
+                    && self.sm.transition(State::Init, now)
+                {
                     // A renewed flood during drain re-enters defense.
                     self.enter_init(now, out);
                 }
@@ -539,7 +779,9 @@ mod tests {
                 datapath_utilization: 0.0,
                 ingress_len: 0,
                 misses: 0,
-                flow_count: 0,
+                // A healthy switch reports its installed rules; zero would
+                // read as a wiped table and trigger rule repair.
+                flow_count: 64,
             }],
             controller_queue: 0,
             controller_utilization: 0.0,

@@ -10,6 +10,8 @@
 //!    `packet_in`s with the original datapath, and steer the cache's
 //!    submission rate from controller utilization.
 
+use std::sync::Arc;
+
 use ofproto::actions::Action;
 use ofproto::flow_match::OfMatch;
 use ofproto::flow_mod::FlowMod;
@@ -19,18 +21,45 @@ use crate::cache::CacheHandle;
 use crate::config::FloodGuardConfig;
 use crate::migration::tag;
 
+/// One cache under the agent's management.
+#[derive(Debug)]
+struct CacheSlot {
+    handle: CacheHandle,
+    port: u16,
+    standby: bool,
+}
+
+/// Outcome of [`MigrationAgent::check_cache_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFailover {
+    /// Nothing to do: a healthy active cache exists — or the agent is still
+    /// degraded with no recovery path yet.
+    Ok,
+    /// A healthy cache was promoted to active on `port`; the caller must
+    /// re-point the migration rules at it.
+    Promoted {
+        /// Switch port the promoted cache hangs off.
+        port: u16,
+    },
+    /// No healthy cache remains: the caller must degrade per the configured
+    /// [`crate::config::CacheFailPolicy`]. Reported once per transition.
+    Degraded,
+}
+
 /// The migration agent.
 ///
 /// Steers one or more data plane caches (§IV-E: "we could also use a set of
 /// data plane caches, with each in charge of a subset of switches"); all
-/// caches share the same intake state and rate limit, driven by the one
-/// attack state machine.
+/// active caches share the same intake state and rate limit, driven by the
+/// one attack state machine. Standby caches stay closed until a failover
+/// promotes them.
 #[derive(Debug)]
 pub struct MigrationAgent {
     config: FloodGuardConfig,
-    handles: Vec<CacheHandle>,
+    slots: Vec<CacheSlot>,
     cache_port: u16,
     installed: Vec<(DatapathId, OfMatch)>,
+    degraded: bool,
     last_received: u64,
     last_rate_at: f64,
 }
@@ -44,27 +73,158 @@ impl MigrationAgent {
     ) -> MigrationAgent {
         MigrationAgent {
             config,
-            handles: vec![cache_handle],
+            slots: vec![CacheSlot {
+                handle: cache_handle,
+                port: cache_port,
+                standby: false,
+            }],
             cache_port,
             installed: Vec::new(),
+            degraded: false,
             last_received: 0,
             last_rate_at: 0.0,
         }
     }
 
-    /// Registers an additional cache (multi-cache deployments).
-    pub fn register_cache(&mut self, handle: CacheHandle) {
-        self.handles.push(handle);
+    /// Registers an additional active cache behind the current cache port
+    /// (multi-cache deployments). Duplicate handles are ignored; returns
+    /// whether the handle was added.
+    pub fn register_cache(&mut self, handle: CacheHandle) -> bool {
+        if self.is_registered(&handle) {
+            return false;
+        }
+        self.slots.push(CacheSlot {
+            handle,
+            port: self.cache_port,
+            standby: false,
+        });
+        true
     }
 
-    /// Number of caches under management.
+    /// Registers a standby cache behind `port`: it stays closed until
+    /// [`MigrationAgent::check_cache_health`] promotes it. Duplicate handles
+    /// are ignored; returns whether the handle was added.
+    pub fn register_standby(&mut self, handle: CacheHandle, port: u16) -> bool {
+        if self.is_registered(&handle) {
+            return false;
+        }
+        self.slots.push(CacheSlot {
+            handle,
+            port,
+            standby: true,
+        });
+        true
+    }
+
+    /// Retires a cache (e.g. permanently decommissioned hardware); returns
+    /// whether the handle was registered.
+    pub fn remove_cache(&mut self, handle: &CacheHandle) -> bool {
+        let before = self.slots.len();
+        self.slots.retain(|s| !Arc::ptr_eq(&s.handle, handle));
+        self.slots.len() < before
+    }
+
+    fn is_registered(&self, handle: &CacheHandle) -> bool {
+        self.slots.iter().any(|s| Arc::ptr_eq(&s.handle, handle))
+    }
+
+    /// Number of caches under management (active and standby).
     pub fn cache_count(&self) -> usize {
-        self.handles.len()
+        self.slots.len()
     }
 
-    /// The port the caches hang off.
+    /// The handle of the `i`-th registered cache slot, in registration
+    /// order.
+    pub fn cache_handle(&self, i: usize) -> &CacheHandle {
+        &self.slots[i].handle
+    }
+
+    /// The port the active caches hang off.
     pub fn cache_port(&self) -> u16 {
         self.cache_port
+    }
+
+    /// Whether the agent has given up on caches and degraded per policy.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn active_slots(&self) -> impl Iterator<Item = &CacheSlot> {
+        self.slots.iter().filter(|s| !s.standby)
+    }
+
+    fn received_total(&self) -> u64 {
+        self.active_slots()
+            .map(|s| {
+                let shared = s.handle.lock();
+                shared.stats.received + shared.stats.rejected + shared.stats.dropped
+            })
+            .sum()
+    }
+
+    /// Re-baselines the arrival-rate estimator (after the active cache set
+    /// changed, deltas against the old sum would be garbage).
+    fn reset_rate_baseline(&mut self) {
+        self.last_received = self.received_total();
+    }
+
+    /// Polls cache health and drives failover (called from telemetry while
+    /// defense is active or the agent is degraded):
+    ///
+    /// * a healthy active cache → [`CacheFailover::Ok`];
+    /// * all actives dead, healthy standby → the dead actives are demoted,
+    ///   the standby promoted, and the caller re-points migration at the
+    ///   returned port;
+    /// * nothing healthy → [`CacheFailover::Degraded`], once, and the caller
+    ///   applies the configured fail policy;
+    /// * while degraded, any cache coming back healthy (a restarted cache or
+    ///   a late-registered standby) is promoted, ending degradation.
+    pub fn check_cache_health(&mut self) -> CacheFailover {
+        let migrating = self.is_migrating();
+        let healthy_active = self
+            .slots
+            .iter()
+            .position(|s| !s.standby && s.handle.lock().healthy);
+        if let Some(idx) = healthy_active {
+            if self.degraded {
+                // A dead active came back while degraded: re-point at it.
+                self.degraded = false;
+                let port = self.slots[idx].port;
+                self.cache_port = port;
+                self.slots[idx].handle.lock().control.intake_enabled = migrating;
+                self.reset_rate_baseline();
+                return CacheFailover::Promoted { port };
+            }
+            return CacheFailover::Ok;
+        }
+        // Every active cache is dead. Promote a healthy standby if any.
+        if let Some(idx) = self
+            .slots
+            .iter()
+            .position(|s| s.standby && s.handle.lock().healthy)
+        {
+            for s in &mut self.slots {
+                if !s.standby {
+                    s.standby = true; // demote: dead, but may restart later
+                    s.handle.lock().control.intake_enabled = false;
+                }
+            }
+            let slot = &mut self.slots[idx];
+            slot.standby = false;
+            let port = slot.port;
+            slot.handle.lock().control.intake_enabled = migrating;
+            self.cache_port = port;
+            self.degraded = false;
+            self.reset_rate_baseline();
+            return CacheFailover::Promoted { port };
+        }
+        if self.degraded {
+            CacheFailover::Ok
+        } else {
+            self.degraded = true;
+            self.reset_rate_baseline();
+            CacheFailover::Degraded
+        }
     }
 
     /// Builds and records the migration rules for switch `dpid`: one
@@ -96,11 +256,21 @@ impl MigrationAgent {
                 .with_cookie(self.config.cookie),
             );
         }
-        // Migration begins: open every cache's intake.
-        for handle in &self.handles {
-            handle.lock().control.intake_enabled = true;
+        // Migration begins: open every active cache's intake.
+        for slot in self.slots.iter().filter(|s| !s.standby) {
+            slot.handle.lock().control.intake_enabled = true;
         }
         mods
+    }
+
+    /// Rebuilds the migration redirect rules for `dpid` from scratch —
+    /// rule repair after a flow-table wipe, or re-pointing at a promoted
+    /// cache. The `installed` audit entries for `dpid` are replaced, not
+    /// duplicated; re-sending is safe because an OpenFlow `Add` with an
+    /// identical match and priority replaces the entry in place.
+    pub fn reinstall_migration(&mut self, dpid: DatapathId, ports: &[u16]) -> Vec<FlowMod> {
+        self.installed.retain(|(d, _)| *d != dpid);
+        self.install_migration(dpid, ports)
     }
 
     /// Builds the strict deletes removing every installed migration rule
@@ -116,10 +286,40 @@ impl MigrationAgent {
                 )
             })
             .collect();
-        for handle in &self.handles {
-            handle.lock().control.intake_enabled = false;
+        for slot in &self.slots {
+            slot.handle.lock().control.intake_enabled = false;
         }
         mods
+    }
+
+    /// Fail-open degrade: remove the migration rules entirely so table
+    /// misses reach the controller again (traffic forwards; the control
+    /// plane is re-exposed to the flood). Same shape as
+    /// [`MigrationAgent::remove_migration`].
+    pub fn degrade_fail_open(&mut self) -> Vec<(DatapathId, FlowMod)> {
+        self.remove_migration()
+    }
+
+    /// Fail-safe degrade: overwrite every migration rule in place with a
+    /// drop (empty action list, same match/priority/cookie). The data and
+    /// control planes stay protected; new flows blackhole until a cache
+    /// comes back. The `installed` audit is kept so a later
+    /// [`MigrationAgent::remove_migration`] still deletes these rules.
+    pub fn degrade_fail_safe(&mut self) -> Vec<(DatapathId, FlowMod)> {
+        for slot in &self.slots {
+            slot.handle.lock().control.intake_enabled = false;
+        }
+        self.installed
+            .iter()
+            .map(|&(dpid, of_match)| {
+                (
+                    dpid,
+                    FlowMod::add(of_match, Vec::new())
+                        .with_priority(self.config.migration_priority)
+                        .with_cookie(self.config.cookie),
+                )
+            })
+            .collect()
     }
 
     /// Whether migration rules are currently installed.
@@ -127,17 +327,17 @@ impl MigrationAgent {
         !self.installed.is_empty()
     }
 
+    /// Number of migration rules recorded as installed on `dpid` — the
+    /// audit baseline a telemetry `flow_count` is compared against to detect
+    /// a wiped table.
+    pub fn installed_for(&self, dpid: DatapathId) -> usize {
+        self.installed.iter().filter(|(d, _)| *d == dpid).count()
+    }
+
     /// Observed packet arrival rate at the cache since the last call
     /// (packets/s) — the flood visibility signal once migration is active.
     pub fn cache_arrival_rate(&mut self, now: f64) -> f64 {
-        let received = self
-            .handles
-            .iter()
-            .map(|h| {
-                let shared = h.lock();
-                shared.stats.received + shared.stats.rejected + shared.stats.dropped
-            })
-            .sum::<u64>();
+        let received = self.received_total();
         let dt = now - self.last_rate_at;
         if dt <= 0.0 {
             return 0.0;
@@ -148,9 +348,11 @@ impl MigrationAgent {
         delta as f64 / dt
     }
 
-    /// Packets currently queued across all caches.
+    /// Packets currently queued across the active caches.
     pub fn cache_backlog(&self) -> usize {
-        self.handles.iter().map(|h| h.lock().stats.queued).sum()
+        self.active_slots()
+            .map(|s| s.handle.lock().stats.queued)
+            .sum()
     }
 
     /// Adapts the cache's `packet_in` rate toward the target controller
@@ -160,8 +362,8 @@ impl MigrationAgent {
     pub fn adapt_rate(&mut self, controller_utilization: f64) -> f64 {
         let target = self.config.target_controller_utilization;
         let mut last = 0.0;
-        for handle in &self.handles {
-            let mut shared = handle.lock();
+        for slot in self.slots.iter().filter(|s| !s.standby) {
+            let mut shared = slot.handle.lock();
             let rate = &mut shared.control.rate_pps;
             if controller_utilization > target * 1.4 {
                 *rate *= 0.7;
@@ -210,7 +412,7 @@ mod tests {
             assert_eq!(fm.cookie, FloodGuardConfig::default().cookie);
         }
         assert!(a.is_migrating());
-        assert!(a.handles[0].lock().control.intake_enabled);
+        assert!(a.cache_handle(0).lock().control.intake_enabled);
     }
 
     #[test]
@@ -224,7 +426,7 @@ mod tests {
             assert_eq!(fm.command, ofproto::flow_mod::FlowModCommand::DeleteStrict);
         }
         assert!(!a.is_migrating());
-        assert!(!a.handles[0].lock().control.intake_enabled);
+        assert!(!a.cache_handle(0).lock().control.intake_enabled);
     }
 
     #[test]
@@ -238,9 +440,9 @@ mod tests {
     #[test]
     fn arrival_rate_from_cache_counters() {
         let mut a = agent();
-        a.handles[0].lock().stats.received = 0;
+        a.cache_handle(0).lock().stats.received = 0;
         assert_eq!(a.cache_arrival_rate(1.0), 0.0);
-        a.handles[0].lock().stats.received = 50;
+        a.cache_handle(0).lock().stats.received = 50;
         let rate = a.cache_arrival_rate(1.5);
         assert!((rate - 100.0).abs() < 1e-9, "50 packets / 0.5 s");
     }
@@ -248,7 +450,7 @@ mod tests {
     #[test]
     fn rate_adaptation_bounded() {
         let mut a = agent();
-        let base = a.handles[0].lock().control.rate_pps;
+        let base = a.cache_handle(0).lock().control.rate_pps;
         // Hot controller: rate shrinks.
         let r1 = a.adapt_rate(0.95);
         assert!(r1 < base);
@@ -256,13 +458,13 @@ mod tests {
         for _ in 0..50 {
             a.adapt_rate(1.0);
         }
-        let floor = a.handles[0].lock().control.rate_pps;
+        let floor = a.cache_handle(0).lock().control.rate_pps;
         assert!((floor - FloodGuardConfig::default().cache.min_rate_pps).abs() < 1e-9);
         // Idle controller: rate recovers up to the cap.
         for _ in 0..100 {
             a.adapt_rate(0.0);
         }
-        let cap = a.handles[0].lock().control.rate_pps;
+        let cap = a.cache_handle(0).lock().control.rate_pps;
         assert!((cap - FloodGuardConfig::default().cache.max_rate_pps).abs() < 1e-9);
     }
 
@@ -314,5 +516,120 @@ mod multi_cache_tests {
         agent.remove_migration();
         assert!(!h1.lock().control.intake_enabled);
         assert!(!h2.lock().control.intake_enabled);
+    }
+
+    #[test]
+    fn register_cache_dedupes_and_remove_cache_retires() {
+        let config = FloodGuardConfig::default();
+        let h1 = new_handle(&config.cache);
+        let h2 = new_handle(&config.cache);
+        let mut agent = MigrationAgent::new(config, h1.clone(), 99);
+        assert!(
+            !agent.register_cache(h1.clone()),
+            "duplicate active ignored"
+        );
+        assert!(agent.register_cache(h2.clone()));
+        assert!(
+            !agent.register_standby(h2.clone(), 98),
+            "duplicate standby ignored"
+        );
+        assert_eq!(agent.cache_count(), 2);
+        assert!(agent.remove_cache(&h2));
+        assert!(!agent.remove_cache(&h2), "already removed");
+        assert_eq!(agent.cache_count(), 1);
+    }
+
+    #[test]
+    fn standby_promoted_when_active_dies() {
+        let config = FloodGuardConfig::default();
+        let active = new_handle(&config.cache);
+        let standby = new_handle(&config.cache);
+        let mut agent = MigrationAgent::new(config, active.clone(), 99);
+        agent.register_standby(standby.clone(), 98);
+        agent.install_migration(DatapathId(1), &[1, 2]);
+        assert!(
+            !standby.lock().control.intake_enabled,
+            "standby stays closed"
+        );
+        assert_eq!(agent.check_cache_health(), CacheFailover::Ok);
+        // Active dies: standby takes over and opens (migration is active).
+        active.lock().healthy = false;
+        assert_eq!(
+            agent.check_cache_health(),
+            CacheFailover::Promoted { port: 98 }
+        );
+        assert_eq!(agent.cache_port(), 98);
+        assert!(standby.lock().control.intake_enabled);
+        assert!(!active.lock().control.intake_enabled);
+        assert!(!agent.is_degraded());
+        // Repointed rules now redirect to port 98.
+        let mods = agent.reinstall_migration(DatapathId(1), &[1, 2]);
+        assert!(mods
+            .iter()
+            .all(|fm| fm.actions.contains(&Action::Output(PortNo::Physical(98)))));
+    }
+
+    #[test]
+    fn no_healthy_cache_degrades_once_then_recovers() {
+        let config = FloodGuardConfig::default();
+        let h = new_handle(&config.cache);
+        let mut agent = MigrationAgent::new(config, h.clone(), 99);
+        agent.install_migration(DatapathId(1), &[1]);
+        h.lock().healthy = false;
+        assert_eq!(agent.check_cache_health(), CacheFailover::Degraded);
+        assert!(agent.is_degraded());
+        assert_eq!(
+            agent.check_cache_health(),
+            CacheFailover::Ok,
+            "degradation reported once"
+        );
+        // The cache restarts: the agent re-points at it and recovers.
+        h.lock().healthy = true;
+        assert_eq!(
+            agent.check_cache_health(),
+            CacheFailover::Promoted { port: 99 }
+        );
+        assert!(!agent.is_degraded());
+        assert!(h.lock().control.intake_enabled, "migration still active");
+    }
+
+    #[test]
+    fn degrade_fail_safe_turns_rules_into_drops() {
+        let config = FloodGuardConfig::default();
+        let h = new_handle(&config.cache);
+        let mut agent = MigrationAgent::new(config, h.clone(), 99);
+        agent.install_migration(DatapathId(1), &[1, 2]);
+        let drops = agent.degrade_fail_safe();
+        assert_eq!(drops.len(), 2);
+        for (dpid, fm) in &drops {
+            assert_eq!(*dpid, DatapathId(1));
+            assert!(fm.actions.is_empty(), "empty actions = drop");
+            assert_eq!(fm.priority, 0);
+        }
+        assert!(!h.lock().control.intake_enabled);
+        assert!(agent.is_migrating(), "audit kept for later cleanup");
+        // A later remove_migration still deletes the (now drop) rules.
+        assert_eq!(agent.remove_migration().len(), 2);
+    }
+
+    #[test]
+    fn reinstall_replaces_audit_entries() {
+        let config = FloodGuardConfig::default();
+        let h = new_handle(&config.cache);
+        let mut agent = MigrationAgent::new(config, h, 99);
+        agent.install_migration(DatapathId(1), &[1, 2]);
+        agent.install_migration(DatapathId(2), &[1]);
+        assert_eq!(agent.installed_for(DatapathId(1)), 2);
+        agent.reinstall_migration(DatapathId(1), &[1, 2]);
+        assert_eq!(
+            agent.installed_for(DatapathId(1)),
+            2,
+            "replaced, not doubled"
+        );
+        assert_eq!(
+            agent.installed_for(DatapathId(2)),
+            1,
+            "other switches untouched"
+        );
     }
 }

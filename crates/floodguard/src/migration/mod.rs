@@ -5,4 +5,4 @@
 pub mod agent;
 pub mod tag;
 
-pub use agent::MigrationAgent;
+pub use agent::{CacheFailover, MigrationAgent};

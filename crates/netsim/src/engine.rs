@@ -14,14 +14,15 @@
 //! * **Links** to hosts/devices add fixed latency; the switch is the
 //!   bandwidth bottleneck, matching the paper's single-switch testbed.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 
 use ofproto::messages::{OfBody, OfMessage};
 use ofproto::types::{DatapathId, MacAddr, Xid};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+use crate::faults::{Fault, FaultLogEntry, FaultScript};
 use crate::host::{Host, HostId};
 use crate::iface::{
     ControlOutput, ControlPlane, DataPlaneDevice, DeviceId, DeviceOutput, Telemetry,
@@ -67,6 +68,9 @@ enum Ev {
     DeviceTick { dev: usize },
     ControlTick,
     Maintenance,
+    Fault(Fault),
+    SwitchRestart { sw: usize },
+    DeviceRestart { dev: usize },
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -118,6 +122,12 @@ pub struct Simulation {
     maintenance_interval: f64,
     cpu_bucket: f64,
     started: bool,
+    link_down: HashSet<(usize, u16)>,
+    link_loss: HashMap<(usize, u16), f64>,
+    partitioned: Vec<bool>,
+    switch_down: Vec<bool>,
+    device_down: Vec<bool>,
+    fault_log: Vec<FaultLogEntry>,
     rng: StdRng,
     /// Metrics store.
     pub recorder: Recorder,
@@ -148,6 +158,12 @@ impl Simulation {
             maintenance_interval: 0.05,
             cpu_bucket: 0.05,
             started: false,
+            link_down: HashSet::new(),
+            link_loss: HashMap::new(),
+            partitioned: Vec::new(),
+            switch_down: Vec::new(),
+            device_down: Vec::new(),
+            fault_log: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             recorder: Recorder::new(),
         }
@@ -186,6 +202,8 @@ impl Simulation {
         self.switch_cpu
             .push(UtilizationTracker::new(self.maintenance_interval));
         self.channels.push(ChannelState::default());
+        self.partitioned.push(false);
+        self.switch_down.push(false);
         id
     }
 
@@ -237,6 +255,7 @@ impl Simulation {
             tick_interval,
         });
         self.port_map.insert((sw.0, port), Endpoint::Device(id));
+        self.device_down.push(false);
         id
     }
 
@@ -293,6 +312,31 @@ impl Simulation {
         names
     }
 
+    /// Schedules `fault` at absolute simulation time `at` as a first-class
+    /// event (deterministic, seed-stable). May be called before or during a
+    /// run.
+    pub fn schedule_fault(&mut self, at: f64, fault: Fault) {
+        self.queue.schedule(at, Ev::Fault(fault));
+    }
+
+    /// Schedules every fault in `script` (see [`FaultScript`]).
+    pub fn load_fault_script(&mut self, script: &FaultScript) {
+        for &(at, fault) in script.events() {
+            self.schedule_fault(at, fault);
+        }
+    }
+
+    /// All faults applied so far, in application order (for post-mortems and
+    /// CI artifacts).
+    pub fn fault_log(&self) -> &[FaultLogEntry] {
+        &self.fault_log
+    }
+
+    /// Whether the control channel of switch `sw` is currently usable.
+    fn control_connected(&self, sw: usize) -> bool {
+        !self.partitioned[sw] && !self.switch_down[sw]
+    }
+
     fn endpoint(&self, sw: usize, port: u16) -> Endpoint {
         self.port_map
             .get(&(sw, port))
@@ -301,6 +345,10 @@ impl Simulation {
     }
 
     fn send_up(&mut self, sw: usize, msg: OfMessage, ready_at: f64) {
+        if !self.control_connected(sw) {
+            self.recorder.count("control_partition_drops", 1);
+            return;
+        }
         let bw = self.switches[sw].profile.channel_bandwidth;
         let latency = self.switches[sw].profile.channel_latency;
         let tx = ofproto::wire::wire_len(&msg) as f64 / bw;
@@ -317,6 +365,10 @@ impl Simulation {
     }
 
     fn send_down(&mut self, sw: usize, msg: OfMessage, ready_at: f64) {
+        if !self.control_connected(sw) {
+            self.recorder.count("control_partition_drops", 1);
+            return;
+        }
         let bw = self.switches[sw].profile.channel_bandwidth;
         let latency = self.switches[sw].profile.channel_latency;
         let tx = ofproto::wire::wire_len(&msg) as f64 / bw;
@@ -340,7 +392,26 @@ impl Simulation {
         );
     }
 
+    /// Applies link impairments for `(sw, port)`: returns `false` when the
+    /// packet is dropped (link down, or lost by sampled loss).
+    fn link_passes(&mut self, sw: usize, port: u16, batch: u32) -> bool {
+        if self.link_down.contains(&(sw, port)) {
+            self.recorder.count("link_down_drops", u64::from(batch));
+            return false;
+        }
+        if let Some(&p) = self.link_loss.get(&(sw, port)) {
+            if self.rng.gen_bool(p) {
+                self.recorder.count("link_loss_drops", u64::from(batch));
+                return false;
+            }
+        }
+        true
+    }
+
     fn deliver_from_port(&mut self, sw: usize, port: u16, pkt: Packet, at: f64) {
+        if !self.link_passes(sw, port, pkt.batch) {
+            return;
+        }
         match self.endpoint(sw, port) {
             Endpoint::Host(h) => self
                 .queue
@@ -469,11 +540,22 @@ impl Simulation {
                 }
             }
             Ev::DeliverToSwitch { sw, port, pkt } => {
+                if self.switch_down[sw] {
+                    self.recorder
+                        .count("switch_down_drops", u64::from(pkt.batch));
+                    return;
+                }
+                if !self.link_passes(sw, port, pkt.batch) {
+                    return;
+                }
                 if self.switches[sw].enqueue(port, pkt) {
                     self.maybe_schedule_switch(sw, now);
                 } else {
                     self.recorder.count("switch_ingress_drops", 1);
                 }
+            }
+            Ev::SwitchStart { sw } if self.switch_down[sw] => {
+                self.switch_scheduled[sw] = false;
             }
             Ev::SwitchStart { sw } => match self.switches[sw].start_next() {
                 Some((port, pkt)) => {
@@ -505,6 +587,11 @@ impl Simulation {
                 }
             }
             Ev::DeliverToDevice { dev, pkt } => {
+                if self.device_down[dev] {
+                    self.recorder
+                        .count("device_down_drops", u64::from(pkt.batch));
+                    return;
+                }
                 let mut out = DeviceOutput::new();
                 self.devices[dev].logic.on_packet(pkt, now, &mut out);
                 for msg in out.to_controller {
@@ -519,6 +606,11 @@ impl Simulation {
                     self.ctrl_queue.push_back((src, msg));
                     self.maybe_schedule_ctrl(now);
                 }
+            }
+            // A controller stall can push `ctrl_busy_until` past an already
+            // scheduled start; park the work until the stall ends.
+            Ev::CtrlStart if now < self.ctrl_busy_until => {
+                self.queue.schedule(self.ctrl_busy_until, Ev::CtrlStart);
             }
             Ev::CtrlStart => match self.ctrl_queue.pop_front() {
                 Some((src, msg)) => {
@@ -559,10 +651,12 @@ impl Simulation {
                 }
             }
             Ev::DeviceTick { dev } => {
-                let mut out = DeviceOutput::new();
-                self.devices[dev].logic.on_tick(now, &mut out);
-                for msg in out.to_controller {
-                    self.send_device_up(dev, msg, now);
+                if !self.device_down[dev] {
+                    let mut out = DeviceOutput::new();
+                    self.devices[dev].logic.on_tick(now, &mut out);
+                    for msg in out.to_controller {
+                        self.send_device_up(dev, msg, now);
+                    }
                 }
                 let next = now + self.devices[dev].tick_interval;
                 if next <= until + self.devices[dev].tick_interval {
@@ -587,9 +681,17 @@ impl Simulation {
                         .utilization_at((now - self.maintenance_interval * 0.5).max(0.0)),
                 };
                 for sw in 0..self.switches.len() {
+                    if self.switch_down[sw] {
+                        continue;
+                    }
                     let expired = self.switches[sw].expire(now);
                     for msg in expired {
                         self.send_up(sw, msg, now);
+                    }
+                    // A partitioned switch keeps running but the controller
+                    // cannot hear from it: no telemetry entry.
+                    if !self.control_connected(sw) {
+                        continue;
                     }
                     let s = &self.switches[sw];
                     let datapath_utilization = self.switch_cpu[sw]
@@ -609,6 +711,113 @@ impl Simulation {
                 self.apply_control_output(out, now, now);
                 self.queue
                     .schedule(now + self.maintenance_interval, Ev::Maintenance);
+            }
+            Ev::Fault(fault) => self.apply_fault(fault, now),
+            Ev::SwitchRestart { sw } => {
+                if self.switch_down[sw] {
+                    self.switch_down[sw] = false;
+                    self.switches[sw].busy_until = now;
+                    if self.control_connected(sw) {
+                        self.notify_switch_connect(sw, now);
+                    }
+                }
+            }
+            Ev::DeviceRestart { dev } => {
+                if self.device_down[dev] {
+                    self.device_down[dev] = false;
+                    self.devices[dev].logic.on_restart(now);
+                }
+            }
+        }
+    }
+
+    fn notify_switch_disconnect(&mut self, sw: usize, now: f64) {
+        let dpid = self.switches[sw].dpid;
+        let mut out = ControlOutput::new();
+        self.control.on_switch_disconnect(dpid, now, &mut out);
+        let cpu = self.apply_control_output(out, now, now);
+        self.ctrl_total_cpu.add(now, cpu);
+    }
+
+    fn notify_switch_connect(&mut self, sw: usize, now: f64) {
+        let features = self.switches[sw].features();
+        let dpid = self.switches[sw].dpid;
+        let mut out = ControlOutput::new();
+        self.control
+            .on_switch_connect(dpid, features, now, &mut out);
+        let cpu = self.apply_control_output(out, now, now);
+        self.ctrl_total_cpu.add(now, cpu);
+    }
+
+    fn apply_fault(&mut self, fault: Fault, now: f64) {
+        self.fault_log.push(FaultLogEntry { at: now, fault });
+        match fault {
+            Fault::LinkDown { sw, port } => {
+                self.link_down.insert((sw.0, port));
+            }
+            Fault::LinkUp { sw, port } => {
+                self.link_down.remove(&(sw.0, port));
+            }
+            Fault::LinkLoss {
+                sw,
+                port,
+                probability,
+            } => {
+                let p = probability.clamp(0.0, 1.0);
+                if p <= 0.0 {
+                    self.link_loss.remove(&(sw.0, port));
+                } else {
+                    self.link_loss.insert((sw.0, port), p);
+                }
+            }
+            Fault::ControlPartition { sw } => {
+                let sw = sw.0;
+                if sw < self.switches.len() && !self.partitioned[sw] {
+                    let was_connected = self.control_connected(sw);
+                    self.partitioned[sw] = true;
+                    if was_connected {
+                        self.notify_switch_disconnect(sw, now);
+                    }
+                }
+            }
+            Fault::ControlHeal { sw } => {
+                let sw = sw.0;
+                if sw < self.switches.len() && self.partitioned[sw] {
+                    self.partitioned[sw] = false;
+                    if self.control_connected(sw) {
+                        // Re-handshake, mirroring a live TCP redial.
+                        self.notify_switch_connect(sw, now);
+                    }
+                }
+            }
+            Fault::SwitchCrash { sw, restart_after } => {
+                let sw = sw.0;
+                if sw < self.switches.len() && !self.switch_down[sw] {
+                    let was_connected = self.control_connected(sw);
+                    self.switches[sw].crash();
+                    self.switch_scheduled[sw] = false;
+                    self.switch_down[sw] = true;
+                    if was_connected {
+                        self.notify_switch_disconnect(sw, now);
+                    }
+                    if restart_after.is_finite() {
+                        self.queue
+                            .schedule(now + restart_after, Ev::SwitchRestart { sw });
+                    }
+                }
+            }
+            Fault::DeviceCrash { dev, restart_after } => {
+                if dev.0 < self.devices.len() && !self.device_down[dev.0] {
+                    self.device_down[dev.0] = true;
+                    self.devices[dev.0].logic.on_crash();
+                    if restart_after.is_finite() {
+                        self.queue
+                            .schedule(now + restart_after, Ev::DeviceRestart { dev: dev.0 });
+                    }
+                }
+            }
+            Fault::ControllerStall { duration } => {
+                self.ctrl_busy_until = self.ctrl_busy_until.max(now) + duration.max(0.0);
             }
         }
     }
@@ -718,9 +927,15 @@ mod tests {
         )));
         sim.run_until(1.0);
         // Only the forward rule exists: the priming ack dies at the null
-        // controller, so exactly the priming packet arrives and the loop
-        // stalls before the window opens.
-        assert_eq!(sim.host(h2).received_packets, 1);
+        // controller, so the window never opens and only single priming
+        // packets arrive — the initial one plus one RTO retransmission per
+        // BULK_RTO of ack silence, far below line rate.
+        let received = sim.host(h2).received_packets;
+        let retries = 1 + (1.0 / crate::host::BULK_RTO) as u64;
+        assert!(
+            received >= 1 && received <= retries,
+            "priming trickle only: {received}"
+        );
         assert!(sim.host(h2).meter.total_bytes() > 0);
         // With the reverse rule installed the closed loop cycles at line rate.
         let (mut sim, sw, h1, h2) = two_host_sim(Box::new(crate::iface::NullControlPlane));
@@ -955,5 +1170,265 @@ mod tests {
             .add_source(Box::new(UdpFlood::new(mac(0xa), 100.0, 0.0, 1.0, 64)));
         sim.run_until(1.5);
         assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    mod fault_tests {
+        use super::*;
+        use crate::faults::{Fault, FaultScript};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// Control plane that tallies (re-)handshakes and disconnect
+        /// notifications.
+        struct ConnectSpy {
+            connects: Arc<AtomicU64>,
+            disconnects: Arc<AtomicU64>,
+        }
+
+        impl ControlPlane for ConnectSpy {
+            fn on_switch_connect(
+                &mut self,
+                _dpid: DatapathId,
+                _features: ofproto::messages::FeaturesReply,
+                _now: f64,
+                _out: &mut ControlOutput,
+            ) {
+                self.connects.fetch_add(1, Ordering::SeqCst);
+            }
+
+            fn on_switch_disconnect(
+                &mut self,
+                _dpid: DatapathId,
+                _now: f64,
+                _out: &mut ControlOutput,
+            ) {
+                self.disconnects.fetch_add(1, Ordering::SeqCst);
+            }
+
+            fn on_message(
+                &mut self,
+                _dpid: DatapathId,
+                _msg: OfMessage,
+                _now: f64,
+                _out: &mut ControlOutput,
+            ) {
+            }
+        }
+
+        fn forwarding_sim(seed: u64) -> (Simulation, SwitchId, HostId, HostId) {
+            let (mut sim, sw, h1, h2) = {
+                let mut sim = Simulation::new(seed);
+                let sw = sim.add_switch(SwitchProfile::software(), vec![1, 2, 3]);
+                let h1 = sim.add_host(sw, 1, mac(0xa), ip(1));
+                let h2 = sim.add_host(sw, 2, mac(0xb), ip(2));
+                sim.set_control_plane(Box::new(crate::iface::NullControlPlane));
+                (sim, sw, h1, h2)
+            };
+            sim.switch_mut(sw)
+                .add_rule(
+                    OfMatch::any().with_in_port(1),
+                    vec![Action::Output(PortNo::Physical(2))],
+                    10,
+                    0.0,
+                )
+                .unwrap();
+            sim.host_mut(h1)
+                .add_source(Box::new(UdpFlood::new(mac(0xa), 100.0, 0.0, 1.0, 64)));
+            (sim, sw, h1, h2)
+        }
+
+        #[test]
+        fn link_down_blocks_until_link_up() {
+            let (mut sim, sw, _h1, h2) = forwarding_sim(7);
+            let script = FaultScript::new()
+                .at(0.3, Fault::LinkDown { sw, port: 2 })
+                .at(0.7, Fault::LinkUp { sw, port: 2 });
+            sim.load_fault_script(&script);
+            sim.run_until(1.5);
+            let received = sim.host(h2).received_packets;
+            assert!(received > 0, "traffic before/after the outage");
+            assert!(received < 100, "outage dropped packets: {received}");
+            assert!(sim.recorder.counter("link_down_drops") > 0);
+            assert_eq!(sim.fault_log().len(), 2);
+            assert_eq!(sim.fault_log()[0].at, 0.3);
+        }
+
+        #[test]
+        fn link_loss_drops_deterministically() {
+            let run = || {
+                let (mut sim, sw, _h1, h2) = forwarding_sim(11);
+                sim.schedule_fault(
+                    0.0,
+                    Fault::LinkLoss {
+                        sw,
+                        port: 2,
+                        probability: 0.5,
+                    },
+                );
+                sim.run_until(1.5);
+                (
+                    sim.host(h2).received_packets,
+                    sim.recorder.counter("link_loss_drops"),
+                )
+            };
+            let (recv_a, lost_a) = run();
+            let (recv_b, lost_b) = run();
+            assert_eq!((recv_a, lost_a), (recv_b, lost_b), "same seed, same losses");
+            assert!(
+                lost_a > 0 && recv_a > 0,
+                "loss is partial: {recv_a}/{lost_a}"
+            );
+        }
+
+        #[test]
+        fn controller_stall_defers_packet_in_handling() {
+            let run_with_stall = |stall: bool| {
+                let (mut sim, _sw, h1, h2) = two_host_sim(Box::new(HubControl));
+                sim.host_mut(h1)
+                    .add_source(Box::new(UdpFlood::new(mac(0xa), 50.0, 0.0, 0.2, 64)));
+                if stall {
+                    sim.schedule_fault(0.05, Fault::ControllerStall { duration: 0.5 });
+                }
+                sim.run_until(0.4);
+                let early = sim.host(h2).received_packets;
+                sim.run_until(1.5);
+                (early, sim.host(h2).received_packets)
+            };
+            let (early_clean, total_clean) = run_with_stall(false);
+            let (early_stalled, total_stalled) = run_with_stall(true);
+            assert!(
+                early_stalled < early_clean,
+                "stall defers delivery: {early_stalled} vs {early_clean}"
+            );
+            assert_eq!(total_stalled, total_clean, "stall delays, never drops");
+        }
+
+        #[test]
+        fn switch_crash_wipes_table_and_rehandshakes() {
+            let connects = Arc::new(AtomicU64::new(0));
+            let disconnects = Arc::new(AtomicU64::new(0));
+            let (mut sim, sw, h1, _h2) = {
+                let mut sim = Simulation::new(5);
+                let sw = sim.add_switch(SwitchProfile::software(), vec![1, 2, 3]);
+                let h1 = sim.add_host(sw, 1, mac(0xa), ip(1));
+                let h2 = sim.add_host(sw, 2, mac(0xb), ip(2));
+                sim.set_control_plane(Box::new(ConnectSpy {
+                    connects: connects.clone(),
+                    disconnects: disconnects.clone(),
+                }));
+                (sim, sw, h1, h2)
+            };
+            sim.switch_mut(sw)
+                .add_rule(
+                    OfMatch::any().with_in_port(1),
+                    vec![Action::Output(PortNo::Physical(2))],
+                    10,
+                    0.0,
+                )
+                .unwrap();
+            sim.host_mut(h1)
+                .add_source(Box::new(UdpFlood::new(mac(0xa), 100.0, 0.0, 1.0, 64)));
+            sim.schedule_fault(
+                0.5,
+                Fault::SwitchCrash {
+                    sw,
+                    restart_after: 0.1,
+                },
+            );
+            sim.run_until(1.5);
+            assert_eq!(
+                sim.switch(sw).table.len(),
+                0,
+                "crash wiped the preinstalled rule"
+            );
+            assert_eq!(connects.load(Ordering::SeqCst), 2, "initial + post-restart");
+            assert_eq!(disconnects.load(Ordering::SeqCst), 1);
+            assert!(sim.recorder.counter("switch_down_drops") > 0);
+        }
+
+        #[test]
+        fn control_partition_severs_and_heal_rehandshakes() {
+            let connects = Arc::new(AtomicU64::new(0));
+            let disconnects = Arc::new(AtomicU64::new(0));
+            let mut sim = Simulation::new(5);
+            let sw = sim.add_switch(SwitchProfile::software(), vec![1, 2, 3]);
+            let h1 = sim.add_host(sw, 1, mac(0xa), ip(1));
+            sim.add_host(sw, 2, mac(0xb), ip(2));
+            sim.set_control_plane(Box::new(ConnectSpy {
+                connects: connects.clone(),
+                disconnects: disconnects.clone(),
+            }));
+            sim.host_mut(h1)
+                .add_source(Box::new(UdpFlood::new(mac(0xa), 100.0, 0.0, 1.0, 64)));
+            sim.schedule_fault(0.3, Fault::ControlPartition { sw });
+            sim.schedule_fault(0.6, Fault::ControlHeal { sw });
+            sim.run_until(1.5);
+            assert_eq!(connects.load(Ordering::SeqCst), 2);
+            assert_eq!(disconnects.load(Ordering::SeqCst), 1);
+            assert!(
+                sim.recorder.counter("control_partition_drops") > 0,
+                "packet_ins were dropped while partitioned"
+            );
+        }
+
+        #[test]
+        fn device_crash_wipes_and_restart_resumes() {
+            struct CrashableDevice {
+                packets: Arc<AtomicU64>,
+                restarts: Arc<AtomicU64>,
+            }
+
+            impl DataPlaneDevice for CrashableDevice {
+                fn on_packet(&mut self, _pkt: Packet, _now: f64, _out: &mut DeviceOutput) {
+                    self.packets.fetch_add(1, Ordering::SeqCst);
+                }
+
+                fn on_restart(&mut self, _now: f64) {
+                    self.restarts.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+
+            let packets = Arc::new(AtomicU64::new(0));
+            let restarts = Arc::new(AtomicU64::new(0));
+            let mut sim = Simulation::new(3);
+            let sw = sim.add_switch(SwitchProfile::software(), vec![1, 99]);
+            let h1 = sim.add_host(sw, 1, mac(0xa), ip(1));
+            sim.attach_device(
+                sw,
+                99,
+                Box::new(CrashableDevice {
+                    packets: packets.clone(),
+                    restarts: restarts.clone(),
+                }),
+                12.5e6,
+                1e-3,
+                1e-3,
+            );
+            sim.switch_mut(sw)
+                .add_rule(
+                    OfMatch::any().with_in_port(1),
+                    vec![Action::Output(PortNo::Physical(99))],
+                    0,
+                    0.0,
+                )
+                .unwrap();
+            sim.host_mut(h1)
+                .add_source(Box::new(UdpFlood::new(mac(0xa), 100.0, 0.0, 1.0, 64)));
+            sim.schedule_fault(
+                0.4,
+                Fault::DeviceCrash {
+                    dev: DeviceId(0),
+                    restart_after: 0.3,
+                },
+            );
+            sim.run_until(1.5);
+            let delivered = packets.load(Ordering::SeqCst);
+            assert!(
+                delivered > 0 && delivered < 100,
+                "outage window: {delivered}"
+            );
+            assert_eq!(restarts.load(Ordering::SeqCst), 1);
+            assert!(sim.recorder.counter("device_down_drops") > 0);
+        }
     }
 }

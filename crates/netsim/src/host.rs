@@ -181,6 +181,12 @@ fn dest_port(pkt: &Packet) -> Option<u16> {
     }
 }
 
+/// Retransmission timeout for [`BulkSender`]: silence on the ack path this
+/// long declares every in-flight batch lost and re-primes the flow from a
+/// single packet, the way a real transport's RTO recovers from a path that
+/// ate its window (e.g. a switch crash wiping queued packets).
+pub const BULK_RTO: f64 = 0.15;
+
 /// Closed-loop bulk sender: keeps `window` batches in flight toward a peer,
 /// sending the next batch as each acknowledgement returns. Measured
 /// throughput at the receiver is the achieved bandwidth (the iperf of the
@@ -199,6 +205,7 @@ pub struct BulkSender {
     primed: bool,
     next_seq: u64,
     in_flight: usize,
+    deadline: f64,
 }
 
 impl BulkSender {
@@ -232,6 +239,7 @@ impl BulkSender {
             primed: false,
             next_seq: 0,
             in_flight: 0,
+            deadline: f64::INFINITY,
         }
     }
 
@@ -258,31 +266,48 @@ impl BulkSender {
 
 impl TrafficSource for BulkSender {
     fn peek_next(&self, now: f64) -> Option<f64> {
-        if self.started {
-            None
-        } else {
+        if !self.started {
             Some(self.start.max(now))
+        } else if self.in_flight > 0 {
+            // Keep a poll scheduled at the retransmission deadline; acks
+            // push it forward, so it only fires when the path went silent.
+            Some(self.deadline.max(now))
+        } else {
+            None
         }
     }
 
-    fn emit(&mut self, _time: f64, _rng: &mut StdRng) -> Vec<Packet> {
-        if self.started {
-            return Vec::new();
+    fn emit(&mut self, time: f64, _rng: &mut StdRng) -> Vec<Packet> {
+        if !self.started {
+            self.started = true;
+            self.deadline = time + BULK_RTO;
+            // Prime the path with a single unbatched packet so forwarding
+            // rules get installed before the full batched window flows — a
+            // stand-in for a real flow's ramp-up, avoiding a whole window of
+            // batched table misses that no real iperf run would experience.
+            let mut probe = self.data_packet();
+            probe.batch = 1;
+            return vec![probe];
         }
-        self.started = true;
-        // Prime the path with a single unbatched packet so forwarding rules
-        // get installed before the full batched window flows — a stand-in
-        // for a real flow's ramp-up, avoiding a whole window of batched
-        // table misses that no real iperf run would experience.
-        let mut probe = self.data_packet();
-        probe.batch = 1;
-        vec![probe]
+        if self.in_flight > 0 && time >= self.deadline {
+            // RTO: the whole window is presumed lost (a crashed switch wipes
+            // its queues, and the ack clock would otherwise starve forever).
+            // Fall back to the single-packet priming probe.
+            self.in_flight = 0;
+            self.primed = false;
+            self.deadline = time + BULK_RTO;
+            let mut probe = self.data_packet();
+            probe.batch = 1;
+            return vec![probe];
+        }
+        Vec::new()
     }
 
-    fn on_receive(&mut self, pkt: &Packet, _now: f64) -> Vec<Packet> {
+    fn on_receive(&mut self, pkt: &Packet, now: f64) -> Vec<Packet> {
         if let FlowTag::BulkAck { flow, .. } = pkt.tag {
             if flow == self.flow && self.started {
                 self.in_flight = self.in_flight.saturating_sub(1);
+                self.deadline = now + BULK_RTO;
                 if !self.primed {
                     // The priming ack arrived: open the full window.
                     self.primed = true;
@@ -670,7 +695,10 @@ mod tests {
         assert_eq!(burst.len(), 1);
         assert_eq!(burst[0].batch, 1);
         assert!(matches!(burst[0].tag, FlowTag::Bulk { flow: 7, seq: 0 }));
-        assert_eq!(s.peek_next(1.0), None, "one-shot start");
+        // With a packet in flight the sender keeps an RTO poll scheduled.
+        assert_eq!(s.peek_next(0.6), Some(0.5 + BULK_RTO), "RTO armed");
+        // Before the deadline the poll is a no-op.
+        assert!(s.emit(0.6, &mut rng()).is_empty());
         // The priming ack opens the full window of batched packets.
         let ack = Packet::udp(
             mac(2),
@@ -693,6 +721,46 @@ mod tests {
         // Acks for other flows are ignored.
         let other = ack.clone().with_tag(FlowTag::BulkAck { flow: 9, seq: 0 });
         assert!(s.on_receive(&other, 1.0).is_empty());
+    }
+
+    #[test]
+    fn bulk_sender_rto_reprimes_after_silence() {
+        let mut s = BulkSender::new(
+            mac(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            mac(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            7,
+            4,
+            10,
+            1500,
+            0.0,
+        );
+        let mut r = rng();
+        assert_eq!(s.emit(0.0, &mut r).len(), 1);
+        let ack = Packet::udp(
+            mac(2),
+            mac(1),
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            1,
+            1,
+            64,
+        )
+        .with_tag(FlowTag::BulkAck { flow: 7, seq: 0 });
+        // Window open: four batched packets in flight.
+        assert_eq!(s.on_receive(&ack, 0.01).len(), 4);
+        // The path goes silent (say, a switch crash ate the window): at
+        // the deadline the sender declares the window lost and re-primes
+        // with a single unbatched packet instead of starving forever.
+        let deadline = 0.01 + BULK_RTO;
+        assert_eq!(s.peek_next(0.02), Some(deadline));
+        let retry = s.emit(deadline, &mut r);
+        assert_eq!(retry.len(), 1);
+        assert_eq!(retry[0].batch, 1, "slow-start re-prime");
+        // The retry's ack reopens the full window.
+        let ack2 = ack.clone().with_tag(FlowTag::BulkAck { flow: 7, seq: 5 });
+        assert_eq!(s.on_receive(&ack2, deadline + 0.01).len(), 4);
     }
 
     #[test]

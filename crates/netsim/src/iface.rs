@@ -100,6 +100,11 @@ pub trait ControlPlane: Send {
     ) {
     }
 
+    /// The control channel to `dpid` was lost (partition, switch crash or a
+    /// dead TCP connection). A later [`ControlPlane::on_switch_connect`] for
+    /// the same `dpid` signals the re-handshake. Default: ignore.
+    fn on_switch_disconnect(&mut self, _dpid: DatapathId, _now: f64, _out: &mut ControlOutput) {}
+
     /// Periodic infrastructure telemetry.
     fn on_telemetry(&mut self, _telemetry: &Telemetry, _now: f64, _out: &mut ControlOutput) {}
 
@@ -142,6 +147,14 @@ pub trait DataPlaneDevice: Send {
     fn next_tick(&self, _now: f64) -> Option<f64> {
         None
     }
+
+    /// The device crashed: volatile state (queues, timers) is gone. The
+    /// engine drops packets addressed to it until
+    /// [`DataPlaneDevice::on_restart`]. Default: ignore.
+    fn on_crash(&mut self) {}
+
+    /// The device came back (empty) after a crash. Default: ignore.
+    fn on_restart(&mut self, _now: f64) {}
 }
 
 /// A control plane that answers nothing — useful as a null object and to

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod host;
 pub mod iface;
 pub mod metrics;
@@ -59,6 +60,7 @@ pub mod sched;
 pub mod switch;
 
 pub use engine::{Endpoint, Simulation, SwitchId};
+pub use faults::{Fault, FaultLogEntry, FaultScript};
 pub use host::{Host, HostId, TrafficSource};
 pub use iface::{ControlOutput, ControlPlane, DataPlaneDevice, DeviceId, DeviceOutput, Telemetry};
 pub use metrics::{BandwidthMeter, Recorder, TimeSeries};

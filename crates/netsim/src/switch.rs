@@ -475,6 +475,18 @@ impl Switch {
             .collect()
     }
 
+    /// Crashes the switch: the flow table, packet buffer and ingress queue
+    /// are wiped (cumulative [`SwitchStats`] survive, like counters scraped
+    /// by an external monitor). The caller is responsible for severing the
+    /// control channel and re-handshaking on restart.
+    pub fn crash(&mut self) {
+        self.table = FlowTable::new(Some(self.profile.table_capacity));
+        self.buffer.clear();
+        self.ingress.clear();
+        self.next_buffer_id = 1;
+        self.busy_until = 0.0;
+    }
+
     /// Expires flow rules and stale buffered packets.
     ///
     /// Returns `flow_removed` notifications for expired rules that asked for

@@ -32,6 +32,11 @@ pub struct ChannelConfig {
     /// rate-limited `packet_in` re-raising), matching the engine's
     /// fixed-interval device ticks.
     pub device_tick_interval: Duration,
+    /// How many recent flow-mod frames the controller endpoint keeps per
+    /// connection for replay after a reconnect (state resync). Flow-mods are
+    /// idempotent — an `Add` with an identical match and priority replaces
+    /// in place — so replaying the tail converges the switch's table.
+    pub resync_replay_cap: usize,
 }
 
 impl Default for ChannelConfig {
@@ -46,6 +51,7 @@ impl Default for ChannelConfig {
             reconnect_base: Duration::from_millis(25),
             reconnect_max: Duration::from_secs(1),
             device_tick_interval: Duration::from_millis(5),
+            resync_replay_cap: 128,
         }
     }
 }
@@ -75,6 +81,13 @@ impl ChannelConfig {
         assert!(base <= max, "backoff base must not exceed the cap");
         self.reconnect_base = base;
         self.reconnect_max = max;
+        self
+    }
+
+    /// Sets how many recent flow-mods are kept for post-reconnect replay
+    /// (0 disables resync).
+    pub fn with_resync_replay_cap(mut self, cap: usize) -> ChannelConfig {
+        self.resync_replay_cap = cap;
         self
     }
 }

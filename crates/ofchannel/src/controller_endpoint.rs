@@ -16,6 +16,7 @@
 //! depths) and feeds it to the control plane — this is what arms
 //! FloodGuard's detector in live deployments.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -147,6 +148,11 @@ struct Slot {
     next_attempt: Instant,
     ever_connected: bool,
     last_echo: Instant,
+    /// Who answered the last completed handshake on this target.
+    last_identity: Option<Identity>,
+    /// Recent flow-mod frames, in send order, kept for post-reconnect
+    /// replay (bounded by `ChannelConfig::resync_replay_cap`).
+    replay: VecDeque<OfMessage>,
 }
 
 const EVENT_BUDGET: usize = 512;
@@ -170,6 +176,8 @@ fn run(
             next_attempt: Instant::now(),
             ever_connected: false,
             last_echo: Instant::now(),
+            last_identity: None,
+            replay: VecDeque::new(),
         })
         .collect();
     let mut xid: u32 = 1;
@@ -191,14 +199,33 @@ fn run(
                         Some(device) => Identity::Device(device),
                         None => Identity::Switch(features.datapath_id),
                     };
-                    if slot.ever_connected {
+                    let rejoining = slot.ever_connected;
+                    if rejoining {
                         counters.record_reconnect();
                     }
                     slot.ever_connected = true;
                     slot.backoff = cfg.reconnect_base;
                     slot.last_echo = Instant::now();
+                    if slot.last_identity != Some(identity) {
+                        // A different peer answered on this target: the
+                        // recorded frames belong to someone else's table.
+                        slot.replay.clear();
+                    }
+                    slot.last_identity = Some(identity);
                     if let Identity::Switch(dpid) = identity {
                         control.on_switch_connect(dpid, features, now, &mut connect_out);
+                    }
+                    // State resync: the peer may have restarted with an empty
+                    // flow table, so drain-and-replay the recorded flow-mods
+                    // (idempotent — identical match+priority replaces in
+                    // place) before any fresh traffic.
+                    if rejoining && !slot.replay.is_empty() {
+                        counters.record_resync(slot.replay.len());
+                        for frame in &slot.replay {
+                            match conn.send(frame) {
+                                Ok(()) | Err(SendError::Backpressure) | Err(SendError::Closed) => {}
+                            }
+                        }
                     }
                     slot.conn = Some((conn, identity));
                 }
@@ -209,7 +236,7 @@ fn run(
                 }
             }
         }
-        flush(&slots, connect_out);
+        flush(&mut slots, connect_out, cfg.resync_replay_cap);
 
         // Drain inbound messages.
         let mut pending = ControlOutput::new();
@@ -242,12 +269,15 @@ fn run(
                 }
             }
             if died {
+                if let Some((_, Identity::Switch(dpid))) = slot.conn {
+                    control.on_switch_disconnect(dpid, now, &mut pending);
+                }
                 slot.conn = None;
                 slot.backoff = cfg.reconnect_base;
                 slot.next_attempt = Instant::now() + slot.backoff;
             }
         }
-        flush(&slots, pending);
+        flush(&mut slots, pending, cfg.resync_replay_cap);
 
         // Synthesized telemetry: what a live controller can observe.
         if last_telemetry.elapsed() >= config.telemetry_interval {
@@ -272,7 +302,7 @@ fn run(
             };
             let mut out = ControlOutput::new();
             control.on_telemetry(&telemetry, now, &mut out);
-            flush(&slots, out);
+            flush(&mut slots, out, cfg.resync_replay_cap);
         }
 
         // Control-plane tick.
@@ -281,13 +311,14 @@ fn run(
                 last_tick = now;
                 let mut out = ControlOutput::new();
                 control.on_tick(now, &mut out);
-                flush(&slots, out);
+                flush(&mut slots, out, cfg.resync_replay_cap);
             }
         }
 
         // Keepalive probes and liveness.
+        let mut timeout_out = ControlOutput::new();
         for slot in &mut slots {
-            let Some((conn, _)) = &slot.conn else {
+            let Some((conn, identity)) = &slot.conn else {
                 continue;
             };
             if slot.last_echo.elapsed() >= cfg.echo_interval {
@@ -301,11 +332,15 @@ fn run(
             if conn.idle_for() >= cfg.liveness_timeout {
                 counters.record_keepalive_timeout();
                 conn.close();
+                if let Identity::Switch(dpid) = *identity {
+                    control.on_switch_disconnect(dpid, now, &mut timeout_out);
+                }
                 slot.conn = None;
                 slot.backoff = cfg.reconnect_base;
                 slot.next_attempt = Instant::now() + slot.backoff;
             }
         }
+        flush(&mut slots, timeout_out, cfg.resync_replay_cap);
 
         // Publish liveness for observers.
         {
@@ -347,13 +382,24 @@ fn dial(
 /// datapath. Messages to datapaths that are not connected, plus frames
 /// rejected by backpressure, are dropped — the control plane will observe
 /// the gap the same way it would observe loss on a congested channel.
-fn flush(slots: &[Slot], out: ControlOutput) {
+/// Flow-mod frames are additionally recorded into the owning slot's bounded
+/// replay ring so a reconnect can resync the switch's table.
+fn flush(slots: &mut [Slot], out: ControlOutput, replay_cap: usize) {
     for (dpid, msg) in out.messages {
-        let target = slots.iter().find_map(|s| match &s.conn {
-            Some((conn, Identity::Switch(d))) if *d == dpid => Some(conn),
-            _ => None,
+        let target = slots.iter_mut().find(|s| {
+            matches!(&s.conn, Some((_, Identity::Switch(d))) if *d == dpid)
+                || (s.conn.is_none() && s.last_identity == Some(Identity::Switch(dpid)))
         });
-        if let Some(conn) = target {
+        let Some(slot) = target else {
+            continue;
+        };
+        if matches!(msg.body, OfBody::FlowMod(_)) && replay_cap > 0 {
+            if slot.replay.len() >= replay_cap {
+                slot.replay.pop_front();
+            }
+            slot.replay.push_back(msg.clone());
+        }
+        if let Some((conn, _)) = &slot.conn {
             match conn.send(&msg) {
                 Ok(()) | Err(SendError::Backpressure) | Err(SendError::Closed) => {}
             }

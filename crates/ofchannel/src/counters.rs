@@ -20,6 +20,8 @@ pub struct ChannelCounters {
     sends_blocked: AtomicU64,
     send_queue_hwm: AtomicU64,
     keepalive_timeouts: AtomicU64,
+    resyncs: AtomicU64,
+    frames_replayed: AtomicU64,
 }
 
 /// A point-in-time copy of [`ChannelCounters`].
@@ -45,6 +47,10 @@ pub struct CountersSnapshot {
     pub send_queue_hwm: u64,
     /// Connections declared dead by receive-side silence.
     pub keepalive_timeouts: u64,
+    /// Post-reconnect state resyncs performed (flow-mod replay rounds).
+    pub resyncs: u64,
+    /// Flow-mod frames re-sent during resyncs.
+    pub frames_replayed: u64,
 }
 
 impl ChannelCounters {
@@ -88,6 +94,12 @@ impl ChannelCounters {
         self.keepalive_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_resync(&self, frames: usize) {
+        self.resyncs.fetch_add(1, Ordering::Relaxed);
+        self.frames_replayed
+            .fetch_add(frames as u64, Ordering::Relaxed);
+    }
+
     /// Copies the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -101,6 +113,8 @@ impl ChannelCounters {
             sends_blocked: self.sends_blocked.load(Ordering::Relaxed),
             send_queue_hwm: self.send_queue_hwm.load(Ordering::Relaxed),
             keepalive_timeouts: self.keepalive_timeouts.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
+            frames_replayed: self.frames_replayed.load(Ordering::Relaxed),
         }
     }
 }

@@ -26,9 +26,12 @@ use crossbeam::channel::{self, Receiver, Sender};
 use netsim::iface::{DataPlaneDevice, DeviceOutput, SwitchTelemetry};
 use netsim::packet::Packet;
 use netsim::switch::Switch;
+use netsim::Fault;
+use ofproto::flow_match::OfMatch;
 use ofproto::messages::{OfBody, OfMessage};
 use ofproto::types::Xid;
 use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
 
 use crate::config::ChannelConfig;
 use crate::conn::{ConnEvent, Connection, SendError};
@@ -37,6 +40,7 @@ use crate::{device_features, handshake};
 
 enum Cmd {
     Inject { in_port: u16, packet: Packet },
+    Fault(Fault),
 }
 
 /// Handle to a switch being served over TCP.
@@ -46,6 +50,7 @@ pub struct SwitchEndpoint {
     cmd_tx: Sender<Cmd>,
     counters: Arc<ChannelCounters>,
     telemetry: Arc<Mutex<SwitchTelemetry>>,
+    flow_rules: Arc<Mutex<Vec<(OfMatch, u16, u64)>>>,
     shutdown: Arc<AtomicBool>,
     handle: Option<JoinHandle<Switch>>,
 }
@@ -93,17 +98,21 @@ impl SwitchEndpoint {
                 last_echo: Instant::now(),
                 last_tick: Instant::now(),
                 connected_before: false,
+                down: false,
+                restart_at: None,
             });
         }
 
         let (cmd_tx, cmd_rx) = channel::unbounded();
         let counters = Arc::new(ChannelCounters::new());
         let telemetry = Arc::new(Mutex::new(switch.telemetry(0.0)));
+        let flow_rules = Arc::new(Mutex::new(Vec::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let handle = {
             let counters = Arc::clone(&counters);
             let telemetry = Arc::clone(&telemetry);
+            let flow_rules = Arc::clone(&flow_rules);
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name(format!("ofchannel-switch-{}", switch.dpid.0))
@@ -116,6 +125,7 @@ impl SwitchEndpoint {
                         cmd_rx,
                         counters,
                         telemetry,
+                        flow_rules,
                         shutdown,
                     )
                 })?
@@ -127,6 +137,7 @@ impl SwitchEndpoint {
             cmd_tx,
             counters,
             telemetry,
+            flow_rules,
             shutdown,
             handle: Some(handle),
         })
@@ -147,6 +158,26 @@ impl SwitchEndpoint {
         let _ = self.cmd_tx.send(Cmd::Inject { in_port, packet });
     }
 
+    /// Injects an infrastructure fault — the same [`Fault`] values a
+    /// [`netsim::FaultScript`] schedules against the simulator, applied to
+    /// this live endpoint:
+    ///
+    /// * [`Fault::SwitchCrash`] wipes the switch state and kills the
+    ///   controller socket; the listener accepts again after `restart_after`
+    ///   seconds (the switch-id field is ignored — this endpoint *is* the
+    ///   switch).
+    /// * [`Fault::ControlPartition`] / [`Fault::ControlHeal`] sever and
+    ///   restore the controller socket without touching switch state.
+    /// * [`Fault::DeviceCrash`] wipes the indexed attached device and stops
+    ///   feeding it until restart.
+    /// * [`Fault::LinkDown`] / [`Fault::LinkUp`] / [`Fault::LinkLoss`] drop
+    ///   (or probabilistically lose) data-plane packets on the given port,
+    ///   in both directions.
+    /// * [`Fault::ControllerStall`] is controller-side and ignored here.
+    pub fn inject_fault(&self, fault: Fault) {
+        let _ = self.cmd_tx.send(Cmd::Fault(fault));
+    }
+
     /// Current transport counters.
     pub fn counters(&self) -> CountersSnapshot {
         self.counters.snapshot()
@@ -155,6 +186,13 @@ impl SwitchEndpoint {
     /// Latest switch resource snapshot.
     pub fn telemetry(&self) -> SwitchTelemetry {
         *self.telemetry.lock()
+    }
+
+    /// Snapshot of the installed flow rules as `(match, priority, cookie)`
+    /// triples, refreshed on the telemetry cadence — what a test harness
+    /// needs to verify a post-reconnect resync reinstalled the defense.
+    pub fn flow_rules(&self) -> Vec<(OfMatch, u16, u64)> {
+        self.flow_rules.lock().clone()
     }
 
     /// Stops serving and returns the switch for inspection.
@@ -186,6 +224,48 @@ struct DeviceSlot {
     last_echo: Instant,
     last_tick: Instant,
     connected_before: bool,
+    /// Crashed and not yet restarted: packets to it are dropped, ticks
+    /// skipped.
+    down: bool,
+    /// When the crashed device restarts; `None` while down means never.
+    restart_at: Option<Instant>,
+}
+
+/// Live-endpoint fault state: which links are impaired and whether the
+/// switch itself is down or partitioned from the controller.
+#[derive(Default)]
+struct FaultState {
+    links_down: HashSet<u16>,
+    link_loss: HashMap<u16, f64>,
+    partitioned: bool,
+    switch_down: bool,
+    switch_restart_at: Option<Instant>,
+    /// xorshift64 state for loss sampling — seeded constant, so a given
+    /// packet sequence sees a reproducible loss pattern.
+    rng: u64,
+}
+
+impl FaultState {
+    fn new() -> FaultState {
+        FaultState {
+            rng: 0x9E37_79B9_7F4A_7C15,
+            ..FaultState::default()
+        }
+    }
+
+    /// Whether a packet crossing `port` is lost to link faults right now.
+    fn link_drops(&mut self, port: u16) -> bool {
+        if self.links_down.contains(&port) {
+            return true;
+        }
+        let Some(&p) = self.link_loss.get(&port) else {
+            return false;
+        };
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        ((self.rng >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
 }
 
 /// How many data-plane packets one loop iteration may process before
@@ -205,6 +285,7 @@ fn run(
     cmd_rx: Receiver<Cmd>,
     counters: Arc<ChannelCounters>,
     telemetry: Arc<Mutex<SwitchTelemetry>>,
+    flow_rules: Arc<Mutex<Vec<(OfMatch, u16, u64)>>>,
     shutdown: Arc<AtomicBool>,
 ) -> Switch {
     let start = Instant::now();
@@ -216,31 +297,46 @@ fn run(
     let mut busy_accum = 0.0_f64;
     let mut last_util_at = Instant::now();
     let mut datapath_util = 0.0_f64;
+    let mut faults = FaultState::new();
 
     while !shutdown.load(Ordering::SeqCst) {
         let now = start.elapsed().as_secs_f64();
 
-        // Controller (re)connects.
-        if let Ok((mut stream, _)) = listener.accept() {
-            let _ = stream.set_nodelay(true);
-            match handshake::accept(&mut stream, &switch.features(), &config) {
-                Ok(residue) => {
-                    match Connection::spawn(stream, &config, Arc::clone(&counters), residue) {
-                        Ok(new_conn) => {
-                            if connected_before {
-                                counters.record_reconnect();
-                            }
-                            connected_before = true;
-                            conn = Some(new_conn);
-                            last_echo = Instant::now();
-                        }
-                        Err(_) => counters.record_connect_failure(),
-                    }
-                }
-                Err(_) => counters.record_connect_failure(),
-            }
+        // Due restarts from earlier crash faults.
+        if faults.switch_down
+            && faults
+                .switch_restart_at
+                .is_some_and(|t| Instant::now() >= t)
+        {
+            faults.switch_down = false;
+            faults.switch_restart_at = None;
         }
         for dev in &mut devices {
+            if dev.down && dev.restart_at.is_some_and(|t| Instant::now() >= t) {
+                dev.down = false;
+                dev.restart_at = None;
+                dev.logic.on_restart(now);
+            }
+        }
+
+        // Controller (re)connects — refused while the switch is down or the
+        // control channel is partitioned (the OS backlog may hold the dial;
+        // the handshake simply doesn't complete until we accept again).
+        if !faults.switch_down && !faults.partitioned {
+            accept_controller(
+                &listener,
+                &mut switch,
+                &config,
+                &counters,
+                &mut conn,
+                &mut connected_before,
+                &mut last_echo,
+            );
+        }
+        for dev in &mut devices {
+            if dev.down {
+                continue;
+            }
             if let Ok((mut stream, _)) = dev.listener.accept() {
                 let _ = stream.set_nodelay(true);
                 let features = device_features(dev.index);
@@ -263,28 +359,36 @@ fn run(
             }
         }
 
-        // Ingest injected packets; the 1 ms wait paces the loop when idle.
-        match cmd_rx.recv_timeout(Duration::from_millis(1)) {
-            Ok(Cmd::Inject { in_port, packet }) => {
-                switch.enqueue(in_port, packet);
-                while let Ok(Cmd::Inject { in_port, packet }) = cmd_rx.try_recv() {
-                    switch.enqueue(in_port, packet);
+        // Ingest injected packets and faults; the 1 ms wait paces the loop
+        // when idle.
+        let mut next_cmd = cmd_rx.recv_timeout(Duration::from_millis(1)).ok();
+        while let Some(cmd) = next_cmd.take() {
+            match cmd {
+                Cmd::Inject { in_port, packet } => {
+                    if !faults.switch_down && !faults.link_drops(in_port) {
+                        switch.enqueue(in_port, packet);
+                    }
+                }
+                Cmd::Fault(fault) => {
+                    apply_live_fault(fault, &mut switch, &mut conn, &mut devices, &mut faults);
                 }
             }
-            Err(_) => {}
+            next_cmd = cmd_rx.try_recv().ok();
         }
 
-        // Pump the datapath.
-        for _ in 0..DATAPATH_BUDGET {
-            let Some((in_port, packet)) = switch.start_next() else {
-                break;
-            };
-            let res = switch.process(in_port, packet, now);
-            busy_accum += res.service;
-            route_forwards(res.forwards, &mut devices, now);
-            if let Some(pi) = res.packet_in {
-                xid = xid.wrapping_add(1);
-                send_best_effort(&conn, &OfMessage::new(Xid(xid), OfBody::PacketIn(pi)));
+        // Pump the datapath (a crashed switch forwards nothing).
+        if !faults.switch_down {
+            for _ in 0..DATAPATH_BUDGET {
+                let Some((in_port, packet)) = switch.start_next() else {
+                    break;
+                };
+                let res = switch.process(in_port, packet, now);
+                busy_accum += res.service;
+                route_forwards(res.forwards, &mut devices, &mut faults, now);
+                if let Some(pi) = res.packet_in {
+                    xid = xid.wrapping_add(1);
+                    send_best_effort(&conn, &OfMessage::new(Xid(xid), OfBody::PacketIn(pi)));
+                }
             }
         }
 
@@ -303,7 +407,7 @@ fn run(
                         OfBody::EchoReply(_) => {}
                         _ => {
                             let (forwards, replies) = switch.handle_message(msg, now);
-                            route_forwards(forwards, &mut devices, now);
+                            route_forwards(forwards, &mut devices, &mut faults, now);
                             for reply in replies {
                                 send_best_effort(&conn, &reply);
                             }
@@ -323,6 +427,9 @@ fn run(
 
         // Control messages to/from devices, plus their periodic ticks.
         for dev in &mut devices {
+            if dev.down {
+                continue;
+            }
             let mut died = false;
             if let Some(active) = &dev.conn {
                 for _ in 0..EVENT_BUDGET {
@@ -417,17 +524,64 @@ fn run(
             datapath_util = (busy_accum / dt).min(1.0);
             busy_accum = 0.0;
             last_util_at = Instant::now();
+            *flow_rules.lock() = switch
+                .table
+                .iter()
+                .map(|e| (e.of_match, e.priority, e.cookie))
+                .collect();
         }
         *telemetry.lock() = switch.telemetry(datapath_util);
     }
     switch
 }
 
+/// Accepts a pending controller dial on the switch listener, runs the
+/// handshake and installs the resulting connection.
+fn accept_controller(
+    listener: &TcpListener,
+    switch: &mut Switch,
+    config: &ChannelConfig,
+    counters: &Arc<ChannelCounters>,
+    conn: &mut Option<Connection>,
+    connected_before: &mut bool,
+    last_echo: &mut Instant,
+) {
+    if let Ok((mut stream, _)) = listener.accept() {
+        let _ = stream.set_nodelay(true);
+        match handshake::accept(&mut stream, &switch.features(), config) {
+            Ok(residue) => match Connection::spawn(stream, config, Arc::clone(counters), residue) {
+                Ok(new_conn) => {
+                    if *connected_before {
+                        counters.record_reconnect();
+                    }
+                    *connected_before = true;
+                    *conn = Some(new_conn);
+                    *last_echo = Instant::now();
+                }
+                Err(_) => counters.record_connect_failure(),
+            },
+            Err(_) => counters.record_connect_failure(),
+        }
+    }
+}
+
 /// Hands forwarded packets that land on a device port to the device;
-/// other ports lead to hosts, which live mode does not model.
-fn route_forwards(forwards: Vec<(u16, Packet)>, devices: &mut [DeviceSlot], now: f64) {
+/// other ports lead to hosts, which live mode does not model. Packets
+/// crossing a faulted link, or destined to a crashed device, are dropped.
+fn route_forwards(
+    forwards: Vec<(u16, Packet)>,
+    devices: &mut [DeviceSlot],
+    faults: &mut FaultState,
+    now: f64,
+) {
     for (out_port, packet) in forwards {
+        if faults.link_drops(out_port) {
+            continue;
+        }
         if let Some(dev) = devices.iter_mut().find(|d| d.port == out_port) {
+            if dev.down {
+                continue;
+            }
             let mut out = DeviceOutput::new();
             dev.logic.on_packet(packet, now, &mut out);
             if let Some(active) = &dev.conn {
@@ -436,6 +590,64 @@ fn route_forwards(forwards: Vec<(u16, Packet)>, devices: &mut [DeviceSlot], now:
                 }
             }
         }
+    }
+}
+
+/// Applies one injected [`Fault`] to the live endpoint's state.
+fn apply_live_fault(
+    fault: Fault,
+    switch: &mut Switch,
+    conn: &mut Option<Connection>,
+    devices: &mut [DeviceSlot],
+    faults: &mut FaultState,
+) {
+    match fault {
+        Fault::LinkDown { port, .. } => {
+            faults.links_down.insert(port);
+        }
+        Fault::LinkUp { port, .. } => {
+            faults.links_down.remove(&port);
+        }
+        Fault::LinkLoss {
+            port, probability, ..
+        } => {
+            if probability <= 0.0 {
+                faults.link_loss.remove(&port);
+            } else {
+                faults.link_loss.insert(port, probability.min(1.0));
+            }
+        }
+        Fault::ControlPartition { .. } => {
+            faults.partitioned = true;
+            if let Some(active) = conn.take() {
+                active.close();
+            }
+        }
+        Fault::ControlHeal { .. } => {
+            faults.partitioned = false;
+        }
+        Fault::SwitchCrash { restart_after, .. } => {
+            switch.crash();
+            faults.switch_down = true;
+            faults.switch_restart_at = restart_after
+                .is_finite()
+                .then(|| Instant::now() + Duration::from_secs_f64(restart_after.max(0.0)));
+            if let Some(active) = conn.take() {
+                active.close();
+            }
+        }
+        Fault::DeviceCrash { dev, restart_after } => {
+            if let Some(slot) = devices.get_mut(dev.0) {
+                slot.logic.on_crash();
+                slot.down = true;
+                slot.restart_at = restart_after
+                    .is_finite()
+                    .then(|| Instant::now() + Duration::from_secs_f64(restart_after.max(0.0)));
+            }
+        }
+        // The stall is a controller-side fault; the switch endpoint has
+        // nothing to stall.
+        Fault::ControllerStall { .. } => {}
     }
 }
 

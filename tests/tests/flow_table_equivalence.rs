@@ -13,7 +13,7 @@ use std::net::Ipv4Addr;
 
 use netsim::packet::Packet;
 use ofproto::actions::Action;
-use ofproto::flow_match::{FlowKeys, OfMatch};
+use ofproto::flow_match::OfMatch;
 use ofproto::flow_mod::FlowMod;
 use ofproto::flow_table::{linear::LinearFlowTable, FlowEntry, FlowTable};
 use ofproto::types::{MacAddr, PortNo};
@@ -33,37 +33,35 @@ fn fingerprint(e: Option<&FlowEntry>) -> Option<(OfMatch, u16, Vec<Action>, u64,
 
 /// A small host universe so flows collide with installed rules often.
 fn arb_packet() -> impl Strategy<Value = (Packet, u16)> {
-    (0u64..6, 0u64..6, 1u16..4000, 0u8..2, 1u16..5).prop_map(
-        |(src, dst, sport, proto, in_port)| {
-            let (s, d) = (
-                Ipv4Addr::new(10, 0, 0, src as u8 + 1),
-                Ipv4Addr::new(10, 0, 0, dst as u8 + 1),
-            );
-            let pkt = if proto == 0 {
-                Packet::udp(
-                    MacAddr::from_u64(src + 1),
-                    MacAddr::from_u64(dst + 1),
-                    s,
-                    d,
-                    sport,
-                    53,
-                    128,
-                )
-            } else {
-                Packet::tcp(
-                    MacAddr::from_u64(src + 1),
-                    MacAddr::from_u64(dst + 1),
-                    s,
-                    d,
-                    sport,
-                    80,
-                    netsim::packet::Transport::TCP_SYN,
-                    64,
-                )
-            };
-            (pkt, in_port)
-        },
-    )
+    (0u64..6, 0u64..6, 1u16..4000, 0u8..2, 1u16..5).prop_map(|(src, dst, sport, proto, in_port)| {
+        let (s, d) = (
+            Ipv4Addr::new(10, 0, 0, src as u8 + 1),
+            Ipv4Addr::new(10, 0, 0, dst as u8 + 1),
+        );
+        let pkt = if proto == 0 {
+            Packet::udp(
+                MacAddr::from_u64(src + 1),
+                MacAddr::from_u64(dst + 1),
+                s,
+                d,
+                sport,
+                53,
+                128,
+            )
+        } else {
+            Packet::tcp(
+                MacAddr::from_u64(src + 1),
+                MacAddr::from_u64(dst + 1),
+                s,
+                d,
+                sport,
+                80,
+                netsim::packet::Transport::TCP_SYN,
+                64,
+            )
+        };
+        (pkt, in_port)
+    })
 }
 
 /// The rule shapes the workspace installs: exact reactive rules (from a
@@ -95,7 +93,8 @@ fn arb_install() -> impl Strategy<Value = FlowMod> {
             .with_priority(5),
         };
         if timeout > 0 {
-            fm.with_idle_timeout(u16::from(timeout)).with_hard_timeout(4)
+            fm.with_idle_timeout(u16::from(timeout))
+                .with_hard_timeout(4)
         } else {
             fm
         }
@@ -111,13 +110,12 @@ enum Step {
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
-    (arb_install(), arb_packet(), 0u64..6, 0u8..8).prop_map(|(fm, (pkt, port), dst, sel)| {
-        match sel {
-            0 | 1 => Step::Install(fm),
-            2 => Step::DeleteByDst(dst),
-            3 => Step::Expire,
-            _ => Step::Forward(pkt, port),
-        }
+    (arb_install(), arb_packet(), 0u64..6, 0u8..8).prop_map(|(fm, (pkt, port), dst, sel)| match sel
+    {
+        0 | 1 => Step::Install(fm),
+        2 => Step::DeleteByDst(dst),
+        3 => Step::Expire,
+        _ => Step::Forward(pkt, port),
     })
 }
 

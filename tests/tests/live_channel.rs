@@ -10,6 +10,7 @@
 //! deadlines instead of sleeping fixed amounts, so they pass on slow CI
 //! machines without being tuned to them.
 
+use std::collections::HashSet;
 use std::net::{Ipv4Addr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -19,7 +20,7 @@ use floodguard::{DetectionConfig, FloodGuard, FloodGuardConfig};
 use netsim::iface::NullControlPlane;
 use netsim::packet::Packet;
 use netsim::switch::Switch;
-use netsim::SwitchProfile;
+use netsim::{Fault, SwitchId, SwitchProfile};
 use ofchannel::{handshake, ChannelConfig, ControllerConfig, ControllerEndpoint, SwitchEndpoint};
 use ofproto::messages::FeaturesReply;
 use ofproto::types::{DatapathId, MacAddr, PortNo};
@@ -316,6 +317,122 @@ fn floodguard_defense_loop_over_live_tcp() {
     );
     let transport = controller.counters();
     assert!(transport.frames_in > 0 && transport.frames_out > 0);
+
+    drop(controller);
+    drop(endpoint);
+}
+
+/// Fault injection over real sockets: mid-defense, the live switch crashes
+/// (flow table wiped, TCP session cut) and restarts. The controller's
+/// post-reconnect replay plus FloodGuard's rule repair must reinstall the
+/// same defense rule set, and the transport must count the resync.
+#[test]
+fn switch_crash_mid_defense_resyncs_rules() {
+    const CACHE_PORT: u16 = 99;
+
+    let detection = DetectionConfig {
+        rate_capacity_pps: 50.0,
+        score_threshold: 0.2,
+        rate_weight: 1.0,
+        buffer_weight: 0.0,
+        datapath_weight: 0.0,
+        controller_weight: 0.0,
+        ..DetectionConfig::default()
+    };
+    let fg_config = FloodGuardConfig {
+        detection,
+        ..FloodGuardConfig::default()
+    };
+    let cookie = fg_config.cookie;
+
+    let mut platform = ControllerPlatform::new();
+    platform.register(apps::l2_learning::program());
+    let mut floodguard = FloodGuard::new(platform, fg_config, CACHE_PORT);
+    let monitor = floodguard.monitor_handle();
+    let cache = floodguard.build_cache();
+
+    let switch = Switch::new(
+        DatapathId(1),
+        SwitchProfile::software(),
+        vec![1, 2, CACHE_PORT],
+    );
+    let endpoint = SwitchEndpoint::spawn(
+        switch,
+        vec![(CACHE_PORT, Box::new(cache))],
+        ChannelConfig::default(),
+    )
+    .unwrap();
+
+    let controller_config = ControllerConfig {
+        telemetry_interval: Duration::from_millis(20),
+        ..ControllerConfig::default()
+    };
+    let mut targets = vec![endpoint.switch_addr()];
+    targets.extend_from_slice(endpoint.device_addrs());
+    let controller = ControllerEndpoint::spawn(Box::new(floodguard), targets, controller_config);
+
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            let status = controller.status();
+            status.connected_switches.len() == 1 && status.connected_devices.len() == 1
+        }),
+        "switch and cache sessions never both came up"
+    );
+
+    // Flood until the defense is up and its rules are visible in the live
+    // flow-rule snapshot.
+    let mut seq = 0u64;
+    let flood = |seq: &mut u64| {
+        for _ in 0..100 {
+            endpoint.inject(1, udp_flow(*seq, 200));
+            *seq += 1;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(
+        wait_for(Duration::from_secs(30), || {
+            flood(&mut seq);
+            monitor.lock().stats.attacks_detected >= 1
+                && endpoint.flow_rules().iter().any(|&(_, _, c)| c == cookie)
+        }),
+        "defense never established over the live channel"
+    );
+    let before: HashSet<(ofproto::flow_match::OfMatch, u16)> = endpoint
+        .flow_rules()
+        .into_iter()
+        .filter(|&(_, _, c)| c == cookie)
+        .map(|(m, p, _)| (m, p))
+        .collect();
+    assert!(!before.is_empty());
+
+    let reconnects_before = controller.counters().reconnects;
+    endpoint.inject_fault(Fault::SwitchCrash {
+        sw: SwitchId(0),
+        restart_after: 0.2,
+    });
+
+    // Keep the flood alive across the outage: the reconnect plus the
+    // repair path must land every pre-crash defense rule again.
+    assert!(
+        wait_for(Duration::from_secs(30), || {
+            flood(&mut seq);
+            let after: HashSet<(ofproto::flow_match::OfMatch, u16)> = endpoint
+                .flow_rules()
+                .into_iter()
+                .filter(|&(_, _, c)| c == cookie)
+                .map(|(m, p, _)| (m, p))
+                .collect();
+            controller.counters().reconnects > reconnects_before && before.is_subset(&after)
+        }),
+        "defense rules were not reinstalled after the crash: before {:?}, after {:?}",
+        before,
+        endpoint.flow_rules()
+    );
+    assert!(
+        controller.counters().resyncs >= 1,
+        "reconnect did not replay the flow-mod ring: {:?}",
+        controller.counters()
+    );
 
     drop(controller);
     drop(endpoint);

@@ -2,12 +2,299 @@
 //! repeated attack waves, slow-ramp attacks, cache overflow, and very long
 //! runs.
 
-use bench::{run, AttackProtocol, Defense, Scenario};
-use floodguard::{CacheConfig, DetectionConfig, FloodGuardConfig};
+use bench::{run, AttackProtocol, Defense, Fault, Outcome, Scenario};
+use floodguard::{CacheConfig, CacheFailPolicy, DetectionConfig, FloodGuardConfig, RecoveryConfig};
 use netsim::engine::SwitchId;
+use netsim::DeviceId;
 
 fn fg() -> Defense {
     Defense::FloodGuard(FloodGuardConfig::default())
+}
+
+/// Seed for the fault scenarios. CI sweeps several via `FG_FAULT_SEED`;
+/// locally the default matches the bench suite.
+fn fault_seed() -> u64 {
+    std::env::var("FG_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Dumps the run's fault log where CI collects artifacts
+/// (`FG_FAULT_LOG_DIR`); a no-op when the variable is unset. Written
+/// *before* any assertion so a failing run still leaves its trace.
+fn dump_fault_log(name: &str, outcome: &Outcome) {
+    let Ok(dir) = std::env::var("FG_FAULT_LOG_DIR") else {
+        return;
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let mut text = String::new();
+    for entry in outcome.sim.fault_log() {
+        text.push_str(&format!("{:.6} {:?}\n", entry.at, entry.fault));
+    }
+    text.push_str(&format!(
+        "bandwidth_bps {:e}\nstats {:?}\n",
+        outcome.bandwidth_bps, outcome.fg_stats
+    ));
+    let _ = std::fs::write(format!("{dir}/{name}-seed{}.log", fault_seed()), text);
+}
+
+/// The acceptance scenario: a 500 pps flood with the switch crashing and
+/// restarting mid-defense.
+fn crash_scenario() -> Scenario {
+    let mut scenario = Scenario::software().with_defense(fg()).with_attack(500.0);
+    scenario.attack_start = 0.3;
+    scenario.attack_stop = 5.0;
+    scenario.duration = 5.0;
+    scenario.seed = fault_seed();
+    scenario.with_fault(
+        1.0,
+        Fault::SwitchCrash {
+            sw: SwitchId(0),
+            restart_after: 0.05,
+        },
+    )
+}
+
+#[test]
+fn fault_switch_crash_mid_attack_rules_repaired() {
+    // A crash-restart at t=1.0 wipes the flow table (migration rules
+    // included) while the flood is live. The reconnect is fresh evidence:
+    // FloodGuard must reinstall the migration rules and the victim's
+    // bandwidth must recover to within 10% of the clean run.
+    let mut clean = Scenario::software();
+    clean.seed = fault_seed();
+    let clean_bw = run(&clean).bandwidth_bps;
+
+    let outcome = run(&crash_scenario());
+    dump_fault_log("switch-crash", &outcome);
+    assert!(
+        outcome.fg_stats.rules_repaired >= 1,
+        "repair never fired: {:?}",
+        outcome.fg_stats
+    );
+    // The attack runs to the end of the scenario, so the repaired
+    // migration rules must still be on the switch when it stops.
+    let cookie = FloodGuardConfig::default().cookie;
+    let migration_rules = outcome
+        .sim
+        .switch(SwitchId(0))
+        .table
+        .iter()
+        .filter(|e| e.cookie == cookie)
+        .count();
+    assert!(
+        migration_rules >= 1,
+        "migration rules absent after repair: {} entries total",
+        outcome.sim.switch(SwitchId(0)).table.len()
+    );
+    assert!(
+        outcome.bandwidth_bps > clean_bw * 0.9,
+        "bandwidth after crash-repair: {:e} vs clean {clean_bw:e}",
+        outcome.bandwidth_bps
+    );
+}
+
+#[test]
+fn fault_cache_crash_with_standby_promotes() {
+    // The active cache dies for good mid-defense; the standby behind
+    // STANDBY_PORT must be promoted and the defense must continue without
+    // degrading.
+    let mut clean = Scenario::software();
+    clean.seed = fault_seed();
+    let clean_bw = run(&clean).bandwidth_bps;
+
+    let mut scenario = Scenario::software()
+        .with_defense(fg())
+        .with_attack(500.0)
+        .with_standby_cache()
+        .with_fault(
+            2.0,
+            Fault::DeviceCrash {
+                dev: DeviceId(0),
+                restart_after: f64::INFINITY,
+            },
+        );
+    scenario.attack_start = 0.3;
+    scenario.attack_stop = 5.0;
+    scenario.duration = 5.0;
+    scenario.seed = fault_seed();
+    let outcome = run(&scenario);
+    dump_fault_log("cache-crash-standby", &outcome);
+    assert!(
+        outcome.fg_stats.cache_failovers >= 1,
+        "standby never promoted: {:?}",
+        outcome.fg_stats
+    );
+    assert_eq!(
+        outcome.fg_stats.degraded, 0,
+        "a healthy standby must prevent degraded mode"
+    );
+    assert!(
+        outcome.bandwidth_bps > clean_bw * 0.9,
+        "bandwidth across failover: {:e} vs clean {clean_bw:e}",
+        outcome.bandwidth_bps
+    );
+}
+
+#[test]
+fn fault_cache_crash_no_standby_fail_open() {
+    // No standby and the fail-open policy: losing the cache ends the
+    // defense (migration rules removed) rather than blackholing traffic.
+    // A new flow probed after the crash must still get through.
+    let config = FloodGuardConfig {
+        recovery: RecoveryConfig {
+            cache_fail_policy: CacheFailPolicy::FailOpen,
+            ..RecoveryConfig::default()
+        },
+        ..FloodGuardConfig::default()
+    };
+    let mut scenario = Scenario::software()
+        .with_defense(Defense::FloodGuard(config))
+        .with_attack(400.0)
+        .with_fault(
+            2.0,
+            Fault::DeviceCrash {
+                dev: DeviceId(0),
+                restart_after: f64::INFINITY,
+            },
+        );
+    scenario.attack_start = 0.3;
+    scenario.attack_stop = 1.8; // the flood ends before the cache dies
+    scenario.duration = 5.0;
+    scenario.probes = vec![3.0];
+    scenario.unknown_probes = vec![3.2];
+    scenario.seed = fault_seed();
+    let outcome = run(&scenario);
+    dump_fault_log("cache-crash-fail-open", &outcome);
+    assert!(
+        outcome.fg_stats.degraded >= 1,
+        "loss of the only cache must degrade: {:?}",
+        outcome.fg_stats
+    );
+    let (_, known) = outcome.probe_delays[0];
+    assert!(
+        known.is_some(),
+        "fail-open must keep forwarding new flows after the cache dies"
+    );
+    let (_, unknown) = outcome.probe_delays[1];
+    assert!(
+        unknown.is_some(),
+        "fail-open must let even unmatched traffic reach the controller"
+    );
+}
+
+#[test]
+fn fault_cache_crash_no_standby_fail_safe() {
+    // Same crash under the fail-safe policy: suspect (unmatched) traffic
+    // is dropped at the switch instead of being forwarded unfiltered. The
+    // established bulk flow rides its own learned rules and keeps its
+    // bandwidth; a brand-new flow hits the drop rules and never arrives.
+    let config = FloodGuardConfig {
+        recovery: RecoveryConfig {
+            cache_fail_policy: CacheFailPolicy::FailSafe,
+            ..RecoveryConfig::default()
+        },
+        ..FloodGuardConfig::default()
+    };
+    let mut clean = Scenario::software();
+    clean.seed = fault_seed();
+    let clean_bw = run(&clean).bandwidth_bps;
+
+    let mut scenario = Scenario::software()
+        .with_defense(Defense::FloodGuard(config))
+        .with_attack(500.0)
+        .with_fault(
+            2.0,
+            Fault::DeviceCrash {
+                dev: DeviceId(0),
+                restart_after: f64::INFINITY,
+            },
+        );
+    scenario.attack_start = 0.3;
+    scenario.attack_stop = 5.0;
+    scenario.duration = 5.0;
+    scenario.unknown_probes = vec![3.0];
+    scenario.seed = fault_seed();
+    let outcome = run(&scenario);
+    dump_fault_log("cache-crash-fail-safe", &outcome);
+    assert!(
+        outcome.fg_stats.degraded >= 1,
+        "loss of the only cache must degrade: {:?}",
+        outcome.fg_stats
+    );
+    assert!(
+        outcome.bandwidth_bps > clean_bw * 0.9,
+        "established flow survives fail-safe: {:e} vs clean {clean_bw:e}",
+        outcome.bandwidth_bps
+    );
+    let (_, delay) = outcome.probe_delays[0];
+    assert!(
+        delay.is_none(),
+        "fail-safe must drop unmatched traffic, probe arrived in {delay:?}"
+    );
+}
+
+#[test]
+fn fault_partition_during_migration_repairs_on_heal() {
+    // The control channel partitions mid-defense and heals 0.8 s later.
+    // The flow table survives (only control traffic is severed), the
+    // re-handshake on heal triggers a repair pass, and the victim's
+    // bandwidth stays protected throughout.
+    let mut clean = Scenario::software();
+    clean.seed = fault_seed();
+    let clean_bw = run(&clean).bandwidth_bps;
+
+    let mut scenario = Scenario::software()
+        .with_defense(fg())
+        .with_attack(500.0)
+        .with_fault(1.2, Fault::ControlPartition { sw: SwitchId(0) })
+        .with_fault(2.0, Fault::ControlHeal { sw: SwitchId(0) });
+    scenario.attack_start = 0.3;
+    scenario.attack_stop = 5.0;
+    scenario.duration = 5.0;
+    scenario.seed = fault_seed();
+    let outcome = run(&scenario);
+    dump_fault_log("partition-heal", &outcome);
+    assert!(
+        outcome.fg_stats.rules_repaired >= 1,
+        "heal must trigger a repair pass: {:?}",
+        outcome.fg_stats
+    );
+    assert!(
+        outcome.bandwidth_bps > clean_bw * 0.9,
+        "bandwidth across partition: {:e} vs clean {clean_bw:e}",
+        outcome.bandwidth_bps
+    );
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    // The whole point of seeded fault injection: the same script under the
+    // same seed reproduces the run bit-for-bit, down to probabilistic link
+    // loss, so a CI failure replays locally.
+    let scenario = crash_scenario().with_fault(
+        0.5,
+        Fault::LinkLoss {
+            sw: SwitchId(0),
+            port: 2,
+            probability: 0.05,
+        },
+    );
+    let first = run(&scenario);
+    let second = run(&scenario);
+    assert_eq!(
+        first.bandwidth_bps.to_bits(),
+        second.bandwidth_bps.to_bits(),
+        "bandwidth diverged across identical runs"
+    );
+    assert_eq!(first.fg_stats, second.fg_stats);
+    assert_eq!(first.fg_transitions.len(), second.fg_transitions.len());
+    assert_eq!(first.sim.fault_log().len(), second.sim.fault_log().len());
+    assert_eq!(
+        first.sim.recorder.counter("link_loss_drops"),
+        second.sim.recorder.counter("link_loss_drops")
+    );
 }
 
 #[test]
