@@ -1,0 +1,210 @@
+//! Simulation-core hot-path benchmark: scheduler microbench + full-sim
+//! events/sec, with a JSON report and a regression gate.
+//!
+//! Custom harness (`harness = false`), not the criterion shim, because
+//! this bench also writes `results/BENCH_engine.json` and compares
+//! against a checked-in baseline.
+//!
+//! **Microbench** — the 10k-host attack shape, run against both
+//! [`HeapQueue`] and [`WheelQueue`] through the [`Scheduler`] trait: a
+//! backlog of one pending emission per host, quantized to millisecond
+//! ticks (so bursts share timestamps exactly as flood traffic does), then
+//! a pop → reschedule churn loop. This isolates the queue: the heap pays
+//! `O(log n)` per operation against the wheel's amortized `O(1)`, which
+//! is the tentpole's ≥5x events/sec claim.
+//!
+//! **Full sim** — a software-profile 400 PPS flood scenario, reporting
+//! engine events/sec via `Simulation::events_processed`.
+//!
+//! **Regression gate** — compares against `FG_BENCH_BASELINE` (default
+//! `results/BENCH_engine_baseline.json`) and exits non-zero when either
+//! ratio drops more than 25%:
+//!
+//! * `speedup` = wheel ops/s ÷ heap ops/s (catches wheel regressions);
+//! * `sim_per_heap` = sim events/s ÷ heap ops/s (catches engine
+//!   regressions).
+//!
+//! Both are ratios of numbers measured in the same process on the same
+//! machine, so the gate is portable across hosts of different speeds —
+//! unlike absolute ns thresholds, which only hold on the machine that
+//! recorded the baseline.
+//!
+//! `--test` (what `cargo test` passes to bench targets) runs a tiny smoke
+//! version: no JSON written, no gate, exit 0.
+
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use bench::report::{extract_number, read_report, write_report, Json};
+use bench::{run, Defense, Scenario};
+use floodguard::FloodGuardConfig;
+use netsim::packet::Packet;
+use netsim::sched::{HeapQueue, Scheduler, WheelQueue};
+use ofproto::types::MacAddr;
+
+/// Tolerated drop before the gate fails (25%).
+const GATE_TOLERANCE: f64 = 0.75;
+
+/// The engine's dominant event shape (`Ev::DeliverToSwitch`): queue
+/// elements must be this size for the microbench to charge the heap its
+/// real per-swap cost — sifting a `u32` flatters `O(log n)`.
+#[derive(Clone, Copy)]
+struct Delivery {
+    sw: usize,
+    port: u16,
+    pkt: Packet,
+}
+
+fn delivery(i: usize) -> Delivery {
+    Delivery {
+        sw: 0,
+        port: (i % 48) as u16,
+        pkt: Packet::udp(
+            MacAddr::from_u64(0x10_0000 + i as u64),
+            MacAddr::from_u64(0x20_0000),
+            Ipv4Addr::from(0x0a00_0000u32 | (i as u32 & 0xffff)),
+            Ipv4Addr::from(0x0a01_0001u32),
+            1024 + (i % 50_000) as u16,
+            53,
+            90,
+        ),
+    }
+}
+
+/// In-flight events per host: an emitted flood packet is simultaneously
+/// an emission timer, a host→switch delivery, and downstream control
+/// events, so the backlog is a small multiple of the host count.
+const INFLIGHT: usize = 10;
+
+/// Pre-fills `q` with `INFLIGHT` pending deliveries per host on
+/// millisecond ticks and churns pop → reschedule; returns operations
+/// (pop+schedule pairs) per second.
+fn scheduler_ops_per_sec<S: Scheduler<Delivery>>(q: &mut S, hosts: usize, ops: u64) -> f64 {
+    for i in 0..hosts * INFLIGHT {
+        // 16 distinct ticks: each bucket time carries a same-time burst,
+        // the flood's shape.
+        q.schedule((i % 16) as f64 * 1e-3, delivery(i));
+    }
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..ops {
+        let (t, e) = q.pop().expect("queue never drains");
+        // Touch the payload like a dispatch would, so the element is
+        // genuinely materialized, then reschedule on the quantized tick.
+        sink = sink.wrapping_add(e.sw + e.port as usize + e.pkt.wire_len);
+        q.schedule(t + 1e-3, e);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    black_box(sink);
+    while q.pop().is_some() {}
+    ops as f64 / elapsed
+}
+
+/// Best of `reps` measurement runs (first run also warms the allocator).
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps).map(|_| f()).fold(0.0, f64::max)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    // 8M ops ≈ 50 churn generations over the 160k-event backlog: long
+    // enough that sustained steady-state throughput dominates the warm-up
+    // transient (backlog coalescing, deque growth) for both schedulers.
+    let (hosts, ops, reps, sim_duration) = if smoke {
+        (1_000, 20_000u64, 1, 0.5)
+    } else {
+        (10_000, 8_000_000u64, 3, 2.0)
+    };
+
+    let heap_ops = best_of(reps, || {
+        scheduler_ops_per_sec(&mut HeapQueue::new(), hosts, ops)
+    });
+    let wheel_ops = best_of(reps, || {
+        scheduler_ops_per_sec(&mut WheelQueue::new(), hosts, ops)
+    });
+    let speedup = wheel_ops / heap_ops;
+    println!("# engine bench — scheduler microbench ({hosts} hosts, {ops} ops)");
+    println!("heap:  {:>12.0} ops/s", heap_ops);
+    println!("wheel: {:>12.0} ops/s", wheel_ops);
+    println!("speedup (wheel/heap): {speedup:.2}x");
+
+    let mut scenario = Scenario::software()
+        .with_defense(Defense::FloodGuard(FloodGuardConfig::default()))
+        .with_attack(400.0);
+    scenario.duration = sim_duration;
+    let t0 = Instant::now();
+    let outcome = run(&scenario);
+    let sim_wall = t0.elapsed().as_secs_f64();
+    let sim_events = outcome.sim.events_processed();
+    let sim_eps = sim_events as f64 / sim_wall;
+    let sim_per_heap = sim_eps / heap_ops;
+    println!("# full sim — software profile, 400 PPS flood + FloodGuard, {sim_duration} s");
+    println!(
+        "sim:   {:>12.0} events/s ({sim_events} events in {sim_wall:.3} s)",
+        sim_eps
+    );
+
+    if smoke {
+        println!("engine bench: ok (smoke mode, no report/gate)");
+        return;
+    }
+
+    let report = Json::obj()
+        .set("bench", "engine")
+        .set(
+            "scenario",
+            "scheduler churn microbench (10k-host flood shape) + 400 PPS software-profile sim",
+        )
+        .set("seed", scenario.seed)
+        .set("hosts", hosts)
+        .set("ops", ops)
+        .set("heap_ops_per_sec", heap_ops)
+        .set("wheel_ops_per_sec", wheel_ops)
+        .set("speedup", speedup)
+        .set("sim_events", sim_events)
+        .set("sim_wall_s", sim_wall)
+        .set("events_per_sec", sim_eps)
+        .set("sim_per_heap", sim_per_heap);
+    match write_report("engine", &report) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_engine.json: {err}"),
+    }
+
+    let baseline_path = std::env::var("FG_BENCH_BASELINE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| bench::report::results_dir().join("BENCH_engine_baseline.json"));
+    let baseline = match read_report(&baseline_path) {
+        Ok(body) => body,
+        Err(err) => {
+            println!(
+                "# no baseline at {} ({err}); gate skipped",
+                baseline_path.display()
+            );
+            return;
+        }
+    };
+    let mut failed = false;
+    for (label, measured) in [("speedup", speedup), ("sim_per_heap", sim_per_heap)] {
+        let Some(expected) = extract_number(&baseline, label) else {
+            eprintln!(
+                "warning: baseline {} has no \"{label}\" field",
+                baseline_path.display()
+            );
+            continue;
+        };
+        let floor = expected * GATE_TOLERANCE;
+        if measured < floor {
+            eprintln!(
+                "REGRESSION: {label} {measured:.3} < {floor:.3} \
+                 (baseline {expected:.3} - 25% tolerance)"
+            );
+            failed = true;
+        } else {
+            println!("# gate {label}: {measured:.3} vs baseline {expected:.3} — ok");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,9 @@
 //! cache drains its backlog at a limited rate) and returns to the initial
 //! level by ~1.5 s.
 
+use std::time::Instant;
+
+use bench::report::{write_report, Json};
 use bench::{run, Defense, Scenario};
 use controller::apps;
 use floodguard::{CacheConfig, FloodGuardConfig};
@@ -28,7 +31,9 @@ fn main() {
     scenario.attack_start = 0.6;
     scenario.attack_stop = 0.9;
     scenario.duration = 2.0;
+    let t0 = Instant::now();
     let outcome = run(&scenario);
+    let wall_s = t0.elapsed().as_secs_f64();
 
     println!("# Fig. 12 — CPU Utilization under the Flooding Attack (100 PPS burst 0.6-0.9 s)");
     println!(
@@ -56,5 +61,33 @@ fn main() {
             print!(" {:>11.1}%", v * 100.0);
         }
         println!();
+    }
+
+    // Single run (one timeline), so nothing to parallelize here; the JSON
+    // records the per-app peak for regression diffing.
+    let events = outcome.sim.events_processed();
+    let peaks: Vec<Json> = apps
+        .iter()
+        .zip(&series)
+        .map(|(app, s)| {
+            let peak = s.iter().map(|x| x.v).fold(0.0f64, f64::max);
+            Json::obj().set("app", app.as_str()).set("peak_util", peak)
+        })
+        .collect();
+    let report = Json::obj()
+        .set("bench", "fig12")
+        .set(
+            "scenario",
+            "per-app controller CPU utilization, 100 PPS burst 0.6-0.9 s",
+        )
+        .set("seed", scenario.seed)
+        .set("runs", 1u64)
+        .set("wall_s", wall_s)
+        .set("events", events)
+        .set("events_per_sec", events as f64 / wall_s)
+        .set("app_peaks", Json::Arr(peaks));
+    match write_report("fig12", &report) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_fig12.json: {err}"),
     }
 }

@@ -6,9 +6,15 @@
 //! Paper shape: under ~2 ms for most applications, with `of_firewall` the
 //! slowest (~9 ms) because of its more complex data structures.
 
+//! Unlike the fig10/fig11 sweeps this bin stays **serial** on purpose:
+//! each row is a median of wall-clock `Instant` timings, and running the
+//! five apps' timing loops on sibling threads would let them contend for
+//! cores and inflate each other's medians.
+
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
+use bench::report::{write_report, Json};
 use controller::apps;
 use controller::platform::App;
 use floodguard::analyzer::Analyzer;
@@ -51,12 +57,14 @@ fn seeded_app(name: &str) -> App {
 }
 
 fn main() {
+    let total = Instant::now();
     println!("# Fig. 13 — Overhead of Generating Proactive Flow Rules (per application)");
     println!("# paper: < 2 ms typical; of_firewall worst (~9 ms, complex data structures)");
     println!(
         "{:>14} {:>12} {:>10} {:>12}",
         "application", "state_size", "rules", "time"
     );
+    let mut rows = Vec::new();
     for name in [
         "l2_learning",
         "ip_balancer",
@@ -85,5 +93,25 @@ fn main() {
             rules,
             format!("{:.3} ms", median.as_secs_f64() * 1e3)
         );
+        rows.push(
+            Json::obj()
+                .set("app", name)
+                .set("state_size", app.env.state_size())
+                .set("rules", rules)
+                .set("median_ms", median.as_secs_f64() * 1e3),
+        );
+    }
+    let report = Json::obj()
+        .set("bench", "fig13")
+        .set(
+            "scenario",
+            "analyzer convert() wall time per app, median of 21 (serial for timing fidelity)",
+        )
+        .set("runs", rows.len())
+        .set("wall_s", total.elapsed().as_secs_f64())
+        .set("rows", Json::Arr(rows));
+    match write_report("fig13", &report) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_fig13.json: {err}"),
     }
 }

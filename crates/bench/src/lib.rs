@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod par;
+pub mod report;
 pub mod scenario;
 
 pub use netsim::faults::Fault;

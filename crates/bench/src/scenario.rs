@@ -390,14 +390,15 @@ pub fn run(scenario: &Scenario) -> Outcome {
 
 /// Sweeps attack rates and reports `(pps, bandwidth_bps)` — the series of
 /// Figs. 10 and 11.
+///
+/// Each rate runs its own seeded simulation, so the sweep fans out over
+/// worker threads ([`crate::par::par_map`]); results keep `rates` order
+/// and are identical to a serial sweep.
 pub fn bandwidth_sweep(base: &Scenario, rates: &[f64]) -> Vec<(f64, f64)> {
-    rates
-        .iter()
-        .map(|&pps| {
-            let outcome = run(&base.clone().with_attack(pps));
-            (pps, outcome.bandwidth_bps)
-        })
-        .collect()
+    crate::par::par_map(rates, |&pps| {
+        let outcome = run(&base.clone().with_attack(pps));
+        (pps, outcome.bandwidth_bps)
+    })
 }
 
 /// Formats bits/s with an SI suffix.

@@ -149,11 +149,13 @@ impl ControllerPlatform {
             let consumed_buffer = buffer.take();
             match result.decision {
                 ConcreteDecision::Install(rule) => {
-                    let actions = rule.actions.clone();
                     let mut fm: FlowMod = rule.to_flow_mod();
                     fm.buffer_id = consumed_buffer;
+                    // Clone the actions only when an explicit forward is
+                    // needed; the buffered case releases through the rule.
+                    let forward = consumed_buffer.is_none().then(|| fm.actions.clone());
                     out.send(dpid, OfMessage::new(xid, OfBody::FlowMod(fm)));
-                    if consumed_buffer.is_none() {
+                    if let Some(actions) = forward {
                         // No switch buffer holds the packet (amplified or
                         // cache-re-raised): forward it explicitly through
                         // the new rule's actions, as POX does.

@@ -203,9 +203,12 @@ impl DataPlaneCache {
         R::default()
     }
 
-    fn enqueue(&mut self, packet: Packet, now: f64) {
+    /// Classifies and queues `packet`. The caller holds the shared-state
+    /// lock, so a same-time burst costs one acquisition instead of several
+    /// per packet.
+    fn enqueue_locked(&mut self, packet: Packet, now: f64, shared: &mut CacheShared) {
         if let netsim::packet::FlowTag::NewFlow { id } = packet.tag {
-            self.handle.lock().probes.push(ProbeRecord {
+            shared.probes.push(ProbeRecord {
                 id,
                 arrived: now,
                 emitted: None,
@@ -215,52 +218,40 @@ impl DataPlaneCache {
         // priority lane. Match against the keys the packet had at its true
         // ingress (tag-decoded port, original TOS).
         let ready = now + self.config.processing_delay;
-        {
-            let shared = self.handle.lock();
-            if !shared.proactive.is_empty() {
-                let in_port = packet.tos().and_then(tag::decode).unwrap_or(0);
-                // Keys as at true ingress: the TOS byte carries the migration
-                // tag, so zero nw_tos rather than cloning the whole packet.
-                let mut keys = packet.flow_keys(in_port);
-                keys.nw_tos = 0;
-                if shared.proactive.matches(&keys) {
-                    drop(shared);
-                    if self.priority.len() >= self.config.queue_capacity {
-                        self.priority.pop_front();
-                        self.sync_stats::<()>(|s| s.dropped += 1);
-                    }
-                    self.priority.push_back((packet, ready));
-                    self.sync_stats::<()>(|s| {
-                        s.received += 1;
-                        s.prioritized += 1;
-                    });
-                    return;
+        if !shared.proactive.is_empty() {
+            let in_port = packet.tos().and_then(tag::decode).unwrap_or(0);
+            // Keys as at true ingress: the TOS byte carries the migration
+            // tag, so zero nw_tos rather than cloning the whole packet.
+            let mut keys = packet.flow_keys(in_port);
+            keys.nw_tos = 0;
+            if shared.proactive.matches(&keys) {
+                if self.priority.len() >= self.config.queue_capacity {
+                    self.priority.pop_front();
+                    shared.stats.dropped += 1;
                 }
+                self.priority.push_back((packet, ready));
+                shared.stats.received += 1;
+                shared.stats.prioritized += 1;
+                return;
             }
         }
         let class = QueueClass::of(&packet);
         let queue = &mut self.queues[class.index()];
-        let mut dropped = 0u64;
         if queue.len() >= self.config.queue_capacity {
-            if self.config.drop_front {
-                // The paper's policy: evict the earliest packet.
-                queue.pop_front();
-                queue.push_back((packet, ready));
-            }
-            // Plain tail drop: the arriving packet is discarded.
-            dropped = 1;
             if !self.config.drop_front {
-                self.sync_stats::<()>(|s| s.dropped += dropped);
+                // Plain tail drop: the arriving packet is discarded.
+                shared.stats.dropped += 1;
                 return;
             }
+            // The paper's policy: evict the earliest packet.
+            queue.pop_front();
+            queue.push_back((packet, ready));
+            shared.stats.dropped += 1;
         } else {
             queue.push_back((packet, ready));
         }
-        self.sync_stats::<()>(|s| {
-            s.received += 1;
-            s.dropped += dropped;
-            s.per_class[class.index()] += 1;
-        });
+        shared.stats.received += 1;
+        shared.stats.per_class[class.index()] += 1;
     }
 
     /// Pops the next *ready* packet in round-robin order across the queues
@@ -323,12 +314,30 @@ impl DataPlaneCache {
 
 impl DataPlaneDevice for DataPlaneCache {
     fn on_packet(&mut self, pkt: Packet, now: f64, _out: &mut DeviceOutput) {
-        let enabled = self.handle.lock().control.intake_enabled;
-        if enabled {
-            self.enqueue(pkt, now);
+        let handle = Arc::clone(&self.handle);
+        let mut shared = handle.lock();
+        if shared.control.intake_enabled {
+            self.enqueue_locked(pkt, now, &mut shared);
         } else {
-            self.sync_stats::<()>(|s| s.rejected += 1);
+            shared.stats.rejected += 1;
         }
+        shared.stats.queued = self.queued();
+    }
+
+    fn on_packets(&mut self, pkts: &mut Vec<Packet>, now: f64, _out: &mut DeviceOutput) {
+        // One lock acquisition and one gauge update for the whole same-time
+        // burst; per-packet classification and counters are unchanged.
+        let handle = Arc::clone(&self.handle);
+        let mut shared = handle.lock();
+        if shared.control.intake_enabled {
+            for pkt in pkts.drain(..) {
+                self.enqueue_locked(pkt, now, &mut shared);
+            }
+        } else {
+            shared.stats.rejected += pkts.len() as u64;
+            pkts.clear();
+        }
+        shared.stats.queued = self.queued();
     }
 
     fn on_tick(&mut self, now: f64, out: &mut DeviceOutput) {
@@ -659,6 +668,58 @@ mod tests {
         let mut out = DeviceOutput::new();
         cache.on_tick(3.0, &mut out);
         assert_eq!(out.to_controller.len(), 1);
+    }
+
+    #[test]
+    fn batch_intake_matches_sequential() {
+        // The engine's coalesced delivery must leave the cache in exactly
+        // the state a per-packet loop would: same queues, same counters.
+        let config = CacheConfig {
+            queue_capacity: 3,
+            ..CacheConfig::default()
+        };
+        let (mut one, h1) = cache_with(config);
+        let (mut batch, h2) = cache_with(config);
+        let pkts: Vec<Packet> = (1..=6u8)
+            .map(|p| {
+                if p % 2 == 0 {
+                    udp_tagged(p)
+                } else {
+                    tcp_tagged(p)
+                }
+            })
+            .collect();
+        let mut out = DeviceOutput::new();
+        for pkt in &pkts {
+            one.on_packet(*pkt, 0.5, &mut out);
+        }
+        let mut burst = pkts.clone();
+        batch.on_packets(&mut burst, 0.5, &mut out);
+        assert!(burst.is_empty(), "batch intake drains the buffer");
+        assert_eq!(h1.lock().stats, h2.lock().stats);
+        loop {
+            let (a, b) = (
+                one.pop_round_robin(f64::INFINITY),
+                batch.pop_round_robin(f64::INFINITY),
+            );
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn batch_intake_rejected_when_disabled() {
+        let config = CacheConfig::default();
+        let handle = new_handle(&config);
+        let mut cache = DataPlaneCache::new(config, handle.clone());
+        let mut out = DeviceOutput::new();
+        let mut burst = vec![udp_tagged(1), udp_tagged(2)];
+        cache.on_packets(&mut burst, 0.0, &mut out);
+        assert!(burst.is_empty());
+        assert_eq!(cache.queued(), 0);
+        assert_eq!(handle.lock().stats.rejected, 2);
     }
 
     #[test]

@@ -323,8 +323,7 @@ impl FloodGuard {
         self.stats.attacks_detected += 1;
         self.analyzer.reset_installed();
         // Migrate: per-port wildcard rules on every protected switch.
-        let targets = self.switch_ports.clone();
-        for (dpid, ports) in &targets {
+        for (dpid, ports) in &self.switch_ports {
             for fm in self.agent.install_migration(*dpid, ports) {
                 out.send(
                     *dpid,
@@ -348,10 +347,10 @@ impl FloodGuard {
         out.charge(MODULE_NAME, self.conversion_cost());
         match self.config.rule_placement {
             RulePlacement::Switch => {
-                for (dpid, _) in self.switch_ports.clone() {
+                for (dpid, _) in &self.switch_ports {
                     for fm in update.to_remove.iter().chain(update.to_add.iter()) {
                         out.send(
-                            dpid,
+                            *dpid,
                             OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm.clone())),
                         );
                     }
@@ -387,10 +386,10 @@ impl FloodGuard {
     fn enter_idle(&mut self, out: &mut ControlOutput) {
         if self.config.remove_proactive_on_idle {
             let mods = self.analyzer.teardown();
-            for (dpid, _) in self.switch_ports.clone() {
+            for (dpid, _) in &self.switch_ports {
                 for fm in &mods {
                     out.send(
-                        dpid,
+                        *dpid,
                         OfMessage::new(ofproto::types::Xid(0), OfBody::FlowMod(fm.clone())),
                     );
                 }
@@ -440,7 +439,7 @@ impl FloodGuard {
                 .switch_ports
                 .iter()
                 .find(|(d, _)| *d == dpid)
-                .map(|(_, p)| p.clone())
+                .map(|(_, p)| p.as_slice())
             else {
                 continue;
             };
@@ -458,7 +457,7 @@ impl FloodGuard {
             }
             entry.attempts += 1;
             entry.next_at = now + recovery.repair_backoff * f64::from(1u32 << (entry.attempts - 1));
-            let mut mods = self.agent.reinstall_migration(dpid, &ports);
+            let mut mods = self.agent.reinstall_migration(dpid, ports);
             if self.config.rule_placement == RulePlacement::Switch {
                 mods.extend(
                     self.analyzer
@@ -514,8 +513,7 @@ impl FloodGuard {
                 if self.agent.is_migrating() {
                     // Re-point every switch's redirect rules at the promoted
                     // cache (overwrites fail-safe drops in place too).
-                    let targets = self.switch_ports.clone();
-                    for (dpid, ports) in &targets {
+                    for (dpid, ports) in &self.switch_ports {
                         for fm in self.agent.reinstall_migration(*dpid, ports) {
                             out.send(
                                 *dpid,
@@ -702,7 +700,12 @@ impl ControlPlane for FloodGuard {
         out.charge(MODULE_NAME, 1e-5);
         let mut monitor = self.monitor.lock();
         monitor.state = Some(self.sm.state());
-        monitor.transitions = self.sm.log().to_vec();
+        // The transition log is append-only: re-copy it only when it grew,
+        // not on every telemetry tick.
+        if monitor.transitions.len() != self.sm.log().len() {
+            monitor.transitions.clear();
+            monitor.transitions.extend_from_slice(self.sm.log());
+        }
         monitor.stats = self.stats;
     }
 }

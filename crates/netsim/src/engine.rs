@@ -131,6 +131,16 @@ pub struct Simulation {
     rng: StdRng,
     /// Metrics store.
     pub recorder: Recorder,
+    // Recycled scratch buffers: the hot path (attack emission, batched
+    // delivery, control/device handler outputs) reuses these instead of
+    // allocating per event. Taken with `mem::take` around handler calls and
+    // put back, so steady-state traffic allocates nothing.
+    emit_scratch: Vec<Packet>,
+    switch_batch: Vec<(u16, Packet)>,
+    device_batch: Vec<Packet>,
+    ctrl_scratch: ControlOutput,
+    device_scratch: DeviceOutput,
+    events_processed: u64,
 }
 
 impl Simulation {
@@ -166,6 +176,12 @@ impl Simulation {
             fault_log: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             recorder: Recorder::new(),
+            emit_scratch: Vec::new(),
+            switch_batch: Vec::new(),
+            device_batch: Vec::new(),
+            ctrl_scratch: ControlOutput::new(),
+            device_scratch: DeviceOutput::new(),
+            events_processed: 0,
         }
     }
 
@@ -463,19 +479,40 @@ impl Simulation {
         }
     }
 
-    fn apply_control_output(&mut self, out: ControlOutput, ready_at: f64, now: f64) -> f64 {
+    fn apply_control_output(&mut self, out: &mut ControlOutput, ready_at: f64, now: f64) -> f64 {
         let cpu = out.total_cpu();
         for (app, seconds) in &out.cpu {
+            // Recycled outputs keep zeroed name entries across resets; only
+            // apps that actually ran this event get attributed.
+            if *seconds == 0.0 {
+                continue;
+            }
             self.app_cpu
                 .entry(app.clone())
                 .or_insert_with(|| UtilizationTracker::new(self.cpu_bucket))
                 .add(now, *seconds);
         }
-        for (dpid, msg) in out.messages {
+        for (dpid, msg) in out.messages.drain(..) {
             if let Some(idx) = self.switches.iter().position(|s| s.dpid == dpid) {
                 self.send_down(idx, msg, ready_at);
             }
         }
+        cpu
+    }
+
+    /// Runs a control-plane handler with the recycled scratch output, applies
+    /// the result and returns the CPU seconds it charged.
+    fn with_control_output(
+        &mut self,
+        ready_at: f64,
+        now: f64,
+        f: impl FnOnce(&mut dyn ControlPlane, &mut ControlOutput),
+    ) -> f64 {
+        let mut out = std::mem::take(&mut self.ctrl_scratch);
+        f(self.control.as_mut(), &mut out);
+        let cpu = self.apply_control_output(&mut out, ready_at, now);
+        out.reset();
+        self.ctrl_scratch = out;
         cpu
     }
 
@@ -485,14 +522,16 @@ impl Simulation {
         }
         self.started = true;
         // Handshakes.
-        let mut out = ControlOutput::new();
-        for i in 0..self.switches.len() {
-            let features = self.switches[i].features();
-            let dpid = self.switches[i].dpid;
-            self.control
-                .on_switch_connect(dpid, features, 0.0, &mut out);
-        }
-        self.apply_control_output(out, 0.0, 0.0);
+        let handshakes: Vec<_> = self
+            .switches
+            .iter()
+            .map(|s| (s.dpid, s.features()))
+            .collect();
+        self.with_control_output(0.0, 0.0, |control, out| {
+            for (dpid, features) in handshakes {
+                control.on_switch_connect(dpid, features, 0.0, out);
+            }
+        });
         // Workload kickoff.
         for host in 0..self.hosts.len() {
             for source in 0..self.hosts[host].source_count() {
@@ -521,38 +560,70 @@ impl Simulation {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event");
+            self.events_processed += 1;
             self.dispatch(ev, now, until);
         }
+    }
+
+    /// Events dispatched so far, including batch-coalesced deliveries.
+    /// Divide by wall time for an events/second throughput figure.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     fn dispatch(&mut self, ev: Ev, now: f64, until: f64) {
         match ev {
             Ev::HostEmit { host, source } => {
-                let packets = {
-                    let rng = &mut self.rng;
-                    self.hosts[host].emit_source(source, now, rng)
-                };
-                for pkt in packets {
+                let mut packets = std::mem::take(&mut self.emit_scratch);
+                self.hosts[host].emit_source_into(source, now, &mut self.rng, &mut packets);
+                for pkt in packets.drain(..) {
                     self.host_send(host, pkt, now);
                 }
+                self.emit_scratch = packets;
                 if let Some(t) = self.hosts[host].peek_source(source, now) {
                     self.queue.schedule(t, Ev::HostEmit { host, source });
                 }
             }
             Ev::DeliverToSwitch { sw, port, pkt } => {
+                // Coalesce the consecutive same-time deliveries to this
+                // switch into one batch: the queue is popped in exactly the
+                // order the unbatched loop would have used, per-packet loss
+                // draws stay in arrival order, and no other event can sit
+                // between consecutive pops — so the schedule (and RNG
+                // stream) is bit-identical to one-event-at-a-time delivery.
+                let mut batch = std::mem::take(&mut self.switch_batch);
+                batch.push((port, pkt));
+                loop {
+                    match self.queue.peek() {
+                        Some((t, Ev::DeliverToSwitch { sw: s2, .. })) if t == now && *s2 == sw => {}
+                        _ => break,
+                    }
+                    match self.queue.pop() {
+                        Some((_, Ev::DeliverToSwitch { port, pkt, .. })) => {
+                            batch.push((port, pkt));
+                        }
+                        _ => unreachable!("peeked a same-time switch delivery"),
+                    }
+                    self.events_processed += 1;
+                }
                 if self.switch_down[sw] {
-                    self.recorder
-                        .count("switch_down_drops", u64::from(pkt.batch));
-                    return;
-                }
-                if !self.link_passes(sw, port, pkt.batch) {
-                    return;
-                }
-                if self.switches[sw].enqueue(port, pkt) {
-                    self.maybe_schedule_switch(sw, now);
+                    for (_, pkt) in batch.drain(..) {
+                        self.recorder
+                            .count("switch_down_drops", u64::from(pkt.batch));
+                    }
                 } else {
-                    self.recorder.count("switch_ingress_drops", 1);
+                    batch.retain(|&(port, pkt)| self.link_passes(sw, port, pkt.batch));
+                    let offered = batch.len();
+                    let accepted = self.switches[sw].enqueue_batch(&mut batch);
+                    if accepted > 0 {
+                        self.maybe_schedule_switch(sw, now);
+                    }
+                    if offered > accepted {
+                        self.recorder
+                            .count("switch_ingress_drops", (offered - accepted) as u64);
+                    }
                 }
+                self.switch_batch = batch;
             }
             Ev::SwitchStart { sw } if self.switch_down[sw] => {
                 self.switch_scheduled[sw] = false;
@@ -587,16 +658,40 @@ impl Simulation {
                 }
             }
             Ev::DeliverToDevice { dev, pkt } => {
+                // Same consecutive-coalescing argument as DeliverToSwitch:
+                // the device sees the burst in arrival order and its
+                // controller messages go out in the order per-packet
+                // delivery would have produced.
+                let mut batch = std::mem::take(&mut self.device_batch);
+                batch.push(pkt);
+                loop {
+                    match self.queue.peek() {
+                        Some((t, Ev::DeliverToDevice { dev: d2, .. }))
+                            if t == now && *d2 == dev => {}
+                        _ => break,
+                    }
+                    match self.queue.pop() {
+                        Some((_, Ev::DeliverToDevice { pkt, .. })) => batch.push(pkt),
+                        _ => unreachable!("peeked a same-time device delivery"),
+                    }
+                    self.events_processed += 1;
+                }
                 if self.device_down[dev] {
-                    self.recorder
-                        .count("device_down_drops", u64::from(pkt.batch));
-                    return;
+                    for pkt in batch.drain(..) {
+                        self.recorder
+                            .count("device_down_drops", u64::from(pkt.batch));
+                    }
+                } else {
+                    let mut out = std::mem::take(&mut self.device_scratch);
+                    self.devices[dev]
+                        .logic
+                        .on_packets(&mut batch, now, &mut out);
+                    for msg in out.to_controller.drain(..) {
+                        self.send_device_up(dev, msg, now);
+                    }
+                    self.device_scratch = out;
                 }
-                let mut out = DeviceOutput::new();
-                self.devices[dev].logic.on_packet(pkt, now, &mut out);
-                for msg in out.to_controller {
-                    self.send_device_up(dev, msg, now);
-                }
+                self.device_batch = batch;
             }
             Ev::CtrlArrive { src, msg } => {
                 if self.ctrl_queue.len() >= self.ctrl_profile.queue_limit {
@@ -614,18 +709,19 @@ impl Simulation {
             }
             Ev::CtrlStart => match self.ctrl_queue.pop_front() {
                 Some((src, msg)) => {
-                    let mut out = ControlOutput::new();
-                    match src {
+                    let app_cpu = match src {
                         MsgSource::Switch(i) => {
                             let dpid = self.switches[i].dpid;
-                            self.control.on_message(dpid, msg, now, &mut out);
+                            self.with_control_output(now, now, |control, out| {
+                                control.on_message(dpid, msg, now, out)
+                            })
                         }
                         MsgSource::Device(d) => {
-                            self.control
-                                .on_device_message(DeviceId(d), msg, now, &mut out);
+                            self.with_control_output(now, now, |control, out| {
+                                control.on_device_message(DeviceId(d), msg, now, out)
+                            })
                         }
-                    }
-                    let app_cpu = self.apply_control_output(out, now, now);
+                    };
                     let service = self.ctrl_profile.dispatch_cost + app_cpu;
                     self.ctrl_busy_until = now + service;
                     self.ctrl_total_cpu.add(now, service);
@@ -652,11 +748,12 @@ impl Simulation {
             }
             Ev::DeviceTick { dev } => {
                 if !self.device_down[dev] {
-                    let mut out = DeviceOutput::new();
+                    let mut out = std::mem::take(&mut self.device_scratch);
                     self.devices[dev].logic.on_tick(now, &mut out);
-                    for msg in out.to_controller {
+                    for msg in out.to_controller.drain(..) {
                         self.send_device_up(dev, msg, now);
                     }
+                    self.device_scratch = out;
                 }
                 let next = now + self.devices[dev].tick_interval;
                 if next <= until + self.devices[dev].tick_interval {
@@ -664,9 +761,8 @@ impl Simulation {
                 }
             }
             Ev::ControlTick => {
-                let mut out = ControlOutput::new();
-                self.control.on_tick(now, &mut out);
-                let cpu = self.apply_control_output(out, now, now);
+                let cpu =
+                    self.with_control_output(now, now, |control, out| control.on_tick(now, out));
                 self.ctrl_total_cpu.add(now, cpu);
                 if let Some(interval) = self.control.tick_interval() {
                     self.queue.schedule(now + interval, Ev::ControlTick);
@@ -706,9 +802,9 @@ impl Simulation {
                 }
                 self.recorder
                     .sample("controller_queue", now, self.ctrl_queue.len() as f64);
-                let mut out = ControlOutput::new();
-                self.control.on_telemetry(&telemetry, now, &mut out);
-                self.apply_control_output(out, now, now);
+                self.with_control_output(now, now, |control, out| {
+                    control.on_telemetry(&telemetry, now, out)
+                });
                 self.queue
                     .schedule(now + self.maintenance_interval, Ev::Maintenance);
             }
@@ -733,19 +829,18 @@ impl Simulation {
 
     fn notify_switch_disconnect(&mut self, sw: usize, now: f64) {
         let dpid = self.switches[sw].dpid;
-        let mut out = ControlOutput::new();
-        self.control.on_switch_disconnect(dpid, now, &mut out);
-        let cpu = self.apply_control_output(out, now, now);
+        let cpu = self.with_control_output(now, now, |control, out| {
+            control.on_switch_disconnect(dpid, now, out)
+        });
         self.ctrl_total_cpu.add(now, cpu);
     }
 
     fn notify_switch_connect(&mut self, sw: usize, now: f64) {
         let features = self.switches[sw].features();
         let dpid = self.switches[sw].dpid;
-        let mut out = ControlOutput::new();
-        self.control
-            .on_switch_connect(dpid, features, now, &mut out);
-        let cpu = self.apply_control_output(out, now, now);
+        let cpu = self.with_control_output(now, now, |control, out| {
+            control.on_switch_connect(dpid, features, now, out)
+        });
         self.ctrl_total_cpu.add(now, cpu);
     }
 

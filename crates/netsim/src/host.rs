@@ -17,15 +17,18 @@ pub struct HostId(pub usize);
 /// A workload attached to a host.
 ///
 /// Sources are polled by the engine: [`TrafficSource::peek_next`] names the
-/// time of the next spontaneous emission and [`TrafficSource::emit`] produces
-/// it. Closed-loop sources react to received packets via
+/// time of the next spontaneous emission and [`TrafficSource::emit_into`]
+/// produces it. Closed-loop sources react to received packets via
 /// [`TrafficSource::on_receive`].
 pub trait TrafficSource: Send {
     /// Time of the next spontaneous emission at or after `now`, if any.
     fn peek_next(&self, now: f64) -> Option<f64>;
 
-    /// Emits the packets due at `time`.
-    fn emit(&mut self, time: f64, rng: &mut StdRng) -> Vec<Packet>;
+    /// Appends the packets due at `time` to `out`.
+    ///
+    /// The engine passes a recycled scratch buffer, so steady-state sources
+    /// (the attack floods) allocate nothing per emission.
+    fn emit_into(&mut self, time: f64, rng: &mut StdRng, out: &mut Vec<Packet>);
 
     /// Reacts to a packet received by the owning host.
     fn on_receive(&mut self, _pkt: &Packet, _now: f64) -> Vec<Packet> {
@@ -89,11 +92,16 @@ impl Host {
         self.sources.get(idx).and_then(|s| s.peek_next(now))
     }
 
-    /// Emits from workload `idx`.
-    pub fn emit_source(&mut self, idx: usize, time: f64, rng: &mut StdRng) -> Vec<Packet> {
-        match self.sources.get_mut(idx) {
-            Some(s) => s.emit(time, rng),
-            None => Vec::new(),
+    /// Emits from workload `idx`, appending to `out`.
+    pub fn emit_source_into(
+        &mut self,
+        idx: usize,
+        time: f64,
+        rng: &mut StdRng,
+        out: &mut Vec<Packet>,
+    ) {
+        if let Some(s) = self.sources.get_mut(idx) {
+            s.emit_into(time, rng, out);
         }
     }
 
@@ -105,7 +113,7 @@ impl Host {
     pub fn receive(&mut self, pkt: &Packet, now: f64) -> Vec<Packet> {
         self.received_packets += u64::from(pkt.batch);
         self.meter.record(now, pkt.total_bytes());
-        self.deliveries.push((pkt.clone(), now));
+        self.deliveries.push((*pkt, now));
         let mut responses = Vec::new();
         // Auto-responders that make closed-loop workloads work.
         if let FlowTag::Bulk { flow, seq } = pkt.tag {
@@ -277,7 +285,7 @@ impl TrafficSource for BulkSender {
         }
     }
 
-    fn emit(&mut self, time: f64, _rng: &mut StdRng) -> Vec<Packet> {
+    fn emit_into(&mut self, time: f64, _rng: &mut StdRng, out: &mut Vec<Packet>) {
         if !self.started {
             self.started = true;
             self.deadline = time + BULK_RTO;
@@ -287,9 +295,8 @@ impl TrafficSource for BulkSender {
             // batched table misses that no real iperf run would experience.
             let mut probe = self.data_packet();
             probe.batch = 1;
-            return vec![probe];
-        }
-        if self.in_flight > 0 && time >= self.deadline {
+            out.push(probe);
+        } else if self.in_flight > 0 && time >= self.deadline {
             // RTO: the whole window is presumed lost (a crashed switch wipes
             // its queues, and the ack clock would otherwise starve forever).
             // Fall back to the single-packet priming probe.
@@ -298,9 +305,8 @@ impl TrafficSource for BulkSender {
             self.deadline = time + BULK_RTO;
             let mut probe = self.data_packet();
             probe.batch = 1;
-            return vec![probe];
+            out.push(probe);
         }
-        Vec::new()
     }
 
     fn on_receive(&mut self, pkt: &Packet, now: f64) -> Vec<Packet> {
@@ -392,9 +398,9 @@ impl TrafficSource for UdpFlood {
         }
     }
 
-    fn emit(&mut self, _time: f64, rng: &mut StdRng) -> Vec<Packet> {
+    fn emit_into(&mut self, _time: f64, rng: &mut StdRng, out: &mut Vec<Packet>) {
         self.emitted += 1;
-        vec![self.spoofed_packet(rng)]
+        out.push(self.spoofed_packet(rng));
     }
 }
 
@@ -435,22 +441,24 @@ impl TrafficSource for SynFlood {
         }
     }
 
-    fn emit(&mut self, _time: f64, rng: &mut StdRng) -> Vec<Packet> {
+    fn emit_into(&mut self, _time: f64, rng: &mut StdRng, out: &mut Vec<Packet>) {
         self.emitted += 1;
         let src_ip = Ipv4Addr::from(rng.gen::<u32>());
         let dst_ip = Ipv4Addr::from(rng.gen::<u32>());
         let dst_mac = MacAddr::from_u64(rng.gen::<u64>() & 0xfeff_ffff_ffff);
-        vec![Packet::tcp(
-            self.src_mac,
-            dst_mac,
-            src_ip,
-            dst_ip,
-            rng.gen(),
-            rng.gen(),
-            Transport::TCP_SYN,
-            64,
-        )
-        .with_tag(FlowTag::Attack)]
+        out.push(
+            Packet::tcp(
+                self.src_mac,
+                dst_mac,
+                src_ip,
+                dst_ip,
+                rng.gen(),
+                rng.gen(),
+                Transport::TCP_SYN,
+                64,
+            )
+            .with_tag(FlowTag::Attack),
+        );
     }
 }
 
@@ -492,7 +500,7 @@ impl TrafficSource for MixedFlood {
         }
     }
 
-    fn emit(&mut self, _time: f64, rng: &mut StdRng) -> Vec<Packet> {
+    fn emit_into(&mut self, _time: f64, rng: &mut StdRng, out: &mut Vec<Packet>) {
         let kind = self.emitted % 3;
         self.emitted += 1;
         let src_ip = Ipv4Addr::from(rng.gen::<u32>());
@@ -520,7 +528,7 @@ impl TrafficSource for MixedFlood {
             ),
             _ => Packet::icmp(self.src_mac, dst_mac, src_ip, dst_ip, 8, 64),
         };
-        vec![pkt.with_tag(FlowTag::Attack)]
+        out.push(pkt.with_tag(FlowTag::Attack));
     }
 }
 
@@ -574,25 +582,27 @@ impl TrafficSource for NewFlowProbe {
         }
     }
 
-    fn emit(&mut self, _time: f64, _rng: &mut StdRng) -> Vec<Packet> {
+    fn emit_into(&mut self, _time: f64, _rng: &mut StdRng, out: &mut Vec<Packet>) {
         if self.fired {
-            return Vec::new();
+            return;
         }
         self.fired = true;
         // Use a distinctive ephemeral port per probe so each probe is a new
         // microflow that cannot match earlier probes' rules.
         let port = Self::source_port(self.id);
-        vec![Packet::tcp(
-            self.src_mac,
-            self.dst_mac,
-            self.src_ip,
-            self.dst_ip,
-            port,
-            80,
-            Transport::TCP_SYN,
-            64,
-        )
-        .with_tag(FlowTag::NewFlow { id: self.id })]
+        out.push(
+            Packet::tcp(
+                self.src_mac,
+                self.dst_mac,
+                self.src_ip,
+                self.dst_ip,
+                port,
+                80,
+                Transport::TCP_SYN,
+                64,
+            )
+            .with_tag(FlowTag::NewFlow { id: self.id }),
+        );
     }
 }
 
@@ -649,9 +659,9 @@ impl TrafficSource for CbrSource {
         }
     }
 
-    fn emit(&mut self, _time: f64, _rng: &mut StdRng) -> Vec<Packet> {
+    fn emit_into(&mut self, _time: f64, _rng: &mut StdRng, out: &mut Vec<Packet>) {
         self.emitted += 1;
-        vec![Packet::udp(
+        out.push(Packet::udp(
             self.src_mac,
             self.dst_mac,
             self.src_ip,
@@ -659,7 +669,7 @@ impl TrafficSource for CbrSource {
             6000,
             6000,
             self.packet_len,
-        )]
+        ));
     }
 }
 
@@ -674,6 +684,13 @@ mod tests {
 
     fn mac(n: u64) -> MacAddr {
         MacAddr::from_u64(n)
+    }
+
+    /// Collects one emission into a fresh vec (test convenience).
+    fn emit(s: &mut impl TrafficSource, time: f64, rng: &mut StdRng) -> Vec<Packet> {
+        let mut out = Vec::new();
+        s.emit_into(time, rng, &mut out);
+        out
     }
 
     #[test]
@@ -691,14 +708,14 @@ mod tests {
         );
         assert_eq!(s.peek_next(0.0), Some(0.5));
         // The start emits a single unbatched priming packet.
-        let burst = s.emit(0.5, &mut rng());
+        let burst = emit(&mut s, 0.5, &mut rng());
         assert_eq!(burst.len(), 1);
         assert_eq!(burst[0].batch, 1);
         assert!(matches!(burst[0].tag, FlowTag::Bulk { flow: 7, seq: 0 }));
         // With a packet in flight the sender keeps an RTO poll scheduled.
         assert_eq!(s.peek_next(0.6), Some(0.5 + BULK_RTO), "RTO armed");
         // Before the deadline the poll is a no-op.
-        assert!(s.emit(0.6, &mut rng()).is_empty());
+        assert!(emit(&mut s, 0.6, &mut rng()).is_empty());
         // The priming ack opens the full window of batched packets.
         let ack = Packet::udp(
             mac(2),
@@ -714,12 +731,12 @@ mod tests {
         assert_eq!(window.len(), 4);
         assert!(window.iter().all(|p| p.batch == 10));
         // Subsequent acks release exactly one more batch each.
-        let ack2 = ack.clone().with_tag(FlowTag::BulkAck { flow: 7, seq: 1 });
+        let ack2 = ack.with_tag(FlowTag::BulkAck { flow: 7, seq: 1 });
         let next = s.on_receive(&ack2, 1.0);
         assert_eq!(next.len(), 1);
         assert!(matches!(next[0].tag, FlowTag::Bulk { flow: 7, seq: 5 }));
         // Acks for other flows are ignored.
-        let other = ack.clone().with_tag(FlowTag::BulkAck { flow: 9, seq: 0 });
+        let other = ack.with_tag(FlowTag::BulkAck { flow: 9, seq: 0 });
         assert!(s.on_receive(&other, 1.0).is_empty());
     }
 
@@ -737,7 +754,7 @@ mod tests {
             0.0,
         );
         let mut r = rng();
-        assert_eq!(s.emit(0.0, &mut r).len(), 1);
+        assert_eq!(emit(&mut s, 0.0, &mut r).len(), 1);
         let ack = Packet::udp(
             mac(2),
             mac(1),
@@ -755,11 +772,11 @@ mod tests {
         // with a single unbatched packet instead of starving forever.
         let deadline = 0.01 + BULK_RTO;
         assert_eq!(s.peek_next(0.02), Some(deadline));
-        let retry = s.emit(deadline, &mut r);
+        let retry = emit(&mut s, deadline, &mut r);
         assert_eq!(retry.len(), 1);
         assert_eq!(retry[0].batch, 1, "slow-start re-prime");
         // The retry's ack reopens the full window.
-        let ack2 = ack.clone().with_tag(FlowTag::BulkAck { flow: 7, seq: 5 });
+        let ack2 = ack.with_tag(FlowTag::BulkAck { flow: 7, seq: 5 });
         assert_eq!(s.on_receive(&ack2, deadline + 0.01).len(), 4);
     }
 
@@ -772,7 +789,7 @@ mod tests {
         let mut times = Vec::new();
         while let Some(t) = f.peek_next(0.0) {
             times.push(t);
-            f.emit(t, &mut r);
+            emit(&mut f, t, &mut r);
         }
         assert_eq!(times.len(), 100, "100 pps over one second");
         assert!((times[1] - times[0] - 0.01).abs() < 1e-9);
@@ -862,11 +879,11 @@ mod tests {
             2.5,
         );
         assert_eq!(p.peek_next(0.0), Some(2.5));
-        let pkts = p.emit(2.5, &mut rng());
+        let pkts = emit(&mut p, 2.5, &mut rng());
         assert_eq!(pkts.len(), 1);
         assert!(matches!(pkts[0].tag, FlowTag::NewFlow { id: 3 }));
         assert_eq!(p.peek_next(3.0), None);
-        assert!(p.emit(3.0, &mut rng()).is_empty());
+        assert!(emit(&mut p, 3.0, &mut rng()).is_empty());
     }
 
     #[test]
@@ -884,7 +901,7 @@ mod tests {
         let mut n = 0;
         let mut r = rng();
         while let Some(t) = c.peek_next(0.0) {
-            c.emit(t, &mut r);
+            emit(&mut c, t, &mut r);
             n += 1;
         }
         assert_eq!(n, 25);

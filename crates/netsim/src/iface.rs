@@ -35,13 +35,31 @@ impl ControlOutput {
     }
 
     /// Records `seconds` of CPU consumed by `app`.
+    ///
+    /// Charges accumulate per name, so repeated charges from a hot handler
+    /// reuse the existing entry (and its `String`) instead of growing the
+    /// list — with [`ControlOutput::reset`] this makes a recycled output
+    /// allocation-free once every app name has been seen.
     pub fn charge(&mut self, app: &str, seconds: f64) {
-        self.cpu.push((app.to_owned(), seconds));
+        if let Some((_, total)) = self.cpu.iter_mut().find(|(name, _)| name == app) {
+            *total += seconds;
+        } else {
+            self.cpu.push((app.to_owned(), seconds));
+        }
     }
 
     /// Total CPU seconds recorded.
     pub fn total_cpu(&self) -> f64 {
         self.cpu.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Empties the output for reuse, keeping message capacity and the app
+    /// name strings (their charges are zeroed).
+    pub fn reset(&mut self) {
+        self.messages.clear();
+        for (_, seconds) in &mut self.cpu {
+            *seconds = 0.0;
+        }
     }
 }
 
@@ -137,6 +155,17 @@ pub trait DataPlaneDevice: Send {
     /// A packet was forwarded to the device's port.
     fn on_packet(&mut self, pkt: Packet, now: f64, out: &mut DeviceOutput);
 
+    /// A burst of packets arrived at the same instant (the engine coalesces
+    /// consecutive same-time deliveries). Drains `pkts` in arrival order.
+    ///
+    /// The default forwards one packet at a time; devices with per-call
+    /// overhead (locks, shared-state sync) should override it.
+    fn on_packets(&mut self, pkts: &mut Vec<Packet>, now: f64, out: &mut DeviceOutput) {
+        for pkt in pkts.drain(..) {
+            self.on_packet(pkt, now, out);
+        }
+    }
+
     /// A message arrived from the controller.
     fn on_message(&mut self, _msg: OfMessage, _now: f64, _out: &mut DeviceOutput) {}
 
@@ -196,6 +225,23 @@ mod tests {
         out.charge("ip_balancer", 0.002);
         assert_eq!(out.messages.len(), 1);
         assert!((out.total_cpu() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_output_charge_merges_by_name_and_reset_recycles() {
+        let mut out = ControlOutput::new();
+        out.charge("l2_learning", 0.001);
+        out.charge("l2_learning", 0.002);
+        assert_eq!(out.cpu.len(), 1, "same app accumulates in place");
+        assert!((out.total_cpu() - 0.003).abs() < 1e-12);
+        out.send(DatapathId(1), OfMessage::new(Xid(1), OfBody::Hello));
+        out.reset();
+        assert!(out.messages.is_empty());
+        assert_eq!(out.total_cpu(), 0.0);
+        // Name entry survives the reset; the next charge reuses it.
+        out.charge("l2_learning", 0.004);
+        assert_eq!(out.cpu.len(), 1);
+        assert!((out.total_cpu() - 0.004).abs() < 1e-12);
     }
 
     #[test]

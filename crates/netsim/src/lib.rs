@@ -55,6 +55,7 @@ pub mod host;
 pub mod iface;
 pub mod metrics;
 pub mod packet;
+pub mod pool;
 pub mod profile;
 pub mod sched;
 pub mod switch;

@@ -143,7 +143,7 @@ pub enum FlowTag {
 }
 
 /// A simulated data-plane packet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Packet {
     /// Ethernet source.
     pub src_mac: MacAddr,

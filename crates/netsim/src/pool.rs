@@ -1,0 +1,253 @@
+//! A generational slab: fixed-cost object pool with ABA-safe handles.
+//!
+//! The switch packet buffer stores miss-buffered packets here instead of a
+//! `HashMap<u32, _>`: inserts and removes are array indexing plus a free-list
+//! push/pop, with no hashing and no steady-state allocation (slots are
+//! recycled). Each slot carries a generation counter bumped on removal, so a
+//! stale `buffer_id` held by the controller after the slot was reused (the
+//! classic OpenFlow buffer race) misses cleanly instead of releasing someone
+//! else's packet.
+
+/// A slab handle: slot index plus the generation it was created in.
+///
+/// Packs into a `u32` (16-bit index, 16-bit generation) so it can ride in an
+/// OpenFlow `buffer_id`. The generation starts at 1, so a packed handle is
+/// never zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabHandle {
+    index: u16,
+    generation: u16,
+}
+
+impl SlabHandle {
+    /// Packs into a `u32` (`generation << 16 | index`), never zero.
+    pub fn to_u32(self) -> u32 {
+        (u32::from(self.generation) << 16) | u32::from(self.index)
+    }
+
+    /// Unpacks a handle packed by [`SlabHandle::to_u32`]. Returns `None` for
+    /// values no packed handle can take (generation zero), so foreign ids
+    /// fail fast instead of aliasing slot 0.
+    pub fn from_u32(raw: u32) -> Option<SlabHandle> {
+        let generation = (raw >> 16) as u16;
+        if generation == 0 {
+            return None;
+        }
+        Some(SlabHandle {
+            index: raw as u16,
+            generation,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u16,
+    value: Option<T>,
+}
+
+/// A generational slab pool. See the module docs.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u16>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab. Slots are allocated on first use and recycled
+    /// forever after.
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value`, returning its handle. Reuses a free slot if one
+    /// exists; otherwise grows (up to the 16-bit index space — callers bound
+    /// occupancy well below that, e.g. by `buffer_slots`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab already holds `u16::MAX + 1` live values.
+    pub fn insert(&mut self, value: T) -> SlabHandle {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[usize::from(index)];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            return SlabHandle {
+                index,
+                generation: slot.generation,
+            };
+        }
+        let index = u16::try_from(self.slots.len()).expect("slab exceeds 16-bit index space");
+        self.slots.push(Slot {
+            generation: 1,
+            value: Some(value),
+        });
+        SlabHandle {
+            index,
+            generation: 1,
+        }
+    }
+
+    /// Removes and returns the value for `handle`, or `None` if the handle
+    /// is stale (slot freed or already reused by a later generation).
+    pub fn remove(&mut self, handle: SlabHandle) -> Option<T> {
+        let slot = self.slots.get_mut(usize::from(handle.index))?;
+        if slot.generation != handle.generation || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        // Bump the generation so the freed handle goes stale; skip 0 on wrap
+        // so packed handles stay nonzero.
+        slot.generation = slot.generation.wrapping_add(1).max(1);
+        self.free.push(handle.index);
+        self.len -= 1;
+        value
+    }
+
+    /// Shared access to the value for `handle`, if it is still live.
+    pub fn get(&self, handle: SlabHandle) -> Option<&T> {
+        let slot = self.slots.get(usize::from(handle.index))?;
+        if slot.generation != handle.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Drops every value whose `keep` returns `false`, bumping generations
+    /// so outstanding handles to dropped values go stale. Returns how many
+    /// were dropped.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) -> usize {
+        let mut dropped = 0;
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(value) = &slot.value {
+                if !keep(value) {
+                    slot.value = None;
+                    slot.generation = slot.generation.wrapping_add(1).max(1);
+                    self.free.push(index as u16);
+                    self.len -= 1;
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Removes every value. Slot storage and generations are kept, so
+    /// handles from before the clear go stale and capacity is recycled.
+    pub fn clear(&mut self) {
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if slot.value.take().is_some() {
+                slot.generation = slot.generation.wrapping_add(1).max(1);
+                self.free.push(index as u16);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.remove(a), None, "double free misses");
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(b), Some("b"));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn stale_handle_misses_after_reuse() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2);
+        // Same slot, new generation: the old handle must not alias.
+        assert_eq!(a.index, b.index);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.remove(b), Some(2));
+    }
+
+    #[test]
+    fn packed_handles_round_trip_and_reject_foreign_ids() {
+        let mut slab = Slab::new();
+        let h = slab.insert(7u8);
+        let raw = h.to_u32();
+        assert_ne!(raw, 0);
+        assert_eq!(SlabHandle::from_u32(raw), Some(h));
+        assert_eq!(SlabHandle::from_u32(0), None);
+        assert_eq!(SlabHandle::from_u32(42), None, "generation 0 rejected");
+    }
+
+    #[test]
+    fn retain_drops_and_invalidates() {
+        let mut slab = Slab::new();
+        let handles: Vec<_> = (0..10).map(|i| slab.insert(i)).collect();
+        let dropped = slab.retain(|v| v % 2 == 0);
+        assert_eq!(dropped, 5);
+        assert_eq!(slab.len(), 5);
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(slab.get(*h).is_some(), i % 2 == 0);
+        }
+        // Freed slots are recycled.
+        let h = slab.insert(99);
+        assert_eq!(slab.get(h), Some(&99));
+    }
+
+    #[test]
+    fn clear_recycles_capacity() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.insert(2);
+        slab.clear();
+        assert!(slab.is_empty());
+        assert_eq!(slab.get(a), None);
+        let b = slab.insert(3);
+        assert_eq!(slab.get(b), Some(&3));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn generation_wrap_skips_zero() {
+        let mut slab: Slab<u8> = Slab::new();
+        // Exhaust one slot's generation space.
+        for _ in 0..=u16::MAX {
+            let h = slab.insert(0);
+            assert_ne!(h.to_u32(), 0);
+            assert!(SlabHandle::from_u32(h.to_u32()).is_some());
+            slab.remove(h);
+        }
+        let h = slab.insert(0);
+        assert_ne!(h.generation, 0);
+    }
+}

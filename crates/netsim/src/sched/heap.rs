@@ -1,0 +1,112 @@
+//! The binary-heap scheduler: the original `EventQueue` implementation,
+//! kept as the reference for equivalence tests and as a drop-in fallback.
+
+use std::collections::BinaryHeap;
+
+use super::{sanitize_time, Scheduled, Scheduler};
+
+/// A deterministic discrete-event queue over a binary heap.
+///
+/// `O(log n)` per operation. Orders by `(time, seq)` — identical pop
+/// sequences to [`super::wheel::WheelQueue`] for identical inputs.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> HeapQueue<E> {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time` (seconds).
+    ///
+    /// Events scheduled in the past are clamped to the current time so the
+    /// clock never runs backwards; non-finite times are rejected (debug
+    /// assert) and clamped to now.
+    pub fn schedule(&mut self, time: f64, event: E) {
+        let time = sanitize_time(time, self.now);
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule(self.now + delay.max(0.0), event);
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The next event without popping it.
+    pub fn peek(&self) -> Option<(f64, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue::new()
+    }
+}
+
+impl<E> Scheduler<E> for HeapQueue<E> {
+    fn now(&self) -> f64 {
+        HeapQueue::now(self)
+    }
+
+    fn schedule(&mut self, time: f64, event: E) {
+        HeapQueue::schedule(self, time, event)
+    }
+
+    fn pop(&mut self) -> Option<(f64, E)> {
+        HeapQueue::pop(self)
+    }
+
+    fn peek_time(&mut self) -> Option<f64> {
+        HeapQueue::peek_time(self)
+    }
+
+    fn peek(&mut self) -> Option<(f64, &E)> {
+        HeapQueue::peek(self)
+    }
+
+    fn len(&self) -> usize {
+        HeapQueue::len(self)
+    }
+}

@@ -1,7 +1,7 @@
 //! The simulated OpenFlow switch: flow table, packet buffer, ingress queue
 //! and datapath resource accounting.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use ofproto::actions::{apply_all, Action};
 use ofproto::flow_mod::FlowMod;
@@ -13,6 +13,7 @@ use ofproto::messages::{
 use ofproto::types::{BufferId, DatapathId, PortNo, Xid};
 
 use crate::packet::Packet;
+use crate::pool::{Slab, SlabHandle};
 use crate::profile::SwitchProfile;
 
 /// Counters describing what a switch has done so far.
@@ -94,8 +95,10 @@ pub struct Switch {
     pub stats: SwitchStats,
     ports: Vec<u16>,
     ingress: VecDeque<(u16, Packet)>,
-    buffer: HashMap<u32, BufferedPacket>,
-    next_buffer_id: u32,
+    /// Miss-buffered packets in a generational slab: `buffer_id`s are packed
+    /// [`SlabHandle`]s, so stale ids from the controller miss cleanly and
+    /// slots recycle without per-packet allocation.
+    buffer: Slab<BufferedPacket>,
     xid: Xid,
     miss_hook: Option<Box<dyn MissHook>>,
 }
@@ -122,8 +125,7 @@ impl Switch {
             stats: SwitchStats::default(),
             ports,
             ingress: VecDeque::new(),
-            buffer: HashMap::new(),
-            next_buffer_id: 1,
+            buffer: Slab::new(),
             xid: Xid(1),
             miss_hook: None,
         }
@@ -167,6 +169,19 @@ impl Switch {
         }
     }
 
+    /// Queues a batch of same-timestamp arrivals, draining `packets`.
+    /// Semantically identical to calling [`Switch::enqueue`] in order;
+    /// returns how many were accepted (the rest were tail-dropped).
+    pub fn enqueue_batch(&mut self, packets: &mut Vec<(u16, Packet)>) -> usize {
+        let mut accepted = 0;
+        for (in_port, packet) in packets.drain(..) {
+            if self.enqueue(in_port, packet) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
     /// Pops the next queued packet for processing.
     pub fn start_next(&mut self) -> Option<(u16, Packet)> {
         self.ingress.pop_front()
@@ -176,17 +191,16 @@ impl Switch {
         if self.buffer.len() >= self.profile.buffer_slots {
             return None;
         }
-        let id = self.next_buffer_id;
-        self.next_buffer_id = self.next_buffer_id.wrapping_add(1).max(1);
-        self.buffer.insert(
-            id,
-            BufferedPacket {
-                packet,
-                in_port,
-                stored_at: now,
-            },
-        );
-        Some(BufferId(id))
+        let handle = self.buffer.insert(BufferedPacket {
+            packet,
+            in_port,
+            stored_at: now,
+        });
+        Some(BufferId(handle.to_u32()))
+    }
+
+    fn take_buffered(&mut self, buffer_id: BufferId) -> Option<BufferedPacket> {
+        self.buffer.remove(SlabHandle::from_u32(buffer_id.0)?)
     }
 
     fn make_packet_in(
@@ -198,7 +212,7 @@ impl Switch {
     ) -> PacketIn {
         let data = packet.to_bytes();
         let total_len = data.len() as u16;
-        let buffer_id = self.store_in_buffer(packet.clone(), in_port, now);
+        let buffer_id = self.store_in_buffer(*packet, in_port, now);
         self.stats.packet_ins += 1;
         let data = match buffer_id {
             Some(_) => data.slice(..data.len().min(DEFAULT_MISS_SEND_LEN)),
@@ -230,14 +244,14 @@ impl Switch {
             match *port {
                 PortNo::Physical(p) => {
                     if self.ports.contains(&p) {
-                        forwards.push((p, packet.clone()));
+                        forwards.push((p, *packet));
                     }
                 }
-                PortNo::InPort => forwards.push((in_port, packet.clone())),
+                PortNo::InPort => forwards.push((in_port, *packet)),
                 PortNo::Flood | PortNo::All => {
                     for &p in &self.ports {
                         if p != in_port {
-                            forwards.push((p, packet.clone()));
+                            forwards.push((p, *packet));
                         }
                     }
                 }
@@ -366,7 +380,7 @@ impl Switch {
                 replies.extend(self.flow_removed_messages(removed));
                 // Release the buffered packet through the new rule.
                 if let Some(buffer_id) = fm.buffer_id {
-                    if let Some(buffered) = self.buffer.remove(&buffer_id.0) {
+                    if let Some(buffered) = self.take_buffered(buffer_id) {
                         let mut keys = buffered.packet.flow_keys(buffered.in_port);
                         let outs = apply_all(&fm.actions, &mut keys);
                         let mut pkt = buffered.packet;
@@ -380,7 +394,7 @@ impl Switch {
             }
             OfBody::PacketOut(po) => {
                 let (packet, in_port) = match po.buffer_id {
-                    Some(buffer_id) => match self.buffer.remove(&buffer_id.0) {
+                    Some(buffer_id) => match self.take_buffered(buffer_id) {
                         Some(b) => (b.packet, b.in_port),
                         None => return (forwards, replies),
                     },
@@ -483,7 +497,6 @@ impl Switch {
         self.table = FlowTable::new(Some(self.profile.table_capacity));
         self.buffer.clear();
         self.ingress.clear();
-        self.next_buffer_id = 1;
         self.busy_until = 0.0;
     }
 
@@ -495,9 +508,8 @@ impl Switch {
         let removed = self.table.expire(now);
         let msgs = self.flow_removed_messages(removed);
         let timeout = self.profile.buffer_timeout;
-        let before = self.buffer.len();
-        self.buffer.retain(|_, b| now - b.stored_at < timeout);
-        self.stats.buffer_timeouts += (before - self.buffer.len()) as u64;
+        let dropped = self.buffer.retain(|b| now - b.stored_at < timeout);
+        self.stats.buffer_timeouts += dropped as u64;
         msgs
     }
 

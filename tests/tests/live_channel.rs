@@ -98,8 +98,8 @@ fn l2_learning_installs_flows_over_tcp() {
     // the wire twice.
     assert!(
         wait_for(Duration::from_secs(10), || {
-            endpoint.inject(1, a_to_b.clone());
-            endpoint.inject(2, b_to_a.clone());
+            endpoint.inject(1, a_to_b);
+            endpoint.inject(2, b_to_a);
             endpoint.telemetry().flow_count >= 1
         }),
         "l2_learning never installed a flow over the live channel"

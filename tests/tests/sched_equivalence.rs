@@ -1,0 +1,113 @@
+//! Cross-implementation equivalence: the calendar queue (`WheelQueue`, the
+//! engine's default `EventQueue`) must produce pop sequences bit-identical
+//! to the reference binary heap (`HeapQueue`) under workloads shaped like
+//! what the engine actually generates — short service delays, same-time
+//! delivery bursts from saturation attacks, sparse second-scale maintenance
+//! timers, and past-time clamps — not just uniform random times.
+//!
+//! The in-crate proptest (`netsim::sched::tests::wheel_matches_heap`)
+//! covers random op interleavings; this suite locks the engine-like shapes
+//! and the full-drain determinism the resilience tests depend on.
+
+use netsim::sched::{HeapQueue, WheelQueue};
+use proptest::prelude::*;
+
+/// Drives both schedulers through the same op sequence, asserting lockstep.
+fn assert_lockstep(ops: &[(u8, f64)]) -> Result<(), TestCaseError> {
+    let mut heap: HeapQueue<usize> = HeapQueue::new();
+    let mut wheel: WheelQueue<usize> = WheelQueue::new();
+    for (i, &(kind, t)) in ops.iter().enumerate() {
+        match kind {
+            // Absolute schedule (may be in the past → clamp path).
+            0 => {
+                heap.schedule(t, i);
+                wheel.schedule(t, i);
+            }
+            // Relative schedule from the (identical) current clock.
+            1 => {
+                heap.schedule_in(t, i);
+                wheel.schedule_in(t, i);
+            }
+            // Pop.
+            _ => {
+                prop_assert_eq!(heap.pop(), wheel.pop());
+                prop_assert_eq!(heap.now(), wheel.now());
+            }
+        }
+    }
+    loop {
+        let (a, b) = (heap.pop(), wheel.pop());
+        prop_assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// An engine-shaped op: mostly short delays ahead of now, with bursts at
+/// quantized timestamps (attack deliveries), occasional long timers
+/// (telemetry/maintenance — the overflow tier) and past-time schedules.
+fn engine_shaped_op() -> impl Strategy<Value = (u8, f64)> {
+    prop_oneof![
+        // Service-time-scale relative delays (5..500 us).
+        (1u32..100).prop_map(|k| (1u8, k as f64 * 5e-6)),
+        // Quantized absolute times: forces same-time bursts and ties.
+        (0u32..400).prop_map(|k| (0u8, k as f64 * 1e-3)),
+        // Maintenance-scale timers, far beyond any ring horizon.
+        (1u32..10).prop_map(|k| (0u8, k as f64 * 1.5)),
+        // Past or negative times: clamp to now.
+        Just((0u8, -1.0)),
+        // Pops, weighted so queues drain as often as they fill.
+        Just((2u8, 0.0)),
+        Just((2u8, 0.0)),
+        Just((2u8, 0.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_shaped_workloads_match(ops in proptest::collection::vec(engine_shaped_op(), 0..1200)) {
+        assert_lockstep(&ops)?;
+    }
+}
+
+/// A deterministic replay of a 1k-host attack second: every host emits at
+/// the same quantized tick (the paper's saturation pattern), each emission
+/// schedules a short-delay delivery, and the controller adds sparse timers.
+#[test]
+fn attack_burst_replay_matches() {
+    let mut heap: HeapQueue<u32> = HeapQueue::new();
+    let mut wheel: WheelQueue<u32> = WheelQueue::new();
+    let mut id = 0u32;
+    for tick in 0..50 {
+        let t = tick as f64 * 0.02;
+        for host in 0..1_000u32 {
+            heap.schedule(t, id);
+            wheel.schedule(t, id);
+            id += 1;
+            // Per-packet delivery a service time later.
+            let d = t + 1e-5 + (host as f64 % 7.0) * 1e-6;
+            heap.schedule(d, id);
+            wheel.schedule(d, id);
+            id += 1;
+        }
+        // Telemetry timer into the overflow tier.
+        heap.schedule(t + 5.0, id);
+        wheel.schedule(t + 5.0, id);
+        id += 1;
+        // Drain roughly half the backlog before the next tick.
+        for _ in 0..1_100 {
+            assert_eq!(heap.pop(), wheel.pop());
+        }
+    }
+    loop {
+        let (a, b) = (heap.pop(), wheel.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+}
