@@ -46,6 +46,10 @@ use ofproto::types::MacAddr;
 /// Tolerated drop before the gate fails (25%).
 const GATE_TOLERANCE: f64 = 0.75;
 
+/// Floor on `events/s with obs registry ÷ events/s plain`: the attached
+/// (but not snapshotting) registry may cost at most 2%.
+const OBS_GATE_FLOOR: f64 = 0.98;
+
 /// The engine's dominant event shape (`Ev::DeliverToSwitch`): queue
 /// elements must be this size for the microbench to charge the heap its
 /// real per-swap cost — sifting a `u32` flatters `O(log n)`.
@@ -145,9 +149,50 @@ fn main() {
         sim_eps
     );
 
+    // Obs overhead: same scenario with the metrics registry attached but
+    // snapshots disabled — the hot path pays one relaxed atomic increment
+    // per event and nothing else. One scenario run is only ~10 ms of wall
+    // clock, far too short for a 2% gate, so each measurement amortizes
+    // over many consecutive runs; both sides are then best-of-`reps` in
+    // the same process, so the ratio is portable across runner speeds.
+    let sim_runs = if smoke { 2 } else { 20 };
+    let sim_events_per_sec = |scenario: &Scenario| {
+        let t0 = Instant::now();
+        let mut events = 0u64;
+        for _ in 0..sim_runs {
+            events += run(scenario).sim.events_processed();
+        }
+        events as f64 / t0.elapsed().as_secs_f64()
+    };
+    let obs_scenario = scenario.clone().with_obs_registry();
+    // Untimed warmup, then interleave the two sides so drift (thermal,
+    // cache state) hits both equally instead of biasing one.
+    sim_events_per_sec(&scenario);
+    let mut plain_eps = 0.0f64;
+    let mut obs_eps = 0.0f64;
+    for _ in 0..reps {
+        plain_eps = plain_eps.max(sim_events_per_sec(&scenario));
+        obs_eps = obs_eps.max(sim_events_per_sec(&obs_scenario));
+    }
+    let obs_ratio = obs_eps / plain_eps;
+    println!("# obs overhead — registry attached, snapshots disabled");
+    println!(
+        "plain: {plain_eps:>12.0} events/s | with obs: {obs_eps:>12.0} events/s \
+         | ratio {obs_ratio:.4}"
+    );
+
     if smoke {
         println!("engine bench: ok (smoke mode, no report/gate)");
         return;
+    }
+
+    // Hard gate: an attached-but-idle registry must cost under 2%.
+    if obs_ratio < OBS_GATE_FLOOR {
+        eprintln!(
+            "REGRESSION: obs overhead ratio {obs_ratio:.4} < {OBS_GATE_FLOOR} \
+             (registry on the hot path costs more than 2%)"
+        );
+        std::process::exit(1);
     }
 
     let report = Json::obj()
@@ -165,7 +210,9 @@ fn main() {
         .set("sim_events", sim_events)
         .set("sim_wall_s", sim_wall)
         .set("events_per_sec", sim_eps)
-        .set("sim_per_heap", sim_per_heap);
+        .set("sim_per_heap", sim_per_heap)
+        .set("obs_events_per_sec", obs_eps)
+        .set("obs_overhead_ratio", obs_ratio);
     match write_report("engine", &report) {
         Ok(path) => println!("# wrote {}", path.display()),
         Err(err) => eprintln!("warning: could not write BENCH_engine.json: {err}"),

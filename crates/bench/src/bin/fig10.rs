@@ -24,6 +24,15 @@ struct Cell {
 }
 
 fn main() {
+    if bench::timeline::requested() {
+        // One representative defended run (500 PPS, the sweep's worst
+        // case) with the obs recorder attached; deterministic for the
+        // fixed seed, so the artifact diffs cleanly across commits.
+        let scenario = Scenario::software()
+            .with_defense(Defense::FloodGuard(FloodGuardConfig::default()))
+            .with_attack(500.0);
+        bench::timeline::emit("fig10", &scenario);
+    }
     let rates = [
         0.0, 50.0, 100.0, 130.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0,
     ];

@@ -24,6 +24,14 @@ struct Cell {
 }
 
 fn main() {
+    if bench::timeline::requested() {
+        // Representative defended run on the hardware profile (400 PPS,
+        // past the paper's ~200 PPS knee).
+        let scenario = Scenario::hardware()
+            .with_defense(Defense::FloodGuard(FloodGuardConfig::default()))
+            .with_attack(400.0);
+        bench::timeline::emit("fig11", &scenario);
+    }
     let rates = [
         0.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 600.0, 800.0, 1000.0,
     ];

@@ -31,6 +31,10 @@ fn main() {
     scenario.attack_start = 0.6;
     scenario.attack_stop = 0.9;
     scenario.duration = 2.0;
+    if bench::timeline::requested() {
+        // The figure's own burst scenario, re-run with the recorder on.
+        bench::timeline::emit("fig12", &scenario);
+    }
     let t0 = Instant::now();
     let outcome = run(&scenario);
     let wall_s = t0.elapsed().as_secs_f64();

@@ -57,6 +57,11 @@ fn seeded_app(name: &str) -> App {
 }
 
 fn main() {
+    if bench::timeline::requested() {
+        // The analyzer bench has no simulation of its own; the timeline
+        // comes from the standard defended-flood scenario.
+        bench::timeline::emit("fig13", &bench::timeline::default_scenario());
+    }
     let total = Instant::now();
     println!("# Fig. 13 — Overhead of Generating Proactive Flow Rules (per application)");
     println!("# paper: < 2 ms typical; of_firewall worst (~9 ms, complex data structures)");

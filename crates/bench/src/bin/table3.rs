@@ -8,6 +8,11 @@ use bench::report::{write_report, Json};
 use controller::apps;
 
 fn main() {
+    if bench::timeline::requested() {
+        // No simulation in this table; use the standard defended-flood
+        // scenario for the timeline artifact.
+        bench::timeline::emit("table3", &bench::timeline::default_scenario());
+    }
     let total = Instant::now();
     println!("# Table III — State Sensitive Variables in Applications");
     println!("{:<14} {:<18} description", "application", "variable");

@@ -94,6 +94,13 @@ fn main() {
     let mut guarded = flooded.clone();
     guarded.defense = Defense::FloodGuard(FloodGuardConfig::default());
 
+    if bench::timeline::requested() {
+        // The defended configuration with one probe, as each sample runs it.
+        let mut scenario = guarded.clone();
+        scenario.probes = vec![2.0];
+        bench::timeline::emit("table4", &scenario);
+    }
+
     let total = Instant::now();
     let base_sample = sample(&base);
     let flood_sample = sample(&flooded);

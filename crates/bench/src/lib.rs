@@ -10,9 +10,10 @@
 pub mod par;
 pub mod report;
 pub mod scenario;
+pub mod timeline;
 
 pub use netsim::faults::Fault;
 pub use scenario::{
-    bandwidth_sweep, human_bps, run, AttackProtocol, Defense, Outcome, Scenario, CACHE_PORT, H1_IP,
-    H1_MAC, H2_IP, H2_MAC, H3_IP, H3_MAC, STANDBY_PORT,
+    bandwidth_sweep, human_bps, run, AttackProtocol, Defense, ObsMode, Outcome, Scenario,
+    CACHE_PORT, H1_IP, H1_MAC, H2_IP, H2_MAC, H3_IP, H3_MAC, STANDBY_PORT,
 };

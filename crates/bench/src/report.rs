@@ -195,6 +195,17 @@ pub fn write_report(name: &str, report: &Json) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes a pre-rendered artifact (timeline, trace) to
+/// `<results_dir>/<filename>` and returns the path. The body is written
+/// byte-for-byte, so deterministic renderings stay byte-identical on disk.
+pub fn write_artifact(filename: &str, body: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(filename);
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// Reads a previously written report back as raw text (the regression gate
 /// in `benches/engine.rs` extracts single numeric fields with
 /// [`extract_number`] rather than fully parsing).

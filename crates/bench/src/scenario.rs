@@ -52,6 +52,22 @@ pub enum Defense {
     AvantGuard,
 }
 
+/// Observability attachment for a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObsMode {
+    /// No obs hub at all (the default; zero cost).
+    Off,
+    /// Attach the metrics registry but take no snapshots — the
+    /// configuration the engine overhead gate measures (<2% target).
+    Registry,
+    /// Registry plus time-series recorder and trace buffer, snapshotting
+    /// every `interval` simulated seconds through the event queue.
+    Timeline {
+        /// Snapshot period in simulated seconds.
+        interval: f64,
+    },
+}
+
 /// Which flood the attacker sends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackProtocol {
@@ -102,6 +118,8 @@ pub struct Scenario {
     /// Attach a standby data plane cache behind [`STANDBY_PORT`]
     /// (FloodGuard defense only).
     pub standby_cache: bool,
+    /// Observability attachment (registry / timeline recorder).
+    pub obs: ObsMode,
 }
 
 impl Scenario {
@@ -124,6 +142,7 @@ impl Scenario {
             controller: None,
             faults: Vec::new(),
             standby_cache: false,
+            obs: ObsMode::Off,
         }
     }
 
@@ -170,6 +189,22 @@ impl Scenario {
         self.standby_cache = true;
         self
     }
+
+    /// Attaches the metrics registry without snapshots (overhead-gate
+    /// configuration).
+    #[must_use]
+    pub fn with_obs_registry(mut self) -> Scenario {
+        self.obs = ObsMode::Registry;
+        self
+    }
+
+    /// Attaches registry + recorder + tracer, snapshotting every
+    /// `interval` simulated seconds.
+    #[must_use]
+    pub fn with_timeline(mut self, interval: f64) -> Scenario {
+        self.obs = ObsMode::Timeline { interval };
+        self
+    }
 }
 
 /// The measurements a scenario run produces.
@@ -193,6 +228,8 @@ pub struct Outcome {
     /// FloodGuard's cache handle (probe residency log, live stats), when
     /// the defense was FloodGuard.
     pub cache: Option<CacheHandle>,
+    /// The obs hub, when the scenario attached one ([`Scenario::obs`]).
+    pub obs: Option<obs::ObsHandle>,
 }
 
 /// Runs a scenario to completion.
@@ -201,6 +238,21 @@ pub fn run(scenario: &Scenario) -> Outcome {
     if let Some(profile) = scenario.controller {
         sim.set_controller_profile(profile);
     }
+    let hub = match scenario.obs {
+        ObsMode::Off => None,
+        ObsMode::Registry => {
+            let hub = obs::Obs::new();
+            sim.attach_obs(hub.clone(), None);
+            Some(hub)
+        }
+        ObsMode::Timeline { interval } => {
+            let hub = obs::Obs::new();
+            hub.set_recording(true);
+            hub.set_tracing(true);
+            sim.attach_obs(hub.clone(), Some(interval));
+            Some(hub)
+        }
+    };
     let ports = if scenario.standby_cache {
         vec![1, 2, 3, STANDBY_PORT, CACHE_PORT]
     } else {
@@ -222,6 +274,9 @@ pub fn run(scenario: &Scenario) -> Outcome {
         Defense::None => sim.set_control_plane(Box::new(platform)),
         Defense::FloodGuard(config) => {
             let mut fg = FloodGuard::new(platform, *config, CACHE_PORT);
+            if let Some(hub) = &hub {
+                fg.attach_obs(hub);
+            }
             let cache = fg.build_cache();
             fg_handle = Some(fg.cache_handle());
             fg_monitor = Some(fg.monitor_handle());
@@ -384,6 +439,7 @@ pub fn run(scenario: &Scenario) -> Outcome {
         fg_stats,
         controller,
         cache: fg_handle,
+        obs: hub,
         sim,
     }
 }

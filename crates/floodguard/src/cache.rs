@@ -64,24 +64,49 @@ impl QueueClass {
     }
 }
 
+/// Number of drop-accounting lanes: the four protocol FIFOs (indexed like
+/// [`QueueClass::ALL`]) plus the §IV-E priority lane at [`PRIORITY_LANE`].
+pub const LANES: usize = 5;
+
+/// Lane index of the priority lane in per-lane drop counters.
+pub const PRIORITY_LANE: usize = 4;
+
 /// Live counters shared with the migration agent.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CacheStats {
     /// Packets accepted into queues.
     pub received: u64,
-    /// Packets dropped on overflow.
+    /// Packets dropped on overflow: the sum of `dropped_front` and
+    /// `dropped_arrival` across all lanes (invariant, checked in tests).
     pub dropped: u64,
+    /// Overflow drops that evicted the queue *front* to admit a newer
+    /// packet (the paper's drop-front policy), per lane.
+    pub dropped_front: [u64; LANES],
+    /// Overflow drops that discarded the *arriving* packet (tail drop,
+    /// `drop_front = false`), per lane.
+    pub dropped_arrival: [u64; LANES],
+    /// Queued packets lost when the cache device crashed (wiped volatile
+    /// queues); not part of `dropped`, which counts overflow only.
+    pub dropped_crash: u64,
     /// `packet_in` messages emitted.
     pub emitted: u64,
     /// Packets rejected because intake was disabled.
     pub rejected: u64,
     /// Packets whose TOS carried no tag.
     pub untagged: u64,
+    /// Packets whose TOS tag fell in the reserved band — an encoder bug or
+    /// corruption; decoded as untagged but counted separately (see
+    /// [`crate::migration::tag::classify`]).
+    pub invalid_tag: u64,
     /// Packets that matched a cache-resident proactive rule and took the
     /// priority lane (§IV-E design option).
     pub prioritized: u64,
     /// Current total queue occupancy.
     pub queued: usize,
+    /// Current per-class queue occupancy, indexed like [`QueueClass::ALL`].
+    pub queued_per_class: [usize; 4],
+    /// Current priority-lane occupancy.
+    pub queued_priority: usize,
     /// Per-class received counts, indexed like [`QueueClass::ALL`].
     pub per_class: [u64; 4],
 }
@@ -192,14 +217,24 @@ impl DataPlaneCache {
         self.queues[class.index()].len()
     }
 
+    /// Writes the current queue depths (total, per-class, priority lane)
+    /// into `stats` — the gauges the obs layer and the migration agent read.
+    fn publish_depths(&self, stats: &mut CacheStats) {
+        stats.queued = self.queued();
+        for (i, q) in self.queues.iter().enumerate() {
+            stats.queued_per_class[i] = q.len();
+        }
+        stats.queued_priority = self.priority.len();
+    }
+
     fn sync_stats<R>(&mut self, f: impl FnOnce(&mut CacheStats)) -> R
     where
         R: Default,
     {
-        let queued = self.queued();
-        let mut shared = self.handle.lock();
+        let handle = Arc::clone(&self.handle);
+        let mut shared = handle.lock();
         f(&mut shared.stats);
-        shared.stats.queued = queued;
+        self.publish_depths(&mut shared.stats);
         R::default()
     }
 
@@ -226,8 +261,11 @@ impl DataPlaneCache {
             keys.nw_tos = 0;
             if shared.proactive.matches(&keys) {
                 if self.priority.len() >= self.config.queue_capacity {
+                    // The priority lane always evicts its front: a
+                    // proactive-rule burst should keep the newest evidence.
                     self.priority.pop_front();
                     shared.stats.dropped += 1;
+                    shared.stats.dropped_front[PRIORITY_LANE] += 1;
                 }
                 self.priority.push_back((packet, ready));
                 shared.stats.received += 1;
@@ -241,12 +279,14 @@ impl DataPlaneCache {
             if !self.config.drop_front {
                 // Plain tail drop: the arriving packet is discarded.
                 shared.stats.dropped += 1;
+                shared.stats.dropped_arrival[class.index()] += 1;
                 return;
             }
             // The paper's policy: evict the earliest packet.
             queue.pop_front();
             queue.push_back((packet, ready));
             shared.stats.dropped += 1;
+            shared.stats.dropped_front[class.index()] += 1;
         } else {
             queue.push_back((packet, ready));
         }
@@ -287,9 +327,15 @@ impl DataPlaneCache {
                 record.emitted = Some(now);
             }
         }
-        let in_port = match packet.tos().and_then(tag::decode) {
-            Some(port) => PortNo::Physical(port),
-            None => {
+        let in_port = match packet.tos().map(tag::classify) {
+            Some(tag::Tag::Port(port)) => PortNo::Physical(port),
+            Some(tag::Tag::Reserved) => {
+                // A tag in the reserved band means a buggy or spoofed
+                // encoder; treat as untagged but keep it distinguishable.
+                self.sync_stats::<()>(|s| s.invalid_tag += 1);
+                PortNo::Physical(0)
+            }
+            Some(tag::Tag::Untagged) | None => {
                 self.sync_stats::<()>(|s| s.untagged += 1);
                 PortNo::Physical(0)
             }
@@ -321,7 +367,7 @@ impl DataPlaneDevice for DataPlaneCache {
         } else {
             shared.stats.rejected += 1;
         }
-        shared.stats.queued = self.queued();
+        self.publish_depths(&mut shared.stats);
     }
 
     fn on_packets(&mut self, pkts: &mut Vec<Packet>, now: f64, _out: &mut DeviceOutput) {
@@ -337,7 +383,7 @@ impl DataPlaneDevice for DataPlaneCache {
             shared.stats.rejected += pkts.len() as u64;
             pkts.clear();
         }
-        shared.stats.queued = self.queued();
+        self.publish_depths(&mut shared.stats);
     }
 
     fn on_tick(&mut self, now: f64, out: &mut DeviceOutput) {
@@ -370,14 +416,20 @@ impl DataPlaneDevice for DataPlaneCache {
     fn on_crash(&mut self) {
         // Volatile state is gone: queued packets, the priority lane and the
         // token bucket. Cumulative counters survive in the shared handle,
-        // but the health bit flips so the agent can fail over.
+        // but the health bit flips so the agent can fail over. The wiped
+        // packets were accepted (`received`) and will never be emitted —
+        // account them so received == emitted + dropped* stays auditable.
+        let lost = self.queued() as u64;
         self.queues = Default::default();
         self.priority.clear();
         self.rr_next = 0;
         self.tokens = 0.0;
         let mut shared = self.handle.lock();
         shared.healthy = false;
+        shared.stats.dropped_crash += lost;
         shared.stats.queued = 0;
+        shared.stats.queued_per_class = [0; 4];
+        shared.stats.queued_priority = 0;
     }
 
     fn on_restart(&mut self, now: f64) {
@@ -508,6 +560,125 @@ mod tests {
         assert_eq!(h.lock().stats.dropped, 1);
         let first = cache.pop_round_robin(f64::INFINITY).unwrap();
         assert_eq!(first.tos(), Some(1), "arriving packet was the one dropped");
+    }
+
+    /// Satellite: drops-from-front and drops-on-arrival are distinguishable
+    /// per lane, and `dropped` stays the sum of both.
+    #[test]
+    fn drop_accounting_distinguishes_front_from_arrival() {
+        // Drop-front policy: overflow evicts the queue front.
+        let (mut front, hf) = cache_with(CacheConfig {
+            queue_capacity: 2,
+            ..CacheConfig::default()
+        });
+        let mut out = DeviceOutput::new();
+        for port in 1..=4u8 {
+            front.on_packet(udp_tagged(port), 0.0, &mut out);
+        }
+        front.on_packet(tcp_tagged(5), 0.0, &mut out);
+        {
+            let s = hf.lock().stats;
+            assert_eq!(s.dropped_front[QueueClass::Udp.index()], 2);
+            assert_eq!(s.dropped_arrival, [0; LANES]);
+            assert_eq!(s.dropped, 2, "total = front + arrival");
+        }
+
+        // Tail-drop policy: overflow discards the arriving packet.
+        let (mut tail, ht) = cache_with(CacheConfig {
+            queue_capacity: 2,
+            drop_front: false,
+            ..CacheConfig::default()
+        });
+        for port in 1..=4u8 {
+            tail.on_packet(udp_tagged(port), 0.0, &mut out);
+        }
+        {
+            let s = ht.lock().stats;
+            assert_eq!(s.dropped_arrival[QueueClass::Udp.index()], 2);
+            assert_eq!(s.dropped_front, [0; LANES]);
+            assert_eq!(s.dropped, 2);
+            assert_eq!(s.received, 2, "tail-dropped arrivals were not accepted");
+        }
+    }
+
+    /// Satellite: the priority lane's always-evict-front overflow is counted
+    /// in its own lane instead of silently vanishing into the total.
+    #[test]
+    fn priority_lane_overflow_counted_per_lane() {
+        let (mut cache, h) = cache_with(CacheConfig {
+            queue_capacity: 2,
+            ..CacheConfig::default()
+        });
+        h.lock().proactive =
+            [ofproto::flow_match::OfMatch::any().with_dl_dst(MacAddr::from_u64(2))]
+                .into_iter()
+                .collect();
+        let mut out = DeviceOutput::new();
+        for port in 1..=4u8 {
+            cache.on_packet(udp_tagged(port), 0.0, &mut out);
+        }
+        let s = h.lock().stats;
+        assert_eq!(s.prioritized, 4);
+        assert_eq!(s.dropped_front[PRIORITY_LANE], 2);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.queued_priority, 2);
+        assert_eq!(s.queued_per_class, [0; 4]);
+    }
+
+    /// Satellite: a cache crash accounts the wiped queue occupancy instead
+    /// of silently evicting — received packets remain auditable as
+    /// emitted + overflow drops + crash losses + still queued.
+    #[test]
+    fn crash_losses_are_counted() {
+        use netsim::iface::DataPlaneDevice as _;
+        let (mut cache, h) = cache_with(CacheConfig::default());
+        let mut out = DeviceOutput::new();
+        for port in 1..=5u8 {
+            cache.on_packet(udp_tagged(port), 0.0, &mut out);
+        }
+        cache.on_tick(0.1, &mut out);
+        let emitted_before = h.lock().stats.emitted;
+        cache.on_crash();
+        let s = h.lock().stats;
+        assert_eq!(s.dropped_crash, 5 - emitted_before);
+        assert_eq!(s.dropped, 0, "crash losses are not overflow drops");
+        assert_eq!(
+            s.received,
+            s.emitted + s.dropped_crash + s.queued as u64,
+            "conservation after crash"
+        );
+    }
+
+    #[test]
+    fn per_class_depth_gauges_track_queues() {
+        let (mut cache, h) = cache_with(CacheConfig::default());
+        let mut out = DeviceOutput::new();
+        cache.on_packet(udp_tagged(1), 0.0, &mut out);
+        cache.on_packet(udp_tagged(2), 0.0, &mut out);
+        cache.on_packet(tcp_tagged(3), 0.0, &mut out);
+        let s = h.lock().stats;
+        assert_eq!(s.queued, 3);
+        assert_eq!(s.queued_per_class[QueueClass::Udp.index()], 2);
+        assert_eq!(s.queued_per_class[QueueClass::Tcp.index()], 1);
+        assert_eq!(s.queued_priority, 0);
+    }
+
+    /// Satellite (tag-domain bugfix): a TOS in the reserved band decodes as
+    /// port 0 but is counted as `invalid_tag`, not `untagged`.
+    #[test]
+    fn reserved_tag_counted_as_invalid() {
+        let (mut cache, h) = cache_with(CacheConfig::default());
+        let mut out = DeviceOutput::new();
+        cache.on_packet(udp_tagged(tag::RESERVED_TAG_MIN), 0.0, &mut out);
+        let mut out = DeviceOutput::new();
+        cache.on_tick(1.0, &mut out);
+        let s = h.lock().stats;
+        assert_eq!(s.invalid_tag, 1);
+        assert_eq!(s.untagged, 0);
+        match &out.to_controller[0].body {
+            OfBody::PacketIn(pi) => assert_eq!(pi.in_port, PortNo::Physical(0)),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

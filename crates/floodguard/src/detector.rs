@@ -65,7 +65,17 @@ impl Detector {
         match self.utilization_at {
             Some(at) if now - at > self.config.utilization_timeout => {
                 let overdue = now - at - self.config.utilization_timeout;
-                0.5f64.powf(overdue / self.config.utilization_half_life.max(1e-9))
+                let factor = 0.5f64.powf(overdue / self.config.utilization_half_life.max(1e-9));
+                // On very long idle stretches (10^6 s ≫ half-life) the powf
+                // underflows toward +0.0, which is the correct limit — but a
+                // non-finite `now` or a pathological half-life could yield
+                // NaN or a factor above 1, inflating the score. Clamp so the
+                // discount always lies in [0, 1] and decays monotonically.
+                if factor.is_finite() {
+                    factor.clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
             }
             _ => 1.0,
         }
@@ -90,13 +100,18 @@ impl Detector {
     /// The current anomaly score in [0, 1+]: weighted sum of normalized
     /// rate, buffer utilization and controller utilization.
     pub fn score(&mut self, now: f64) -> f64 {
-        let rate_term = (self.rate(now) / self.config.rate_capacity_pps).min(2.0);
+        // Guard the capacity divisor: a zero-capacity misconfiguration would
+        // make 0/0 = NaN here, and `NaN.min(2.0)` silently yields 2.0.
+        let rate_term = (self.rate(now) / self.config.rate_capacity_pps.max(1e-9)).min(2.0);
         let fresh = self.staleness_factor(now);
-        let score = self.config.rate_weight * rate_term
+        // The idle baseline is 0: with no arrivals in the window and decayed
+        // utilization the score must settle at exactly 0.0, never below it.
+        let score = (self.config.rate_weight * rate_term
             + fresh
                 * (self.config.buffer_weight * self.buffer_utilization
                     + self.config.datapath_weight * self.datapath_utilization
-                    + self.config.controller_weight * self.controller_utilization);
+                    + self.config.controller_weight * self.controller_utilization))
+            .max(0.0);
         self.last_score = score;
         score
     }
@@ -222,6 +237,64 @@ mod tests {
         // Much later the window is empty again.
         assert_eq!(d.rate(10.0), 0.0);
         assert!(!d.is_attack(10.0));
+    }
+
+    /// Satellite regression: 10^6 sim-seconds idle after an attack window.
+    /// The score must decay monotonically to the idle baseline (0.0) —
+    /// never underflow past it, never go non-finite, and the staleness
+    /// discount must stay inside [0, 1] the whole way down.
+    #[test]
+    fn long_idle_decays_monotonically_to_baseline() {
+        let mut d = detector();
+        // Attack window: a hard flood plus saturated utilization.
+        for i in 0..200 {
+            d.record_packet_in(i as f64 * 0.001);
+        }
+        d.record_utilization(1.0, 1.0, 1.0, 0.2);
+        let peak = d.score(0.2);
+        assert!(peak >= 1.0, "attack window saturates the score ({peak})");
+
+        // Idle run: sample at exponentially spaced times out to 10^6 s.
+        let mut t = 0.25;
+        let mut prev = d.score(t);
+        while t < 1e6 {
+            t *= 1.5;
+            let f = d.staleness_factor(t);
+            assert!(
+                f.is_finite() && (0.0..=1.0).contains(&f),
+                "factor {f} at t={t}"
+            );
+            let s = d.score(t);
+            assert!(s.is_finite(), "score diverged at t={t}");
+            assert!(s >= 0.0, "score underflowed the baseline at t={t}: {s}");
+            assert!(
+                s <= prev + 1e-12,
+                "score rose while idle at t={t}: {prev} -> {s}"
+            );
+            prev = s;
+        }
+        assert_eq!(d.score(1e6), 0.0, "idle baseline is exactly zero");
+        assert_eq!(d.staleness_factor(1e6), 0.0, "discount fully decayed");
+        assert!(!d.is_attack(1e6));
+
+        // Recovery is symmetric: fresh telemetry restores full weight.
+        d.record_utilization(1.0, 1.0, 1.0, 1e6);
+        assert!(d.is_attack(1e6 + 0.01));
+    }
+
+    #[test]
+    fn zero_rate_capacity_cannot_poison_score() {
+        let config = DetectionConfig {
+            rate_capacity_pps: 0.0,
+            ..DetectionConfig::default()
+        };
+        let mut d = Detector::new(config);
+        let s = d.score(1.0);
+        assert!(s.is_finite());
+        assert_eq!(s, 0.0, "no arrivals: zero capacity must not create NaN");
+        d.record_packet_in(1.0);
+        let s = d.score(1.0);
+        assert!(s.is_finite(), "rate term must stay finite: {s}");
     }
 
     #[test]

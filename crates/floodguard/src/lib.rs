@@ -130,6 +130,30 @@ pub struct Monitor {
 /// Shared handle to [`Monitor`].
 pub type MonitorHandle = Arc<Mutex<Monitor>>;
 
+/// FloodGuard's observability handles: registered against an
+/// [`obs::Registry`] at [`FloodGuard::attach_obs`] time, refreshed on every
+/// telemetry tick (the defense's own clock, so the published series are
+/// deterministic).
+struct FgObs {
+    hub: obs::ObsHandle,
+    score: obs::Gauge,
+    packet_in_rate: obs::Gauge,
+    state: obs::Gauge,
+    cache_depth: obs::Gauge,
+    cache_class: [obs::Gauge; 4],
+    cache_priority: obs::Gauge,
+    cache_dropped: obs::Gauge,
+    cache_drop_front: obs::Gauge,
+    cache_drop_arrival: obs::Gauge,
+    reraise_rate: obs::Gauge,
+    reraised_total: obs::Gauge,
+    rules_installed: obs::Gauge,
+    rules_repaired: obs::Gauge,
+    last_reraised: u64,
+    last_at: f64,
+    traced_transitions: usize,
+}
+
 /// The FloodGuard control-plane extension.
 pub struct FloodGuard {
     platform: ControllerPlatform,
@@ -144,6 +168,7 @@ pub struct FloodGuard {
     /// Datapath each cache device serves, in device-attachment order.
     device_dpids: Vec<DatapathId>,
     monitor: MonitorHandle,
+    obs: Option<FgObs>,
     /// Lifetime counters.
     pub stats: FloodGuardStats,
 }
@@ -184,8 +209,88 @@ impl FloodGuard {
             repairs: Vec::new(),
             device_dpids: Vec::new(),
             monitor: Arc::new(Mutex::new(Monitor::default())),
+            obs: None,
             stats: FloodGuardStats::default(),
         }
+    }
+
+    /// Registers FloodGuard's metrics against `hub` and publishes them on
+    /// every telemetry tick from then on: the detector score, the observed
+    /// `packet_in` rate, per-protocol cache queue depths, drop accounting,
+    /// the migration re-raise rate and rule install/repair counters. FSM
+    /// transitions additionally emit instant trace events.
+    pub fn attach_obs(&mut self, hub: &obs::ObsHandle) {
+        let reg = &hub.registry;
+        self.obs = Some(FgObs {
+            score: reg.gauge("floodguard.detector_score"),
+            packet_in_rate: reg.gauge("floodguard.packet_in_rate"),
+            state: reg.gauge("floodguard.state"),
+            cache_depth: reg.gauge("floodguard.cache_queue_depth"),
+            cache_class: [
+                reg.gauge("floodguard.cache_queue_tcp"),
+                reg.gauge("floodguard.cache_queue_udp"),
+                reg.gauge("floodguard.cache_queue_icmp"),
+                reg.gauge("floodguard.cache_queue_default"),
+            ],
+            cache_priority: reg.gauge("floodguard.cache_queue_priority"),
+            cache_dropped: reg.gauge("floodguard.cache_dropped"),
+            cache_drop_front: reg.gauge("floodguard.cache_dropped_front"),
+            cache_drop_arrival: reg.gauge("floodguard.cache_dropped_arrival"),
+            reraise_rate: reg.gauge("floodguard.reraise_rate"),
+            reraised_total: reg.gauge("floodguard.reraised"),
+            rules_installed: reg.gauge("floodguard.rules_installed"),
+            rules_repaired: reg.gauge("floodguard.rules_repaired"),
+            last_reraised: 0,
+            last_at: 0.0,
+            traced_transitions: 0,
+            hub: hub.clone(),
+        });
+    }
+
+    /// Publishes the current defense state into the attached obs hub.
+    fn publish_obs(&mut self, now: f64) {
+        let Some(o) = self.obs.as_mut() else { return };
+        o.score.set(self.detector.score(now));
+        o.packet_in_rate.set(self.detector.rate(now));
+        o.state.set(match self.sm.state() {
+            State::Idle => 0.0,
+            State::Init => 1.0,
+            State::Defense => 2.0,
+            State::Finish => 3.0,
+        });
+        let cache = self.cache_handle.lock().stats;
+        o.cache_depth.set(cache.queued as f64);
+        for (i, g) in o.cache_class.iter().enumerate() {
+            g.set(cache.queued_per_class[i] as f64);
+        }
+        o.cache_priority.set(cache.queued_priority as f64);
+        o.cache_dropped.set(cache.dropped as f64);
+        o.cache_drop_front
+            .set(cache.dropped_front.iter().sum::<u64>() as f64);
+        o.cache_drop_arrival
+            .set(cache.dropped_arrival.iter().sum::<u64>() as f64);
+        let dt = now - o.last_at;
+        if dt > 0.0 {
+            o.reraise_rate
+                .set((self.stats.reraised - o.last_reraised) as f64 / dt);
+            o.last_reraised = self.stats.reraised;
+            o.last_at = now;
+        }
+        o.reraised_total.set(self.stats.reraised as f64);
+        o.rules_installed.set(self.stats.proactive_installed as f64);
+        o.rules_repaired.set(self.stats.rules_repaired as f64);
+        // New FSM transitions become instant trace events.
+        let log = self.sm.log();
+        for t in &log[o.traced_transitions.min(log.len())..] {
+            let name = match t.to {
+                State::Idle => "fg.enter_idle",
+                State::Init => "fg.enter_init",
+                State::Defense => "fg.enter_defense",
+                State::Finish => "fg.enter_finish",
+            };
+            o.hub.trace_instant(name, "floodguard", t.at);
+        }
+        o.traced_transitions = log.len();
     }
 
     /// A shared monitor reflecting the FSM state, transition log and
@@ -698,6 +803,7 @@ impl ControlPlane for FloodGuard {
             }
         }
         out.charge(MODULE_NAME, 1e-5);
+        self.publish_obs(now);
         let mut monitor = self.monitor.lock();
         monitor.state = Some(self.sm.state());
         // The transition log is append-only: re-copy it only when it grew,

@@ -232,7 +232,8 @@ impl MigrationAgent {
     /// priority, tagging INPORT into TOS and redirecting to the cache
     /// (paper Fig. 6: `inport=1, actions: set-tos-bits=1, output: cache`).
     ///
-    /// Ports that cannot be tagged (0 or ≥ 256) are skipped.
+    /// Ports that cannot be tagged (0 or above
+    /// [`tag::MAX_TAGGABLE_PORT`]) are skipped.
     pub fn install_migration(&mut self, dpid: DatapathId, ports: &[u16]) -> Vec<FlowMod> {
         let mut mods = Vec::new();
         for &port in ports {

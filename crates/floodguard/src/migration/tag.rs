@@ -4,6 +4,22 @@
 //! migration rule writes the port into the packet's TOS byte
 //! (`set-tos-bits = <port>`); the cache's `packet_in` generator decodes it
 //! when re-raising the packet to the controller.
+//!
+//! ## Tag domain
+//!
+//! The encode and decode domains are symmetric by construction:
+//!
+//! * `0` — untagged. Never produced by [`encode`]; [`decode`] maps it to
+//!   `None` (a packet that reached the cache without traversing a
+//!   migration rule, or whose TOS was legitimately zero).
+//! * `1..=0xfa` — valid port tags, the bijective range.
+//! * `0xfb..=0xff` — **reserved**, mirroring the OpenFlow reserved port
+//!   band (`OFPP_IN_PORT = 0xfff8` … `OFPP_NONE = 0xffff`, low bytes
+//!   `0xf8..=0xff`, and in particular `OFPP_FLOOD = 0xfffb`). [`encode`]
+//!   rejects ports that would land here, so a decoded tag can never alias
+//!   the low byte of a reserved port number; [`decode`] symmetrically
+//!   refuses to fabricate a port from this band and reports it as invalid
+//!   via [`classify`] (the cache counts these in `invalid_tag`).
 
 use std::fmt;
 
@@ -17,7 +33,7 @@ impl fmt::Display for TagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "port {} does not fit in the {TAG_BITS}-bit TOS tag",
+            "port {} is outside the taggable range 1..={MAX_TAGGABLE_PORT}",
             self.port
         )
     }
@@ -28,15 +44,33 @@ impl std::error::Error for TagError {}
 /// Bits available in the TOS byte for the tag.
 pub const TAG_BITS: u32 = 8;
 
-/// Highest encodable port.
-pub const MAX_TAGGABLE_PORT: u16 = (1 << TAG_BITS) - 1;
+/// First reserved TOS value: `0xfb..=0xff` mirror the OpenFlow reserved
+/// port band and are never produced by [`encode`].
+pub const RESERVED_TAG_MIN: u8 = 0xfb;
+
+/// Highest encodable port (the last value below the reserved band).
+pub const MAX_TAGGABLE_PORT: u16 = RESERVED_TAG_MIN as u16 - 1;
+
+/// Interpretation of a TOS byte seen by the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// TOS `0`: no migration tag present.
+    Untagged,
+    /// A valid tag carrying the original ingress port.
+    Port(u16),
+    /// A value in the reserved band `0xfb..=0xff` — never emitted by
+    /// [`encode`], so it indicates a buggy encoder or spoofed traffic.
+    Reserved,
+}
 
 /// Encodes an ingress port into a TOS value.
 ///
 /// # Errors
 ///
-/// [`TagError`] when the port exceeds [`MAX_TAGGABLE_PORT`] or is zero
-/// (zero is reserved for "untagged").
+/// [`TagError`] when the port is zero (reserved for "untagged") or exceeds
+/// [`MAX_TAGGABLE_PORT`] (which keeps the reserved band `0xfb..=0xff` —
+/// and every OpenFlow reserved port such as `OFPP_FLOOD = 0xfffb` —
+/// unencodable).
 pub fn encode(port: u16) -> Result<u8, TagError> {
     if port == 0 || port > MAX_TAGGABLE_PORT {
         Err(TagError { port })
@@ -45,12 +79,27 @@ pub fn encode(port: u16) -> Result<u8, TagError> {
     }
 }
 
-/// Decodes a TOS value back into the ingress port; `None` when untagged.
+/// Decodes a TOS value back into the ingress port.
+///
+/// `None` when untagged **or** in the reserved band — exactly the values
+/// [`encode`] never produces, so `decode(encode(p)) == Some(p)` for every
+/// encodable `p` and `decode(t) == Some(p)` implies `encode(p) == Ok(t)`.
+/// Use [`classify`] to distinguish the two `None` cases.
 pub fn decode(tos: u8) -> Option<u16> {
+    match classify(tos) {
+        Tag::Port(port) => Some(port),
+        Tag::Untagged | Tag::Reserved => None,
+    }
+}
+
+/// Classifies a TOS value: untagged, a valid port tag, or reserved.
+pub fn classify(tos: u8) -> Tag {
     if tos == 0 {
-        None
+        Tag::Untagged
+    } else if tos >= RESERVED_TAG_MIN {
+        Tag::Reserved
     } else {
-        Some(u16::from(tos))
+        Tag::Port(u16::from(tos))
     }
 }
 
@@ -65,12 +114,14 @@ pub fn bits_needed(port_count: u16) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_all_encodable_ports() {
         for port in 1..=MAX_TAGGABLE_PORT {
             let tos = encode(port).unwrap();
             assert_eq!(decode(tos), Some(port));
+            assert_eq!(classify(tos), Tag::Port(port));
         }
     }
 
@@ -78,12 +129,30 @@ mod tests {
     fn zero_and_large_ports_rejected() {
         assert!(encode(0).is_err());
         assert!(encode(MAX_TAGGABLE_PORT + 1).is_err());
+        assert!(encode(0xff).is_err(), "reserved band cannot be tagged");
+        assert!(encode(0x100).is_err());
         assert!(encode(0xfffb).is_err(), "reserved ports cannot be tagged");
     }
 
     #[test]
     fn untagged_decodes_to_none() {
         assert_eq!(decode(0), None);
+        assert_eq!(classify(0), Tag::Untagged);
+    }
+
+    #[test]
+    fn reserved_band_is_symmetric() {
+        // Decode refuses exactly the values encode cannot produce.
+        for tos in RESERVED_TAG_MIN..=u8::MAX {
+            assert_eq!(decode(tos), None, "tos {tos:#04x} is reserved");
+            assert_eq!(classify(tos), Tag::Reserved);
+            // The port a naive decoder would have fabricated is itself
+            // unencodable, closing the loop.
+            assert!(encode(u16::from(tos)).is_err());
+        }
+        // OFPP_FLOOD's low byte sits inside the reserved band.
+        assert_eq!(0xfffbu16 as u8, 0xfb);
+        assert_eq!(classify(0xfb), Tag::Reserved);
     }
 
     #[test]
@@ -98,5 +167,41 @@ mod tests {
     fn error_message_mentions_port() {
         let err = encode(999).unwrap_err();
         assert!(err.to_string().contains("999"));
+    }
+
+    proptest! {
+        /// Satellite: the encode domain over the full u16 range is exactly
+        /// `1..=MAX_TAGGABLE_PORT`, and every successful encode round-trips.
+        #[test]
+        fn encode_domain_and_roundtrip(port in proptest::arbitrary::any::<u16>()) {
+            match encode(port) {
+                Ok(tos) => {
+                    prop_assert!((1..=MAX_TAGGABLE_PORT).contains(&port));
+                    prop_assert_eq!(decode(tos), Some(port));
+                    prop_assert_eq!(classify(tos), Tag::Port(port));
+                }
+                Err(_) => {
+                    prop_assert!(port == 0 || port > MAX_TAGGABLE_PORT);
+                }
+            }
+        }
+
+        /// Satellite: decode is the exact inverse — any decoded port
+        /// re-encodes to the same TOS byte, and `None` only arises from the
+        /// untagged zero or the reserved band.
+        #[test]
+        fn decode_is_inverse_of_encode(tos in 0u16..=255) {
+            let tos = tos as u8;
+            match decode(tos) {
+                Some(port) => {
+                    prop_assert_eq!(encode(port), Ok(tos));
+                    prop_assert_eq!(classify(tos), Tag::Port(port));
+                }
+                None => {
+                    prop_assert!(tos == 0 || tos >= RESERVED_TAG_MIN);
+                    prop_assert!(encode(u16::from(tos)).is_err());
+                }
+            }
+        }
     }
 }

@@ -71,6 +71,30 @@ enum Ev {
     Fault(Fault),
     SwitchRestart { sw: usize },
     DeviceRestart { dev: usize },
+    ObsSnapshot,
+}
+
+/// Engine-side observability state: metric handles registered against an
+/// [`obs::Registry`] at attach time, plus the bookkeeping that turns
+/// cumulative counts into rates at snapshot time.
+struct EngineObs {
+    hub: obs::ObsHandle,
+    /// Events popped from the queue, counted on the hot path.
+    events: obs::Counter,
+    events_per_sec: obs::Gauge,
+    queue_depth: obs::Gauge,
+    ctrl_queue_depth: obs::Gauge,
+    pool_occupancy: obs::Gauge,
+    ctrl_queue_hist: obs::Histogram,
+    switch_batch_hist: obs::Histogram,
+    snapshot_interval: Option<f64>,
+    /// Per-switch gauges, registered lazily (switches may be added after
+    /// attach). Indexed by switch id.
+    switch_buffer: Vec<obs::Gauge>,
+    switch_miss_rate: Vec<obs::Gauge>,
+    last_misses: Vec<u64>,
+    last_events: u64,
+    last_at: f64,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -141,6 +165,7 @@ pub struct Simulation {
     ctrl_scratch: ControlOutput,
     device_scratch: DeviceOutput,
     events_processed: u64,
+    obs: Option<EngineObs>,
 }
 
 impl Simulation {
@@ -182,7 +207,92 @@ impl Simulation {
             ctrl_scratch: ControlOutput::new(),
             device_scratch: DeviceOutput::new(),
             events_processed: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability hub.
+    ///
+    /// The engine registers its metrics (`engine.events`, queue depths, pool
+    /// occupancy, per-switch buffer/miss gauges) immediately and updates the
+    /// hot-path counters from then on. When `snapshot_interval` is `Some`,
+    /// a periodic `Ev::ObsSnapshot` event is scheduled through the normal
+    /// event queue, so recorder samples land at deterministic sim times and
+    /// the recorded timeline is bit-exact across same-seed runs. With `None`
+    /// the registry stays live (counters/histograms still update) but no
+    /// snapshots are taken — the configuration the `<2%` overhead gate in
+    /// `bench/benches/engine.rs` measures.
+    ///
+    /// Call before the first `run_until`; the snapshot event is scheduled at
+    /// engine start.
+    pub fn attach_obs(&mut self, hub: obs::ObsHandle, snapshot_interval: Option<f64>) {
+        let reg = &hub.registry;
+        self.obs = Some(EngineObs {
+            events: reg.counter("engine.events"),
+            events_per_sec: reg.gauge("engine.events_per_sec"),
+            queue_depth: reg.gauge("engine.queue_depth"),
+            ctrl_queue_depth: reg.gauge("engine.ctrl_queue_depth"),
+            pool_occupancy: reg.gauge("engine.pool_occupancy"),
+            ctrl_queue_hist: reg.histogram("engine.ctrl_queue"),
+            switch_batch_hist: reg.histogram("engine.switch_batch"),
+            snapshot_interval,
+            switch_buffer: Vec::new(),
+            switch_miss_rate: Vec::new(),
+            last_misses: Vec::new(),
+            last_events: 0,
+            last_at: 0.0,
+            hub,
+        });
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs(&self) -> Option<&obs::ObsHandle> {
+        self.obs.as_ref().map(|o| &o.hub)
+    }
+
+    /// Samples every engine/switch gauge and takes a recorder snapshot.
+    fn obs_snapshot(&mut self, now: f64) {
+        let Some(o) = self.obs.as_mut() else { return };
+        o.queue_depth.set(self.queue.len() as f64);
+        o.ctrl_queue_depth.set(self.ctrl_queue.len() as f64);
+        let dt = now - o.last_at;
+        if dt > 0.0 {
+            o.events_per_sec
+                .set((self.events_processed - o.last_events) as f64 / dt);
+        }
+        o.last_events = self.events_processed;
+        o.last_at = now;
+        let mut pool = 0usize;
+        for (i, s) in self.switches.iter().enumerate() {
+            while o.switch_buffer.len() <= i {
+                let j = o.switch_buffer.len();
+                o.switch_buffer.push(
+                    o.hub
+                        .registry
+                        .gauge(&format!("switch{j}.buffer_utilization")),
+                );
+                o.switch_miss_rate
+                    .push(o.hub.registry.gauge(&format!("switch{j}.miss_rate")));
+                o.last_misses.push(0);
+            }
+            pool += s.buffered();
+            o.switch_buffer[i].set(s.buffer_utilization());
+            if dt > 0.0 {
+                o.switch_miss_rate[i].set((s.stats.misses - o.last_misses[i]) as f64 / dt);
+            }
+            o.last_misses[i] = s.stats.misses;
+        }
+        o.pool_occupancy.set(pool as f64);
+        // Mirror the legacy recorder counters (fault drops etc.) so the
+        // timeline unifies all three pre-existing telemetry surfaces.
+        // BTreeMap iteration keeps the mirror order deterministic.
+        for (name, &v) in &self.recorder.counters {
+            o.hub
+                .registry
+                .gauge(&format!("netsim.{name}"))
+                .set(v as f64);
+        }
+        o.hub.snapshot(now);
     }
 
     /// Installs the control plane (controller platform, defense wrapper...).
@@ -550,6 +660,9 @@ impl Simulation {
         }
         self.queue
             .schedule(self.maintenance_interval, Ev::Maintenance);
+        if let Some(interval) = self.obs.as_ref().and_then(|o| o.snapshot_interval) {
+            self.queue.schedule(interval, Ev::ObsSnapshot);
+        }
     }
 
     /// Runs the event loop until simulated time `until`.
@@ -561,6 +674,9 @@ impl Simulation {
             }
             let (now, ev) = self.queue.pop().expect("peeked event");
             self.events_processed += 1;
+            if let Some(o) = &self.obs {
+                o.events.inc();
+            }
             self.dispatch(ev, now, until);
         }
     }
@@ -605,6 +721,12 @@ impl Simulation {
                         _ => unreachable!("peeked a same-time switch delivery"),
                     }
                     self.events_processed += 1;
+                    if let Some(o) = &self.obs {
+                        o.events.inc();
+                    }
+                }
+                if let Some(o) = &self.obs {
+                    o.switch_batch_hist.record(batch.len() as u64);
                 }
                 if self.switch_down[sw] {
                     for (_, pkt) in batch.drain(..) {
@@ -675,6 +797,9 @@ impl Simulation {
                         _ => unreachable!("peeked a same-time device delivery"),
                     }
                     self.events_processed += 1;
+                    if let Some(o) = &self.obs {
+                        o.events.inc();
+                    }
                 }
                 if self.device_down[dev] {
                     for pkt in batch.drain(..) {
@@ -699,6 +824,9 @@ impl Simulation {
                     self.recorder.count("controller_queue_drops", 1);
                 } else {
                     self.ctrl_queue.push_back((src, msg));
+                    if let Some(o) = &self.obs {
+                        o.ctrl_queue_hist.record(self.ctrl_queue.len() as u64);
+                    }
                     self.maybe_schedule_ctrl(now);
                 }
             }
@@ -723,6 +851,9 @@ impl Simulation {
                         }
                     };
                     let service = self.ctrl_profile.dispatch_cost + app_cpu;
+                    if let Some(o) = &self.obs {
+                        o.hub.trace_complete("ctrl.msg", "engine", now, service);
+                    }
                     self.ctrl_busy_until = now + service;
                     self.ctrl_total_cpu.add(now, service);
                     self.ctrl_stats.processed += 1;
@@ -807,6 +938,12 @@ impl Simulation {
                 });
                 self.queue
                     .schedule(now + self.maintenance_interval, Ev::Maintenance);
+            }
+            Ev::ObsSnapshot => {
+                self.obs_snapshot(now);
+                if let Some(interval) = self.obs.as_ref().and_then(|o| o.snapshot_interval) {
+                    self.queue.schedule(now + interval, Ev::ObsSnapshot);
+                }
             }
             Ev::Fault(fault) => self.apply_fault(fault, now),
             Ev::SwitchRestart { sw } => {

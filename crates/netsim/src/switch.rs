@@ -151,6 +151,11 @@ impl Switch {
         self.buffer.len() as f64 / self.profile.buffer_slots as f64
     }
 
+    /// Number of packets parked in the miss-buffer arena.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     fn next_xid(&mut self) -> Xid {
         let x = self.xid;
         self.xid = self.xid.next();

@@ -1,0 +1,134 @@
+//! Sim-clock time-series recorder.
+//!
+//! [`Recorder::snapshot`] samples every metric in a [`Registry`] at one
+//! simulated instant and appends the values to per-metric series. Snapshots
+//! are driven by an event scheduled through the simulation's own event queue
+//! (see `netsim::Simulation::attach_obs`), so for a fixed seed the sequence
+//! of `(t, value)` samples is bit-exact across runs: the snapshot event
+//! competes in the same `(time, seq)` total order as every other event, and
+//! the recorder itself does no clock reads of its own.
+
+use crate::registry::{Metric, Registry};
+
+/// One recorded series: a metric name plus `(sim_time, value)` samples in
+/// snapshot order (timestamps are monotonically non-decreasing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric name; histograms expand to `<name>.count` / `<name>.p99`.
+    pub name: String,
+    /// `(sim_time_seconds, value)` samples.
+    pub samples: Vec<(f64, f64)>,
+}
+
+/// Accumulates time-series samples of a registry's metrics.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    series: Vec<Series>,
+    snapshots: u64,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    fn push(&mut self, name: &str, t: f64, value: f64) {
+        // Linear scan keyed by name: the metric population is small (tens)
+        // and this runs only on the cold snapshot path. Series are created
+        // in first-seen order, which registration order makes deterministic.
+        match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.samples.push((t, value)),
+            None => self.series.push(Series {
+                name: name.to_owned(),
+                samples: vec![(t, value)],
+            }),
+        }
+    }
+
+    /// Samples every metric in `registry` at sim time `now`.
+    ///
+    /// Counters and gauges record their current value; histograms record
+    /// two derived series, `<name>.count` and `<name>.p99` (bucket upper
+    /// bound of the 0.99 quantile).
+    pub fn snapshot(&mut self, now: f64, registry: &Registry) {
+        self.snapshots += 1;
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        registry.visit(|name, metric| match metric {
+            Metric::Counter(c) => rows.push((name.to_owned(), c.get() as f64)),
+            Metric::Gauge(g) => rows.push((name.to_owned(), g.get())),
+            Metric::Histogram(h) => {
+                rows.push((format!("{name}.count"), h.count() as f64));
+                rows.push((format!("{name}.p99"), h.quantile_upper_bound(0.99) as f64));
+            }
+        });
+        for (name, value) in rows {
+            self.push(&name, now, value);
+        }
+    }
+
+    /// Number of snapshots taken.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// The recorded series, in first-seen (registration) order.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_accumulate_per_metric_series() {
+        let reg = Registry::new();
+        let c = reg.counter("events");
+        let g = reg.gauge("depth");
+        let mut rec = Recorder::new();
+
+        c.add(3);
+        g.set(1.0);
+        rec.snapshot(0.5, &reg);
+        c.add(2);
+        g.set(4.0);
+        rec.snapshot(1.0, &reg);
+
+        assert_eq!(rec.snapshots(), 2);
+        let series = rec.series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "events");
+        assert_eq!(series[0].samples, vec![(0.5, 3.0), (1.0, 5.0)]);
+        assert_eq!(series[1].name, "depth");
+        assert_eq!(series[1].samples, vec![(0.5, 1.0), (1.0, 4.0)]);
+    }
+
+    #[test]
+    fn histograms_expand_to_count_and_p99() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.record(5);
+        h.record(9);
+        let mut rec = Recorder::new();
+        rec.snapshot(2.0, &reg);
+        let names: Vec<&str> = rec.series().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["lat.count", "lat.p99"]);
+        assert_eq!(rec.series()[0].samples, vec![(2.0, 2.0)]);
+        assert_eq!(rec.series()[1].samples, vec![(2.0, 15.0)]); // bucket [8,15]
+    }
+
+    #[test]
+    fn late_registered_metrics_join_midstream() {
+        let reg = Registry::new();
+        reg.counter("a");
+        let mut rec = Recorder::new();
+        rec.snapshot(1.0, &reg);
+        reg.counter("b");
+        rec.snapshot(2.0, &reg);
+        assert_eq!(rec.series().len(), 2);
+        assert_eq!(rec.series()[1].name, "b");
+        assert_eq!(rec.series()[1].samples, vec![(2.0, 0.0)]);
+    }
+}

@@ -34,6 +34,7 @@ pub mod conn;
 pub mod controller_endpoint;
 pub mod counters;
 pub mod handshake;
+pub mod obs;
 pub mod switch_endpoint;
 
 pub use config::ChannelConfig;

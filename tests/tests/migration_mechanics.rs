@@ -153,11 +153,18 @@ fn proactive_rules_reflect_learned_hosts_during_defense() {
 #[test]
 fn tag_value_is_never_the_reserved_zero() {
     // Exhaustive over the encodable range: the tag must be decodable and
-    // never collide with the untagged marker.
-    for port in 1..=255u16 {
-        let tos = floodguard::migration::tag::encode(port).unwrap();
+    // never collide with the untagged marker or the reserved band.
+    use floodguard::migration::tag;
+    for port in 1..=tag::MAX_TAGGABLE_PORT {
+        let tos = tag::encode(port).unwrap();
         assert_ne!(tos, 0);
-        assert_eq!(floodguard::migration::tag::decode(tos), Some(port));
+        assert!(tos < tag::RESERVED_TAG_MIN);
+        assert_eq!(tag::decode(tos), Some(port));
+    }
+    // The reserved band (mirroring the OpenFlow reserved-port low bytes)
+    // is not encodable.
+    for port in u16::from(tag::RESERVED_TAG_MIN)..=255 {
+        assert!(tag::encode(port).is_err(), "port {port} must be rejected");
     }
 }
 
