@@ -7,12 +7,22 @@
 //! argues (§II-D, §III), it is *protocol-dependent*: UDP/ICMP floods pass
 //! straight through to the controller. The `protocol_independence` example
 //! and integration tests demonstrate exactly that contrast.
+//!
+//! Stats are held behind a shared handle ([`SynProxy::stats_handle`])
+//! because the hook itself is moved into the switch; the counter set
+//! mirrors FloodGuard's (drops by class, rules installed, migrations) so
+//! arena table cells are directly comparable, and [`SynProxy::attach_obs`]
+//! registers the same style of gauges as `FloodGuard::attach_obs`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use netsim::packet::{Packet, Payload, Transport};
 use netsim::switch::{MissHook, MissOverride};
 use ofproto::types::ipproto;
+use parking_lot::Mutex;
+
+use crate::protocol_class;
 
 /// Statistics of the SYN proxy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,7 +37,27 @@ pub struct SynProxyStats {
     pub passed_through: u64,
     /// Pending entries evicted by capacity.
     pub evicted: u64,
+    /// Packets dropped by the proxy per protocol class
+    /// (TCP/UDP/ICMP/other — the same lanes FloodGuard's cache reports).
+    /// AvantGuard only ever drops TCP; the zero UDP/ICMP lanes *are* the
+    /// paper's protocol-dependence argument, made visible in the table.
+    pub drops_by_class: [u64; 4],
+    /// Proactive rules installed by the defense itself. Always zero:
+    /// connection migration installs no rules — reported for counter
+    /// parity with FloodGuard in arena cells.
+    pub rules_installed: u64,
+    /// Flows migrated to the controller after handshake validation.
+    pub migrations: u64,
+    /// Bytes of defense state held after the last handled miss
+    /// (pending-handshake table).
+    pub state_bytes: u64,
+    /// High-water mark of [`SynProxyStats::state_bytes`].
+    pub state_bytes_peak: u64,
 }
+
+/// Shared view of the proxy's live counters (the hook itself is owned by
+/// the switch once installed).
+pub type SynProxyHandle = Arc<Mutex<SynProxyStats>>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct FlowKey {
@@ -37,14 +67,34 @@ struct FlowKey {
     dport: u16,
 }
 
+/// Gauges mirroring the live counters, `FloodGuard::attach_obs`-style.
+struct AgObs {
+    pending: obs::registry::Gauge,
+    syns_proxied: obs::registry::Gauge,
+    handshakes_validated: obs::registry::Gauge,
+    stray_acks: obs::registry::Gauge,
+    passed_through: obs::registry::Gauge,
+    dropped: obs::registry::Gauge,
+    migrations: obs::registry::Gauge,
+}
+
 /// The SYN-proxy datapath hook.
-#[derive(Debug)]
 pub struct SynProxy {
     pending: HashMap<FlowKey, f64>,
     capacity: usize,
     handshake_timeout: f64,
-    /// Live counters.
-    pub stats: SynProxyStats,
+    stats: SynProxyHandle,
+    obs: Option<AgObs>,
+}
+
+impl std::fmt::Debug for SynProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynProxy")
+            .field("pending", &self.pending.len())
+            .field("capacity", &self.capacity)
+            .field("handshake_timeout", &self.handshake_timeout)
+            .finish()
+    }
 }
 
 impl SynProxy {
@@ -55,13 +105,58 @@ impl SynProxy {
             pending: HashMap::new(),
             capacity,
             handshake_timeout,
-            stats: SynProxyStats::default(),
+            stats: Arc::new(Mutex::new(SynProxyStats::default())),
+            obs: None,
         }
+    }
+
+    /// Snapshot of the live counters.
+    pub fn stats(&self) -> SynProxyStats {
+        *self.stats.lock()
+    }
+
+    /// Shared handle to the live counters — read it after the hook has
+    /// been moved into the switch.
+    pub fn stats_handle(&self) -> SynProxyHandle {
+        Arc::clone(&self.stats)
+    }
+
+    /// Registers `avantguard.*` gauges on `hub`, updated on every miss the
+    /// hook handles (the datapath hook has no periodic tick to publish on).
+    pub fn attach_obs(&mut self, hub: &obs::ObsHandle) {
+        let reg = &hub.registry;
+        self.obs = Some(AgObs {
+            pending: reg.gauge("avantguard.pending"),
+            syns_proxied: reg.gauge("avantguard.syns_proxied"),
+            handshakes_validated: reg.gauge("avantguard.handshakes_validated"),
+            stray_acks: reg.gauge("avantguard.stray_acks"),
+            passed_through: reg.gauge("avantguard.passed_through"),
+            dropped: reg.gauge("avantguard.dropped"),
+            migrations: reg.gauge("avantguard.migrations"),
+        });
+    }
+
+    fn publish_obs(&self, stats: &SynProxyStats) {
+        let Some(o) = &self.obs else { return };
+        o.pending.set(self.pending.len() as f64);
+        o.syns_proxied.set(stats.syns_proxied as f64);
+        o.handshakes_validated
+            .set(stats.handshakes_validated as f64);
+        o.stray_acks.set(stats.stray_acks as f64);
+        o.passed_through.set(stats.passed_through as f64);
+        o.dropped
+            .set(stats.drops_by_class.iter().sum::<u64>() as f64);
+        o.migrations.set(stats.migrations as f64);
     }
 
     /// Pending (unacknowledged) handshakes.
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Bytes of defense state currently held (pending-handshake table).
+    pub fn state_bytes(&self) -> u64 {
+        (self.pending.len() * PENDING_ENTRY_BYTES) as u64
     }
 
     fn key_of(packet: &Packet) -> Option<FlowKey> {
@@ -91,7 +186,10 @@ impl SynProxy {
                 dst,
                 transport:
                     Transport::Tcp {
-                        src_port, dst_port, ..
+                        src_port,
+                        dst_port,
+                        seq,
+                        ..
                     },
                 ..
             } => Packet::tcp(
@@ -103,17 +201,25 @@ impl SynProxy {
                 src_port,
                 Transport::TCP_SYN | Transport::TCP_ACK,
                 64,
-            ),
+            )
+            .with_tcp_seq_ack(0, seq.wrapping_add(1)),
             _ => unreachable!("guarded by key_of"),
         }
     }
 }
 
+/// Estimated bytes per pending-handshake entry (4-tuple key + timestamp +
+/// hash-table overhead) — the arena's defense-state-cost metric.
+pub const PENDING_ENTRY_BYTES: usize = 48;
+
 impl MissHook for SynProxy {
     fn on_miss(&mut self, packet: &Packet, _in_port: u16, now: f64) -> Option<MissOverride> {
         let Some(key) = Self::key_of(packet) else {
             // Not TCP: AvantGuard offers no protection here.
-            self.stats.passed_through += 1;
+            let mut stats = *self.stats.lock();
+            stats.passed_through += 1;
+            *self.stats.lock() = stats;
+            self.publish_obs(&stats);
             return None;
         };
         self.expire(now);
@@ -124,30 +230,41 @@ impl MissHook for SynProxy {
             } => flags,
             _ => 0,
         };
-        if flags & Transport::TCP_SYN != 0 && flags & Transport::TCP_ACK == 0 {
+        let mut stats = *self.stats.lock();
+        let verdict = if flags & Transport::TCP_SYN != 0 && flags & Transport::TCP_ACK == 0 {
             // Answer the SYN in the datapath.
             if self.pending.len() >= self.capacity {
                 // Oldest entries will expire; until then, shed.
-                self.stats.evicted += 1;
-                return Some(MissOverride::Drop);
+                stats.evicted += 1;
+                stats.drops_by_class[protocol_class(packet)] += 1;
+                Some(MissOverride::Drop)
+            } else {
+                self.pending.insert(key, now);
+                stats.syns_proxied += 1;
+                Some(MissOverride::Reply(Self::syn_ack_for(packet)))
             }
-            self.pending.insert(key, now);
-            self.stats.syns_proxied += 1;
-            Some(MissOverride::Reply(Self::syn_ack_for(packet)))
         } else if flags & Transport::TCP_ACK != 0 {
             // Handshake completion: expose the flow to the controller.
             if self.pending.remove(&key).is_some() {
-                self.stats.handshakes_validated += 1;
+                stats.handshakes_validated += 1;
+                stats.migrations += 1;
                 Some(MissOverride::PacketIn)
             } else {
-                self.stats.stray_acks += 1;
+                stats.stray_acks += 1;
+                stats.drops_by_class[protocol_class(packet)] += 1;
                 Some(MissOverride::Drop)
             }
         } else {
             // Mid-stream TCP without state: drop (no handshake seen).
-            self.stats.stray_acks += 1;
+            stats.stray_acks += 1;
+            stats.drops_by_class[protocol_class(packet)] += 1;
             Some(MissOverride::Drop)
-        }
+        };
+        stats.state_bytes = self.state_bytes();
+        stats.state_bytes_peak = stats.state_bytes_peak.max(stats.state_bytes);
+        *self.stats.lock() = stats;
+        self.publish_obs(&stats);
+        verdict
     }
 }
 
@@ -205,8 +322,9 @@ mod tests {
             },
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(proxy.stats.syns_proxied, 1);
+        assert_eq!(proxy.stats().syns_proxied, 1);
         assert_eq!(proxy.pending(), 1);
+        assert_eq!(proxy.state_bytes(), PENDING_ENTRY_BYTES as u64);
     }
 
     #[test]
@@ -217,7 +335,8 @@ mod tests {
             Some(MissOverride::PacketIn) => {}
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(proxy.stats.handshakes_validated, 1);
+        assert_eq!(proxy.stats().handshakes_validated, 1);
+        assert_eq!(proxy.stats().migrations, 1, "validated flow migrated");
         assert_eq!(proxy.pending(), 0);
     }
 
@@ -231,7 +350,7 @@ mod tests {
                 "spoofed SYNs must be absorbed"
             );
         }
-        assert_eq!(proxy.stats.handshakes_validated, 0);
+        assert_eq!(proxy.stats().handshakes_validated, 0);
     }
 
     #[test]
@@ -241,7 +360,8 @@ mod tests {
             proxy.on_miss(&ack(9), 1, 0.0),
             Some(MissOverride::Drop)
         ));
-        assert_eq!(proxy.stats.stray_acks, 1);
+        assert_eq!(proxy.stats().stray_acks, 1);
+        assert_eq!(proxy.stats().drops_by_class, [1, 0, 0, 0], "TCP lane only");
     }
 
     #[test]
@@ -258,7 +378,8 @@ mod tests {
             64,
         );
         assert!(proxy.on_miss(&udp, 1, 0.0).is_none());
-        assert_eq!(proxy.stats.passed_through, 1);
+        assert_eq!(proxy.stats().passed_through, 1);
+        assert_eq!(proxy.stats().drops_by_class[1], 0, "UDP never dropped");
     }
 
     #[test]
@@ -282,6 +403,24 @@ mod tests {
             proxy.on_miss(&syn(3), 1, 0.0),
             Some(MissOverride::Drop)
         ));
-        assert_eq!(proxy.stats.evicted, 1);
+        assert_eq!(proxy.stats().evicted, 1);
+    }
+
+    #[test]
+    fn stats_handle_shares_counters() {
+        let mut proxy = SynProxy::new(1000, 5.0);
+        let handle = proxy.stats_handle();
+        proxy.on_miss(&syn(1), 1, 0.0);
+        assert_eq!(handle.lock().syns_proxied, 1);
+    }
+
+    #[test]
+    fn obs_gauges_track_counters() {
+        let hub = obs::Obs::new();
+        let mut proxy = SynProxy::new(1000, 5.0);
+        proxy.attach_obs(&hub);
+        proxy.on_miss(&syn(1), 1, 0.0);
+        assert_eq!(hub.registry.gauge("avantguard.syns_proxied").get(), 1.0);
+        assert_eq!(hub.registry.gauge("avantguard.pending").get(), 1.0);
     }
 }

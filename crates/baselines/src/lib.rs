@@ -1,6 +1,7 @@
 //! # baselines — comparison defenses for the FloodGuard evaluation
 //!
-//! Three comparators the paper discusses:
+//! The comparators the paper discusses plus two rivals from the wider
+//! literature (the `arena` crate races all of them behind one trait):
 //!
 //! * [`vanilla`] — the undefended reactive controller ("existing OpenFlow
 //!   network", the no-defense series of Figs. 10–12);
@@ -9,14 +10,36 @@
 //!   (§I, §IV-C);
 //! * [`avantguard`] — an AvantGuard-style SYN-proxy connection-migration
 //!   datapath hook (Shin et al., CCS 2013), which stops TCP floods but is
-//!   blind to other protocols — the paper's protocol-independence foil.
+//!   blind to other protocols — the paper's protocol-independence foil;
+//! * [`lineswitch`] — LineSwitch-style edge SYN proxying with probabilistic
+//!   per-source blacklisting and a proxy-state budget (Ambrosin et al.);
+//! * [`syncookies`] — stateless data-plane SYN cookies with
+//!   sequence-translation state only for established flows (Scholz et al.,
+//!   "Me Love (SYN-)Cookies").
 
 #![warn(missing_docs)]
 
 pub mod avantguard;
+pub mod lineswitch;
 pub mod naive_drop;
+pub mod syncookies;
 pub mod vanilla;
 
-pub use avantguard::{SynProxy, SynProxyStats};
-pub use naive_drop::{NaiveDrop, NaiveDropStats};
+pub use avantguard::{SynProxy, SynProxyHandle, SynProxyStats};
+pub use lineswitch::{LineSwitch, LineSwitchConfig, LineSwitchHandle, LineSwitchStats};
+pub use naive_drop::{NaiveDrop, NaiveDropHandle, NaiveDropStats};
+pub use syncookies::{SynCookies, SynCookiesConfig, SynCookiesHandle, SynCookiesStats};
 pub use vanilla::Vanilla;
+
+/// Protocol class index of a packet — the lane layout FloodGuard's cache
+/// reports drops in (0 = TCP, 1 = UDP, 2 = ICMP, 3 = other/non-IP), reused
+/// by every baseline so drops-by-class cells line up across defenses.
+pub fn protocol_class(pkt: &netsim::packet::Packet) -> usize {
+    use ofproto::types::ipproto;
+    match pkt.ip_proto() {
+        Some(ipproto::TCP) => 0,
+        Some(ipproto::UDP) => 1,
+        Some(ipproto::ICMP) => 2,
+        _ => 3,
+    }
+}

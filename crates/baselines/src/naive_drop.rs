@@ -6,6 +6,8 @@
 //! every benign new flow for the duration — the integration tests measure
 //! exactly that collateral damage against FloodGuard's cache.
 
+use std::sync::Arc;
+
 use controller::platform::ControllerPlatform;
 use floodguard::detector::Detector;
 use floodguard::{DetectionConfig, State, StateMachine};
@@ -14,6 +16,7 @@ use ofproto::flow_match::OfMatch;
 use ofproto::flow_mod::FlowMod;
 use ofproto::messages::{OfBody, OfMessage};
 use ofproto::types::{DatapathId, Xid};
+use parking_lot::Mutex;
 
 /// Counters for the naive defense.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,7 +25,13 @@ pub struct NaiveDropStats {
     pub attacks_detected: u64,
     /// Drop rules installed.
     pub drop_rules_installed: u64,
+    /// Drop rules removed after the window cleared.
+    pub drop_rules_removed: u64,
 }
+
+/// Shared view of the live counters (the plane itself is moved into the
+/// simulation once installed).
+pub type NaiveDropHandle = Arc<Mutex<NaiveDropStats>>;
 
 /// The naive drop-all defense wrapping a controller platform.
 pub struct NaiveDrop {
@@ -31,8 +40,7 @@ pub struct NaiveDrop {
     sm: StateMachine,
     switches: Vec<DatapathId>,
     cookie: u64,
-    /// Counters.
-    pub stats: NaiveDropStats,
+    stats: NaiveDropHandle,
 }
 
 impl std::fmt::Debug for NaiveDrop {
@@ -52,8 +60,19 @@ impl NaiveDrop {
             sm: StateMachine::new(),
             switches: Vec::new(),
             cookie: 0x4a1e_d409,
-            stats: NaiveDropStats::default(),
+            stats: Arc::new(Mutex::new(NaiveDropStats::default())),
         }
+    }
+
+    /// Snapshot of the live counters.
+    pub fn stats(&self) -> NaiveDropStats {
+        *self.stats.lock()
+    }
+
+    /// Shared handle to the live counters — read it after the plane has
+    /// been moved into the simulation.
+    pub fn stats_handle(&self) -> NaiveDropHandle {
+        Arc::clone(&self.stats)
     }
 
     /// The defense state (reuses FloodGuard's FSM; Defense means the drop
@@ -103,14 +122,16 @@ impl ControlPlane for NaiveDrop {
             .record_utilization(buffer, datapath, telemetry.controller_utilization, now);
         match self.sm.state() {
             State::Idle if self.detector.is_attack(now) && self.sm.transition(State::Init, now) => {
-                self.stats.attacks_detected += 1;
+                let mut stats = self.stats.lock();
+                stats.attacks_detected += 1;
                 for &dpid in &self.switches {
                     out.send(
                         dpid,
                         OfMessage::new(Xid(0), OfBody::FlowMod(self.drop_all_rule())),
                     );
-                    self.stats.drop_rules_installed += 1;
+                    stats.drop_rules_installed += 1;
                 }
+                drop(stats);
                 self.sm.transition(State::Defense, now);
             }
             State::Defense => {
@@ -127,6 +148,7 @@ impl ControlPlane for NaiveDrop {
                                 OfBody::FlowMod(FlowMod::delete_strict(OfMatch::any(), 0)),
                             ),
                         );
+                        self.stats.lock().drop_rules_removed += 1;
                     }
                     self.sm.transition(State::Idle, now);
                 }
@@ -216,7 +238,7 @@ mod tests {
         let mut out = ControlOutput::new();
         nd.on_telemetry(&telemetry(), 1.05, &mut out);
         assert_eq!(nd.state(), State::Defense);
-        assert_eq!(nd.stats.drop_rules_installed, 1);
+        assert_eq!(nd.stats().drop_rules_installed, 1);
         match &out.messages[0].1.body {
             OfBody::FlowMod(fm) => {
                 assert!(fm.actions.is_empty(), "drop");

@@ -1,0 +1,119 @@
+//! Runs the **defense arena**: every `arena::Defense` backend (FloodGuard,
+//! AvantGuard, LineSwitch, SynCookies, naive drop, plus the undefended
+//! reference) across attack mixes (UDP / SYN / mixed), attack rates and
+//! switch profiles, on the shared Fig. 9 topology with identical seeds and
+//! workloads.
+//!
+//! Outputs:
+//! * stdout — the human-readable comparison table (checked in as
+//!   `results/arena.txt`);
+//! * `results/BENCH_arena.json` — the full matrix, byte-deterministic for
+//!   a fixed seed (no wall-clock fields);
+//! * with `--timeline` — `TIMELINE_arena_<defense>_<mix>.json` /
+//!   `TRACE_arena_<defense>_<mix>.json` per defended cell at the
+//!   representative rate.
+//!
+//! Flags:
+//! * `--smoke` — reduced CI matrix (one rate, software profile only);
+//!   writes `BENCH_arena_smoke.json` instead.
+//! * `--write-baseline` — also writes `BENCH_arena_baseline.json`, the
+//!   gate's reference (full matrix only).
+//!
+//! **Regression gate** — unless `FG_ARENA_GATE=0` or `--write-baseline`,
+//! compares every cell's bandwidth-retained against the checked-in
+//! baseline (`FG_ARENA_BASELINE` overrides the path) and exits non-zero on
+//! a >25% regression. Smoke cells share keys with the full matrix, so CI's
+//! reduced run gates against the same baseline.
+
+use std::time::Instant;
+
+use bench::arena::{check_gate, gate_keys, render, render_table, run_matrix, ArenaConfig};
+use bench::report::{read_report, write_report};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let config = if smoke {
+        ArenaConfig::smoke()
+    } else {
+        ArenaConfig::full()
+    };
+
+    if bench::timeline::requested() {
+        emit_timelines(&config);
+    }
+
+    let total = Instant::now();
+    let results = run_matrix(&config);
+    let wall_s = total.elapsed().as_secs_f64();
+
+    println!("# Defense arena — bandwidth retained, benign-flow setup latency,");
+    println!("# rules installed, controller CPU and defense-state cost per cell.");
+    print!("{}", render_table(&results));
+    println!(
+        "# {} clean runs + {} cells in {wall_s:.1}s",
+        results.cleans.len(),
+        results.cells.len()
+    );
+
+    let report = render(&config, &results);
+    let name = if smoke { "arena_smoke" } else { "arena" };
+    match write_report(name, &report) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_{name}.json: {err}"),
+    }
+    if write_baseline && !smoke {
+        match write_report("arena_baseline", &report) {
+            Ok(path) => println!("# wrote {}", path.display()),
+            Err(err) => eprintln!("warning: could not write baseline: {err}"),
+        }
+    }
+
+    if std::env::var("FG_ARENA_GATE").as_deref() == Ok("0") || write_baseline {
+        println!("# gate skipped");
+        return;
+    }
+    let baseline_path = std::env::var("FG_ARENA_BASELINE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| bench::report::results_dir().join("BENCH_arena_baseline.json"));
+    let baseline = match read_report(&baseline_path) {
+        Ok(body) => body,
+        Err(err) => {
+            println!(
+                "# no baseline at {} ({err}); gate skipped",
+                baseline_path.display()
+            );
+            return;
+        }
+    };
+    let failures = check_gate(&gate_keys(&results), &baseline);
+    if failures.is_empty() {
+        println!("# gate: all cells within 25% of baseline");
+    } else {
+        for f in &failures {
+            eprintln!("GATE FAILURE {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// One timeline per (defense, mix) at the representative rate on the
+/// software profile — the recorder's gauges show each defense's internal
+/// state (pending proxies, cache depth, blacklist size) evolving through
+/// the attack window.
+fn emit_timelines(config: &ArenaConfig) {
+    const TIMELINE_PPS: f64 = 400.0;
+    for defense in &config.defenses {
+        for &mix in &config.mixes {
+            let scenario = bench::arena::cell_scenario(
+                defense,
+                mix,
+                TIMELINE_PPS,
+                bench::arena::Profile::Software,
+                config.probe_at,
+            );
+            let name = format!("arena_{}_{}", defense.name(), bench::arena::mix_name(mix));
+            bench::timeline::emit(&name, &scenario);
+        }
+    }
+}

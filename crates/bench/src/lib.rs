@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod par;
 pub mod report;
 pub mod scenario;

@@ -7,13 +7,17 @@
 
 use std::net::Ipv4Addr;
 
-use baselines::avantguard::SynProxy;
-use baselines::naive_drop::NaiveDrop;
+use arena::{
+    AttachCtx, AvantGuardDefense, FloodGuardDefense, LineSwitchDefense, NaiveDropDefense,
+    SynCookiesDefense,
+};
+use baselines::lineswitch::LineSwitchConfig;
+use baselines::syncookies::SynCookiesConfig;
 use controller::apps;
 use controller::platform::ControllerPlatform;
 use floodguard::cache::CacheHandle;
 use floodguard::state::Transition;
-use floodguard::{FloodGuard, FloodGuardConfig, MonitorHandle};
+use floodguard::FloodGuardConfig;
 use netsim::engine::Simulation;
 use netsim::faults::Fault;
 use netsim::host::{BulkSender, MixedFlood, NewFlowProbe, SynFlood, UdpFlood};
@@ -39,7 +43,9 @@ pub const CACHE_PORT: u16 = 99;
 /// Switch port the standby cache hangs off (when enabled).
 pub const STANDBY_PORT: u16 = 98;
 
-/// Which defense protects the network.
+/// Which defense protects the network. Every non-`None` variant resolves
+/// to an [`arena::Defense`] backend via [`Defense::build`], so scenarios
+/// wire all contenders through the same seam.
 #[derive(Debug, Clone)]
 pub enum Defense {
     /// Bare reactive controller (the paper's "existing OpenFlow network").
@@ -50,6 +56,34 @@ pub enum Defense {
     NaiveDrop,
     /// AvantGuard-style SYN proxy in the switch datapath.
     AvantGuard,
+    /// LineSwitch: edge SYN proxy + probabilistic blacklist + state budget.
+    LineSwitch(LineSwitchConfig),
+    /// Stateless data-plane SYN cookies.
+    SynCookies(SynCookiesConfig),
+}
+
+impl Defense {
+    /// The arena backend for this defense; `None` for the undefended
+    /// baseline.
+    pub fn build(&self) -> Option<Box<dyn arena::Defense>> {
+        match self {
+            Defense::None => None,
+            Defense::FloodGuard(config) => Some(Box::new(FloodGuardDefense::new(*config))),
+            Defense::NaiveDrop => Some(Box::new(NaiveDropDefense::new())),
+            Defense::AvantGuard => Some(Box::new(AvantGuardDefense::default())),
+            Defense::LineSwitch(config) => Some(Box::new(LineSwitchDefense::new(*config))),
+            Defense::SynCookies(config) => Some(Box::new(SynCookiesDefense::new(*config))),
+        }
+    }
+
+    /// Stable lowercase identifier (the arena backend's name; "none" for
+    /// the undefended baseline).
+    pub fn name(&self) -> &'static str {
+        match self.build() {
+            None => "none",
+            Some(d) => d.name(),
+        }
+    }
 }
 
 /// Observability attachment for a scenario run.
@@ -102,6 +136,11 @@ pub struct Scenario {
     pub bulk_batch: u32,
     /// New-flow probe times (h1→h2 TCP SYNs; Table IV measurement).
     pub probes: Vec<f64>,
+    /// Whether h1 completes probe handshakes with the final ACK (default).
+    /// Disable for measurements that need probes to stay one-shot misses:
+    /// the completing ACK is itself a PacketIn that installs a learned
+    /// `dl_dst=h2` rule, which later probes would match in the switch.
+    pub probe_handshake: bool,
     /// Probe times toward a destination MAC nobody owns: the packet can
     /// only reach h2 via a controller-driven flood, so it observes whether
     /// unmatched traffic is still forwarded at all (fail-open vs fail-safe).
@@ -136,6 +175,7 @@ impl Scenario {
             bulk: true,
             bulk_batch: 50,
             probes: Vec::new(),
+            probe_handshake: true,
             unknown_probes: Vec::new(),
             duration: 4.0,
             seed: 42,
@@ -228,6 +268,9 @@ pub struct Outcome {
     /// FloodGuard's cache handle (probe residency log, live stats), when
     /// the defense was FloodGuard.
     pub cache: Option<CacheHandle>,
+    /// Normalized per-defense counters ([`arena::DefenseStats`]), when a
+    /// defense was attached.
+    pub defense_stats: Option<arena::DefenseStats>,
     /// The obs hub, when the scenario attached one ([`Scenario::obs`]).
     pub obs: Option<obs::ObsHandle>,
 }
@@ -262,55 +305,31 @@ pub fn run(scenario: &Scenario) -> Outcome {
     let h1 = sim.add_host(sw, 1, H1_MAC, H1_IP);
     let h2 = sim.add_host(sw, 2, H2_MAC, H2_IP);
     let h3 = sim.add_host(sw, 3, H3_MAC, H3_IP);
+    sim.host_mut(h1).complete_handshakes = scenario.probe_handshake;
 
     // Control plane.
     let mut platform = ControllerPlatform::new();
     for program in &scenario.apps {
         platform.register(program.clone());
     }
-    let mut fg_handle = None;
-    let mut fg_monitor: Option<MonitorHandle> = None;
-    match &scenario.defense {
-        Defense::None => sim.set_control_plane(Box::new(platform)),
-        Defense::FloodGuard(config) => {
-            let mut fg = FloodGuard::new(platform, *config, CACHE_PORT);
-            if let Some(hub) = &hub {
-                fg.attach_obs(hub);
-            }
-            let cache = fg.build_cache();
-            fg_handle = Some(fg.cache_handle());
-            fg_monitor = Some(fg.monitor_handle());
-            sim.attach_device(
+    let mut defense = scenario.defense.build();
+    match &mut defense {
+        None => sim.set_control_plane(Box::new(platform)),
+        Some(d) => {
+            let mut ctx = AttachCtx {
+                sim: &mut sim,
                 sw,
-                CACHE_PORT,
-                Box::new(cache),
-                scenario.profile.channel_bandwidth,
-                scenario.profile.channel_latency,
-                1e-3,
-            );
-            if scenario.standby_cache {
-                let standby = fg.build_standby_cache(ofproto::types::DatapathId(1), STANDBY_PORT);
-                sim.attach_device(
-                    sw,
-                    STANDBY_PORT,
-                    Box::new(standby),
-                    scenario.profile.channel_bandwidth,
-                    scenario.profile.channel_latency,
-                    1e-3,
-                );
-            }
-            sim.set_control_plane(Box::new(fg));
-        }
-        Defense::NaiveDrop => {
-            let nd = NaiveDrop::new(platform, floodguard::DetectionConfig::default());
-            sim.set_control_plane(Box::new(nd));
-        }
-        Defense::AvantGuard => {
-            sim.switch_mut(sw)
-                .set_miss_hook(Box::new(SynProxy::new(100_000, 5.0)));
-            sim.set_control_plane(Box::new(platform));
+                profile: scenario.profile,
+                cache_port: CACHE_PORT,
+                standby_port: STANDBY_PORT,
+                standby_cache: scenario.standby_cache,
+                obs: hub.as_ref(),
+            };
+            d.attach(platform, &mut ctx);
         }
     }
+    let fg_handle = defense.as_ref().and_then(|d| d.cache());
+    let fg_monitor = defense.as_ref().and_then(|d| d.monitor());
 
     // Workloads.
     if scenario.bulk {
@@ -382,6 +401,9 @@ pub fn run(scenario: &Scenario) -> Outcome {
     }
 
     sim.run_until(scenario.duration);
+    if let Some(d) = &mut defense {
+        d.detach(&mut sim);
+    }
 
     // Measurements.
     let attack_window = (
@@ -410,6 +432,11 @@ pub fn run(scenario: &Scenario) -> Outcome {
                 .iter()
                 .find(|(p, _)| {
                     p.tag == FlowTag::NewFlow { id }
+                        // Any handshake segment counts: under a proxying
+                        // defense the SYN is consumed at the switch and the
+                        // first packet h2 sees is the final ACK. For
+                        // non-proxy defenses the SYN still arrives first,
+                        // so the measured delay is unchanged.
                         || matches!(
                             p.payload,
                             Payload::Ipv4 {
@@ -417,7 +444,7 @@ pub fn run(scenario: &Scenario) -> Outcome {
                                 ..
                             } if src_port == source_port
                                 && dst_port == 80
-                                && flags == Transport::TCP_SYN
+                                && flags & (Transport::TCP_SYN | Transport::TCP_ACK) != 0
                         )
                 })
                 .map(|(_, t)| *t - at);
@@ -431,6 +458,7 @@ pub fn run(scenario: &Scenario) -> Outcome {
             (monitor.transitions.clone(), monitor.stats)
         })
         .unwrap_or_default();
+    let defense_stats = defense.as_ref().map(|d| d.stats());
     Outcome {
         bandwidth_bps,
         baseline_bps,
@@ -439,6 +467,7 @@ pub fn run(scenario: &Scenario) -> Outcome {
         fg_stats,
         controller,
         cache: fg_handle,
+        defense_stats,
         obs: hub,
         sim,
     }

@@ -107,6 +107,9 @@ pub struct CacheStats {
     pub queued_per_class: [usize; 4],
     /// Current priority-lane occupancy.
     pub queued_priority: usize,
+    /// High-water mark of total queue occupancy — the defense-state peak
+    /// the arena's comparison table reports for FloodGuard.
+    pub queued_peak: usize,
     /// Per-class received counts, indexed like [`QueueClass::ALL`].
     pub per_class: [u64; 4],
 }
@@ -221,6 +224,7 @@ impl DataPlaneCache {
     /// into `stats` — the gauges the obs layer and the migration agent read.
     fn publish_depths(&self, stats: &mut CacheStats) {
         stats.queued = self.queued();
+        stats.queued_peak = stats.queued_peak.max(stats.queued);
         for (i, q) in self.queues.iter().enumerate() {
             stats.queued_per_class[i] = q.len();
         }

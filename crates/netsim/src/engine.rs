@@ -693,6 +693,7 @@ impl Simulation {
                 let mut packets = std::mem::take(&mut self.emit_scratch);
                 self.hosts[host].emit_source_into(source, now, &mut self.rng, &mut packets);
                 for pkt in packets.drain(..) {
+                    self.hosts[host].note_sent(&pkt, now);
                     self.host_send(host, pkt, now);
                 }
                 self.emit_scratch = packets;

@@ -9,6 +9,7 @@ use rand::Rng;
 
 use crate::metrics::BandwidthMeter;
 use crate::packet::{FlowTag, Packet, Transport};
+use crate::synstate::SynTracker;
 
 /// A host identifier (index into the simulation's host table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -50,6 +51,16 @@ pub struct Host {
     pub deliveries: Vec<(Packet, f64)>,
     /// Packets received in total (batch-expanded).
     pub received_packets: u64,
+    /// TCP handshake state: half-open vs established accounting. Gives
+    /// SYN-proxy/cookie defenses a real handshake signal — the host
+    /// completes three-way handshakes it initiated instead of ignoring
+    /// SYN-ACKs.
+    pub syn: SynTracker,
+    /// Whether this host sends the final ACK for handshakes it initiated.
+    /// Disable to model a one-shot sender whose flows stay half-open — the
+    /// completing ACK is a fresh PacketIn that installs learned rules, which
+    /// some measurements (rule-placement latency) must avoid.
+    pub complete_handshakes: bool,
     sources: Vec<Box<dyn TrafficSource>>,
 }
 
@@ -72,8 +83,16 @@ impl Host {
             meter: BandwidthMeter::new(),
             deliveries: Vec::new(),
             received_packets: 0,
+            syn: SynTracker::default(),
+            complete_handshakes: true,
             sources: Vec::new(),
         }
+    }
+
+    /// Records a packet this host is emitting onto the wire (handshake
+    /// accounting; the engine calls this on every source emission).
+    pub fn note_sent(&mut self, pkt: &Packet, now: f64) {
+        self.syn.note_sent(self.ip, pkt, now);
     }
 
     /// Attaches a workload; returns its index.
@@ -140,6 +159,7 @@ impl Host {
             } if flags == Transport::TCP_SYN
         );
         if is_plain_syn && pkt.dst_mac == self.mac {
+            self.syn.note_responded(pkt, now);
             let mut rsp = Packet::tcp(
                 self.mac,
                 pkt.src_mac,
@@ -154,6 +174,38 @@ impl Host {
                 rsp.tag = FlowTag::NewFlowReply { id };
             }
             responses.push(rsp);
+        }
+        // Complete handshakes this host initiated: a SYN-ACK for a tracked
+        // half-open flow gets the final ACK (echoing the peer's sequence
+        // number, which is how SYN-cookie proxies validate the client).
+        let tcp_flags = match pkt.payload {
+            crate::packet::Payload::Ipv4 {
+                transport: Transport::Tcp { flags, .. },
+                ..
+            } => Some(flags),
+            _ => None,
+        };
+        if tcp_flags == Some(Transport::TCP_SYN | Transport::TCP_ACK)
+            && pkt.dst_mac == self.mac
+            && self.complete_handshakes
+        {
+            if let Some((seq, ack)) = self.syn.note_syn_ack(pkt, now) {
+                responses.push(
+                    Packet::tcp(
+                        self.mac,
+                        pkt.src_mac,
+                        self.ip,
+                        source_ip(pkt).unwrap_or(Ipv4Addr::UNSPECIFIED),
+                        dest_port(pkt).unwrap_or(0),
+                        src_port(pkt).unwrap_or(0),
+                        Transport::TCP_ACK,
+                        64,
+                    )
+                    .with_tcp_seq_ack(seq, ack),
+                );
+            }
+        } else if tcp_flags == Some(Transport::TCP_ACK) && pkt.dst_mac == self.mac {
+            self.syn.note_final_ack(pkt, now);
         }
         for source in &mut self.sources {
             responses.extend(source.on_receive(pkt, now));

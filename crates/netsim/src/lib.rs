@@ -59,6 +59,7 @@ pub mod pool;
 pub mod profile;
 pub mod sched;
 pub mod switch;
+pub mod synstate;
 
 pub use engine::{Endpoint, Simulation, SwitchId};
 pub use faults::{Fault, FaultLogEntry, FaultScript};

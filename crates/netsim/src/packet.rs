@@ -286,6 +286,26 @@ impl Packet {
         }
     }
 
+    /// Sets the TCP sequence/acknowledgement numbers; no-op for non-TCP
+    /// packets. SYN-cookie defenses encode the cookie in these fields.
+    #[must_use]
+    pub fn with_tcp_seq_ack(mut self, seq_no: u32, ack_no: u32) -> Packet {
+        if let Payload::Ipv4 {
+            transport:
+                Transport::Tcp {
+                    ref mut seq,
+                    ref mut ack,
+                    ..
+                },
+            ..
+        } = self.payload
+        {
+            *seq = seq_no;
+            *ack = ack_no;
+        }
+        self
+    }
+
     /// Sets the metrics tag.
     #[must_use]
     pub fn with_tag(mut self, tag: FlowTag) -> Packet {

@@ -1,0 +1,393 @@
+//! Per-host TCP handshake accounting: half-open vs established connections.
+//!
+//! SYN-proxy and SYN-cookie defenses (AvantGuard, LineSwitch, data-plane
+//! cookies) work by *completing or refusing* handshakes, so evaluating them
+//! needs hosts that actually finish the three-way handshake instead of
+//! inferring connection state from packet types. [`SynTracker`] records
+//! handshakes from both sides:
+//!
+//! - **initiator**: the host sent a SYN with its own source address; the
+//!   flow is half-open until the SYN-ACK returns, at which point the host
+//!   emits the final ACK and the flow is established.
+//! - **responder**: the host answered a SYN with a SYN-ACK; the flow is
+//!   half-open until the peer's final ACK lands.
+//!
+//! Spoofed flood SYNs never create initiator state (the source address is
+//! not the host's), so an attacker behind a SYN proxy never completes the
+//! handshake — exactly the property those defenses exploit.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::packet::{Packet, Payload, Transport};
+
+/// Connection 4-tuple in *initiator orientation*: `src` is always the side
+/// that sent the first SYN, so both endpoints key the same flow identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandshakeKey {
+    /// Initiator address.
+    pub src: Ipv4Addr,
+    /// Responder address.
+    pub dst: Ipv4Addr,
+    /// Initiator port.
+    pub sport: u16,
+    /// Responder port.
+    pub dport: u16,
+}
+
+/// Which side of the handshake this host is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Initiator,
+    Responder,
+}
+
+/// Handshake counters exposed by [`SynTracker::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynStateStats {
+    /// Handshakes this host initiated (SYN sent with its own address).
+    pub initiated: u64,
+    /// Handshakes this host answered with a SYN-ACK.
+    pub responded: u64,
+    /// Handshakes that reached the established state (either side).
+    pub established: u64,
+    /// SYN-ACKs received with no matching half-open initiator entry.
+    pub stray_syn_acks: u64,
+    /// Final ACKs received with no matching half-open responder entry.
+    pub stray_acks: u64,
+    /// Entries discarded because the tracker was full.
+    pub overflow: u64,
+}
+
+/// Default cap on concurrently tracked half-open handshakes.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Half-open handshakes a host is waiting on, with bounded state.
+#[derive(Debug)]
+pub struct SynTracker {
+    half_open: HashMap<HandshakeKey, (Role, f64)>,
+    established: HashMap<HandshakeKey, f64>,
+    capacity: usize,
+    timeout: f64,
+    stats: SynStateStats,
+}
+
+impl Default for SynTracker {
+    fn default() -> SynTracker {
+        SynTracker::new(DEFAULT_CAPACITY, 5.0)
+    }
+}
+
+fn tcp_parts(pkt: &Packet) -> Option<(Ipv4Addr, Ipv4Addr, u16, u16, u32, u32, u8)> {
+    match pkt.payload {
+        Payload::Ipv4 {
+            src,
+            dst,
+            transport:
+                Transport::Tcp {
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                },
+            ..
+        } => Some((src, dst, src_port, dst_port, seq, ack, flags)),
+        _ => None,
+    }
+}
+
+impl SynTracker {
+    /// Creates a tracker holding at most `capacity` half-open handshakes,
+    /// each expiring after `timeout` seconds without progress.
+    pub fn new(capacity: usize, timeout: f64) -> SynTracker {
+        SynTracker {
+            half_open: HashMap::new(),
+            established: HashMap::new(),
+            capacity: capacity.max(1),
+            timeout,
+            stats: SynStateStats::default(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SynStateStats {
+        self.stats
+    }
+
+    /// Half-open handshakes currently tracked.
+    pub fn half_open(&self) -> usize {
+        self.half_open.len()
+    }
+
+    /// Established connections currently tracked.
+    pub fn established(&self) -> usize {
+        self.established.len()
+    }
+
+    /// Whether the 4-tuple (initiator orientation) is established.
+    pub fn is_established(&self, key: &HandshakeKey) -> bool {
+        self.established.contains_key(key)
+    }
+
+    fn insert_half_open(&mut self, key: HandshakeKey, role: Role, now: f64) {
+        if self.half_open.len() >= self.capacity {
+            let timeout = self.timeout;
+            self.half_open.retain(|_, (_, t)| now - *t < timeout);
+            if self.half_open.len() >= self.capacity {
+                self.stats.overflow += 1;
+                return;
+            }
+        }
+        self.half_open.insert(key, (role, now));
+    }
+
+    /// Records a packet this host (with address `own_ip`) is emitting.
+    ///
+    /// Only a plain SYN carrying the host's own source address opens
+    /// initiator state — spoofed-source floods record nothing.
+    pub fn note_sent(&mut self, own_ip: Ipv4Addr, pkt: &Packet, now: f64) {
+        let Some((src, dst, sport, dport, _, _, flags)) = tcp_parts(pkt) else {
+            return;
+        };
+        if flags == Transport::TCP_SYN && src == own_ip {
+            self.stats.initiated += 1;
+            let key = HandshakeKey {
+                src,
+                dst,
+                sport,
+                dport,
+            };
+            self.insert_half_open(key, Role::Initiator, now);
+        }
+    }
+
+    /// Records a SYN this host answered with a SYN-ACK (responder side).
+    pub fn note_responded(&mut self, syn: &Packet, now: f64) {
+        let Some((src, dst, sport, dport, _, _, _)) = tcp_parts(syn) else {
+            return;
+        };
+        self.stats.responded += 1;
+        let key = HandshakeKey {
+            src,
+            dst,
+            sport,
+            dport,
+        };
+        self.insert_half_open(key, Role::Responder, now);
+    }
+
+    /// Processes a received SYN-ACK; returns the `(seq, ack)` pair the final
+    /// ACK must carry when this completes a handshake the host initiated.
+    pub fn note_syn_ack(&mut self, pkt: &Packet, now: f64) -> Option<(u32, u32)> {
+        let (src, dst, sport, dport, seq, ack, _) = tcp_parts(pkt)?;
+        // The SYN-ACK travels responder→initiator: flip to initiator
+        // orientation before the lookup.
+        let key = HandshakeKey {
+            src: dst,
+            dst: src,
+            sport: dport,
+            dport: sport,
+        };
+        match self.half_open.remove(&key) {
+            Some((Role::Initiator, _)) => {
+                self.stats.established += 1;
+                self.established.insert(key, now);
+                // Echo the peer's sequence number per TCP: our seq is their
+                // ack, our ack acknowledges their seq.
+                Some((ack, seq.wrapping_add(1)))
+            }
+            Some(entry) => {
+                // A responder entry cannot be completed by a SYN-ACK; put
+                // it back and treat the packet as stray.
+                self.half_open.insert(key, entry);
+                self.stats.stray_syn_acks += 1;
+                None
+            }
+            None => {
+                self.stats.stray_syn_acks += 1;
+                None
+            }
+        }
+    }
+
+    /// Processes a received final ACK (responder side).
+    pub fn note_final_ack(&mut self, pkt: &Packet, now: f64) {
+        let Some((src, dst, sport, dport, _, _, _)) = tcp_parts(pkt) else {
+            return;
+        };
+        // Final ACK travels initiator→responder: already in key orientation.
+        let key = HandshakeKey {
+            src,
+            dst,
+            sport,
+            dport,
+        };
+        match self.half_open.remove(&key) {
+            Some((Role::Responder, _)) => {
+                self.stats.established += 1;
+                self.established.insert(key, now);
+            }
+            Some(entry) => {
+                self.half_open.insert(key, entry);
+                self.stats.stray_acks += 1;
+            }
+            None => {
+                self.stats.stray_acks += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofproto::types::MacAddr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn syn() -> Packet {
+        Packet::tcp(
+            MacAddr::from_u64(1),
+            MacAddr::from_u64(2),
+            A,
+            B,
+            40001,
+            80,
+            Transport::TCP_SYN,
+            64,
+        )
+    }
+
+    fn syn_ack(seq: u32) -> Packet {
+        let mut p = Packet::tcp(
+            MacAddr::from_u64(2),
+            MacAddr::from_u64(1),
+            B,
+            A,
+            80,
+            40001,
+            Transport::TCP_SYN | Transport::TCP_ACK,
+            64,
+        );
+        if let Payload::Ipv4 {
+            transport:
+                Transport::Tcp {
+                    seq: ref mut s,
+                    ack: ref mut a,
+                    ..
+                },
+            ..
+        } = p.payload
+        {
+            *s = seq;
+            *a = 1;
+        }
+        p
+    }
+
+    fn final_ack() -> Packet {
+        Packet::tcp(
+            MacAddr::from_u64(1),
+            MacAddr::from_u64(2),
+            A,
+            B,
+            40001,
+            80,
+            Transport::TCP_ACK,
+            64,
+        )
+    }
+
+    #[test]
+    fn initiator_completes_on_syn_ack() {
+        let mut t = SynTracker::default();
+        t.note_sent(A, &syn(), 0.0);
+        assert_eq!(t.half_open(), 1);
+        let (seq, ack) = t.note_syn_ack(&syn_ack(7777), 0.1).expect("completes");
+        assert_eq!((seq, ack), (1, 7778), "final ACK echoes the cookie + 1");
+        assert_eq!(t.established(), 1);
+        assert_eq!(t.stats().established, 1);
+    }
+
+    #[test]
+    fn spoofed_syn_opens_no_state() {
+        let mut t = SynTracker::default();
+        // Host A emitting a SYN that claims to come from B: spoofed.
+        let mut pkt = syn();
+        if let Payload::Ipv4 { ref mut src, .. } = pkt.payload {
+            *src = B;
+        }
+        t.note_sent(A, &pkt, 0.0);
+        assert_eq!(t.half_open(), 0);
+        assert_eq!(t.stats().initiated, 0);
+        // The proxy's SYN-ACK back is stray: the handshake can't complete.
+        assert!(t.note_syn_ack(&syn_ack(1), 0.1).is_none());
+        assert_eq!(t.stats().stray_syn_acks, 1);
+    }
+
+    #[test]
+    fn responder_completes_on_final_ack() {
+        let mut t = SynTracker::default();
+        t.note_responded(&syn(), 0.0);
+        assert_eq!(t.half_open(), 1);
+        t.note_final_ack(&final_ack(), 0.1);
+        assert_eq!(t.established(), 1);
+        assert!(t.is_established(&HandshakeKey {
+            src: A,
+            dst: B,
+            sport: 40001,
+            dport: 80,
+        }));
+    }
+
+    #[test]
+    fn stray_final_ack_counted() {
+        let mut t = SynTracker::default();
+        t.note_final_ack(&final_ack(), 0.0);
+        assert_eq!(t.stats().stray_acks, 1);
+        assert_eq!(t.established(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_half_open_state() {
+        let mut t = SynTracker::new(2, 100.0);
+        for sport in [1u16, 2, 3] {
+            let mut p = syn();
+            if let Payload::Ipv4 {
+                transport:
+                    Transport::Tcp {
+                        ref mut src_port, ..
+                    },
+                ..
+            } = p.payload
+            {
+                *src_port = sport;
+            }
+            t.note_sent(A, &p, 0.0);
+        }
+        assert_eq!(t.half_open(), 2);
+        assert_eq!(t.stats().overflow, 1);
+    }
+
+    #[test]
+    fn expired_entries_are_reclaimed_at_capacity() {
+        let mut t = SynTracker::new(1, 1.0);
+        t.note_sent(A, &syn(), 0.0);
+        let mut p = syn();
+        if let Payload::Ipv4 {
+            transport: Transport::Tcp {
+                ref mut src_port, ..
+            },
+            ..
+        } = p.payload
+        {
+            *src_port = 999;
+        }
+        // Past the timeout the stale entry is evicted, not the new SYN.
+        t.note_sent(A, &p, 5.0);
+        assert_eq!(t.half_open(), 1);
+        assert_eq!(t.stats().overflow, 0);
+    }
+}
