@@ -39,8 +39,11 @@ use std::time::Instant;
 use bench::report::{extract_number, read_report, write_report, Json};
 use bench::{run, Defense, Scenario};
 use floodguard::FloodGuardConfig;
+use netsim::host::CbrSource;
 use netsim::packet::Packet;
 use netsim::sched::{HeapQueue, Scheduler, WheelQueue};
+use netsim::topo;
+use netsim::{Simulation, SwitchProfile};
 use ofproto::types::MacAddr;
 
 /// Tolerated drop before the gate fails (25%).
@@ -108,6 +111,83 @@ fn scheduler_ops_per_sec<S: Scheduler<Delivery>>(q: &mut S, hosts: usize, ops: u
 /// Best of `reps` measurement runs (first run also warms the allocator).
 fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
     (0..reps).map(|_| f()).fold(0.0, f64::max)
+}
+
+/// A wide-fabric profile: control-channel latency raised to the link
+/// latency so the conservative lookahead window is a full millisecond and
+/// partitions get substantial same-window batches.
+fn fabric_profile() -> SwitchProfile {
+    SwitchProfile {
+        channel_latency: 1e-3,
+        ..SwitchProfile::software()
+    }
+}
+
+/// Builds a fat-tree with `flows` cross-fabric CBR streams and runs it for
+/// `duration` simulated seconds on `threads` workers. Returns
+/// `(events_processed, events/sec)`.
+fn fat_tree_run(k: usize, threads: usize, flows: usize, duration: f64) -> (u64, f64) {
+    let mut sim = Simulation::new(7);
+    sim.set_threads(threads);
+    sim.set_link_latency(1e-3);
+    let ft = topo::fat_tree(&mut sim, k, fabric_profile());
+    let n = ft.hosts.len();
+    for &h in &ft.hosts {
+        // Keep memory flat: counters only, no per-packet delivery log.
+        sim.host_mut(h).set_deliveries_cap(0);
+    }
+    for i in 0..flows.min(n) {
+        let from = ft.hosts[i];
+        let to = ft.hosts[(i + n / 2) % n];
+        let (src_mac, src_ip) = {
+            let h = sim.host(from);
+            (h.mac, h.ip)
+        };
+        let (dst_mac, dst_ip) = {
+            let h = sim.host(to);
+            (h.mac, h.ip)
+        };
+        sim.host_mut(from).add_source(Box::new(CbrSource::new(
+            src_mac, src_ip, dst_mac, dst_ip, 400.0, 0.0, duration, 200,
+        )));
+    }
+    let t0 = Instant::now();
+    sim.run_until(duration);
+    let events = sim.events_processed();
+    (events, events as f64 / t0.elapsed().as_secs_f64())
+}
+
+/// Runs a 10^5-host leaf-spine fabric (1000 leaves x 100 hosts, 16 spines)
+/// to completion with sparse cross-fabric traffic; returns
+/// `(hosts, events, wall seconds)`. Exercises construction, routing and the
+/// partitioned run loop at production scale.
+fn leaf_spine_run(threads: usize) -> (usize, u64, f64) {
+    let t0 = Instant::now();
+    let mut sim = Simulation::new(11);
+    sim.set_threads(threads);
+    sim.set_link_latency(1e-3);
+    let ls = topo::leaf_spine(&mut sim, 1000, 16, 100, fabric_profile());
+    let n = ls.hosts.len();
+    for &h in &ls.hosts {
+        sim.host_mut(h).set_deliveries_cap(0);
+    }
+    for i in 0..64 {
+        let from = ls.hosts[i * (n / 64)];
+        let to = ls.hosts[(i * (n / 64) + n / 2) % n];
+        let (src_mac, src_ip) = {
+            let h = sim.host(from);
+            (h.mac, h.ip)
+        };
+        let (dst_mac, dst_ip) = {
+            let h = sim.host(to);
+            (h.mac, h.ip)
+        };
+        sim.host_mut(from).add_source(Box::new(CbrSource::new(
+            src_mac, src_ip, dst_mac, dst_ip, 400.0, 0.0, 0.5, 200,
+        )));
+    }
+    sim.run_until(0.5);
+    (n, sim.events_processed(), t0.elapsed().as_secs_f64())
 }
 
 fn main() {
@@ -181,9 +261,62 @@ fn main() {
          | ratio {obs_ratio:.4}"
     );
 
+    // Parallel engine scaling: the same fat-tree fabric at increasing
+    // worker-thread counts. Determinism is asserted unconditionally —
+    // every thread count must process the exact same event set — while
+    // the speedup itself is only meaningful on a machine that actually
+    // has the cores.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (par_k, par_flows, par_duration, thread_counts): (usize, usize, f64, &[usize]) = if smoke {
+        (4, 8, 0.2, &[1, 2])
+    } else {
+        (8, 64, 2.0, &[1, 2, 4, 8])
+    };
+    let mut par_rows: Vec<(usize, u64, f64)> = Vec::new();
+    for &threads in thread_counts {
+        let (events, eps) = fat_tree_run(par_k, threads, par_flows, par_duration);
+        par_rows.push((threads, events, eps));
+    }
+    println!(
+        "# parallel engine — fat-tree k={par_k} ({} hosts), {par_flows} cross-fabric flows, \
+         {par_duration} s ({cores} cores available)",
+        par_k * par_k * par_k / 4
+    );
+    for &(threads, events, eps) in &par_rows {
+        println!(
+            "threads={threads}: {eps:>12.0} events/s ({events} events, speedup {:.2}x)",
+            eps / par_rows[0].2
+        );
+    }
+    let base_events = par_rows[0].1;
+    for &(threads, events, _) in &par_rows[1..] {
+        assert_eq!(
+            events, base_events,
+            "thread count changed the simulation: {events} events at {threads} threads \
+             vs {base_events} at 1 — determinism is broken"
+        );
+    }
+    let par_speedup = par_rows.last().expect("at least one row").2 / par_rows[0].2;
+
     if smoke {
         println!("engine bench: ok (smoke mode, no report/gate)");
         return;
+    }
+
+    // Production-scale completion check: 10^5 hosts behind 1016 switches.
+    let (ls_hosts, ls_events, ls_wall) = leaf_spine_run(cores.min(8));
+    println!("# leaf-spine 1000x100 — {ls_hosts} hosts, {ls_events} events in {ls_wall:.2} s");
+
+    // The >=2x-at-8-threads acceptance bar only manifests with >=8 real
+    // cores; on smaller machines the rows are still reported and the
+    // determinism assertion above still binds.
+    if cores >= 8 && par_speedup < 2.0 {
+        eprintln!(
+            "REGRESSION: parallel speedup {par_speedup:.2}x < 2.0x at {} threads \
+             ({cores} cores available)",
+            thread_counts.last().expect("non-empty")
+        );
+        std::process::exit(1);
     }
 
     // Hard gate: an attached-but-idle registry must cost under 2%.
@@ -213,6 +346,19 @@ fn main() {
         .set("sim_per_heap", sim_per_heap)
         .set("obs_events_per_sec", obs_eps)
         .set("obs_overhead_ratio", obs_ratio);
+    let mut report = report
+        .set("par_topology", format!("fat-tree k={par_k}"))
+        .set("par_flows", par_flows)
+        .set("par_events", base_events)
+        .set("par_speedup", par_speedup)
+        .set("par_cores_available", cores)
+        .set("leafspine_hosts", ls_hosts)
+        .set("leafspine_events", ls_events)
+        .set("leafspine_wall_s", ls_wall);
+    for &(threads, _, eps) in &par_rows {
+        report = report.set(format!("par_eps_t{threads}").as_str(), eps);
+    }
+    let report = report;
     match write_report("engine", &report) {
         Ok(path) => println!("# wrote {}", path.display()),
         Err(err) => eprintln!("warning: could not write BENCH_engine.json: {err}"),
@@ -232,7 +378,15 @@ fn main() {
         }
     };
     let mut failed = false;
-    for (label, measured) in [("speedup", speedup), ("sim_per_heap", sim_per_heap)] {
+    let mut gates = vec![("speedup", speedup), ("sim_per_heap", sim_per_heap)];
+    // The thread-scaling ratio is only comparable to the baseline when the
+    // machine can actually run the workers in parallel.
+    if cores >= 8 {
+        gates.push(("par_speedup", par_speedup));
+    } else {
+        println!("# gate par_speedup: skipped ({cores} cores < 8)");
+    }
+    for (label, measured) in gates {
         let Some(expected) = extract_number(&baseline, label) else {
             eprintln!(
                 "warning: baseline {} has no \"{label}\" field",

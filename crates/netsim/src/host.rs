@@ -61,6 +61,11 @@ pub struct Host {
     /// completing ACK is a fresh PacketIn that installs learned rules, which
     /// some measurements (rule-placement latency) must avoid.
     pub complete_handshakes: bool,
+    /// Maximum retained `deliveries` entries (`usize::MAX` = unbounded).
+    /// Counters and the meter keep counting past the cap; only the
+    /// per-packet log stops growing. Topology-scale runs with 10^5+ hosts
+    /// set this to 0 so memory stays proportional to live events.
+    deliveries_cap: usize,
     sources: Vec<Box<dyn TrafficSource>>,
 }
 
@@ -85,8 +90,16 @@ impl Host {
             received_packets: 0,
             syn: SynTracker::default(),
             complete_handshakes: true,
+            deliveries_cap: usize::MAX,
             sources: Vec::new(),
         }
+    }
+
+    /// Caps the retained `deliveries` log (see `deliveries_cap`). Pass 0 to
+    /// disable per-packet delivery logging entirely.
+    pub fn set_deliveries_cap(&mut self, cap: usize) {
+        self.deliveries_cap = cap;
+        self.deliveries.truncate(cap);
     }
 
     /// Records a packet this host is emitting onto the wire (handshake
@@ -132,7 +145,9 @@ impl Host {
     pub fn receive(&mut self, pkt: &Packet, now: f64) -> Vec<Packet> {
         self.received_packets += u64::from(pkt.batch);
         self.meter.record(now, pkt.total_bytes());
-        self.deliveries.push((*pkt, now));
+        if self.deliveries.len() < self.deliveries_cap {
+            self.deliveries.push((*pkt, now));
+        }
         let mut responses = Vec::new();
         // Auto-responders that make closed-loop workloads work.
         if let FlowTag::Bulk { flow, seq } = pkt.tag {

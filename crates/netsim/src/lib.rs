@@ -60,8 +60,9 @@ pub mod profile;
 pub mod sched;
 pub mod switch;
 pub mod synstate;
+pub mod topo;
 
-pub use engine::{Endpoint, Simulation, SwitchId};
+pub use engine::{Endpoint, Partitioner, Simulation, SwitchId};
 pub use faults::{Fault, FaultLogEntry, FaultScript};
 pub use host::{Host, HostId, TrafficSource};
 pub use iface::{ControlOutput, ControlPlane, DataPlaneDevice, DeviceId, DeviceOutput, Telemetry};

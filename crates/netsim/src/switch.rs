@@ -156,7 +156,7 @@ impl Switch {
         self.buffer.len()
     }
 
-    fn next_xid(&mut self) -> Xid {
+    pub(crate) fn next_xid(&mut self) -> Xid {
         let x = self.xid;
         self.xid = self.xid.next();
         x

@@ -24,6 +24,63 @@ fn timeline_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn timeline_is_byte_identical_across_thread_counts() {
+    // The parallel engine's contract: worker-thread count is invisible in
+    // every artifact. CI additionally diffs the fig10/fig11 timelines at
+    // FG_SIM_THREADS={1,2,8}; this is the in-tree equivalent.
+    let (timeline_1, trace_1) = capture("end_to_end_defense", &defended().with_sim_threads(1));
+    for threads in [2, 8] {
+        let (timeline_n, trace_n) =
+            capture("end_to_end_defense", &defended().with_sim_threads(threads));
+        assert_eq!(
+            timeline_1, timeline_n,
+            "timeline diverged at {threads} worker threads"
+        );
+        assert_eq!(
+            trace_1, trace_n,
+            "chrome trace diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn multi_partition_timeline_is_byte_identical_across_thread_counts() {
+    // A fabric wide enough that partitions genuinely run on different
+    // workers: a fat-tree with cross-pod traffic, recorder attached.
+    let render = |threads: usize| {
+        let mut sim = netsim::Simulation::new(23);
+        sim.set_threads(threads);
+        let hub = obs::Obs::new();
+        hub.set_recording(true);
+        sim.attach_obs(hub.clone(), Some(0.05));
+        let ft = netsim::topo::fat_tree(&mut sim, 4, netsim::SwitchProfile::software());
+        let far = *ft.hosts.last().unwrap();
+        let (src_mac, src_ip) = {
+            let h = sim.host(ft.hosts[0]);
+            (h.mac, h.ip)
+        };
+        let (dst_mac, dst_ip) = {
+            let h = sim.host(far);
+            (h.mac, h.ip)
+        };
+        sim.host_mut(ft.hosts[0])
+            .add_source(Box::new(netsim::host::CbrSource::new(
+                src_mac, src_ip, dst_mac, dst_ip, 300.0, 0.0, 0.8, 400,
+            )));
+        sim.run_until(1.0);
+        bench::timeline::timeline_json("fat_tree", 23, &hub.recorder_series()).render()
+    };
+    let reference = render(1);
+    assert!(
+        reference.contains("engine.events"),
+        "recorder captured the run"
+    );
+    for threads in [2, 8] {
+        assert_eq!(reference, render(threads), "diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn timeline_carries_required_series_with_monotonic_time() {
     let outcome = run(&defended().with_timeline(0.02));
     let hub = outcome.obs.expect("timeline mode attaches a hub");
