@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod arena;
 pub mod par;
 pub mod report;

@@ -18,11 +18,16 @@ use controller::platform::ControllerPlatform;
 use floodguard::cache::CacheHandle;
 use floodguard::state::Transition;
 use floodguard::FloodGuardConfig;
+use netsim::adversary::{
+    Adversary as _, AdversaryStats, BotnetFlood, BotnetFloodConfig, ProbeAndEvade,
+    ProbeAndEvadeConfig, PulsedFlood, PulsedFloodConfig, SlowDrain, SlowDrainConfig, StatsHandle,
+};
 use netsim::engine::Simulation;
 use netsim::faults::Fault;
-use netsim::host::{BulkSender, MixedFlood, NewFlowProbe, SynFlood, UdpFlood};
+use netsim::host::{BulkSender, MixedFlood, NewFlowProbe, SynFlood, TrafficSource, UdpFlood};
 use netsim::packet::{FlowTag, Payload, Transport};
 use netsim::profile::SwitchProfile;
+use netsim::synstate::SynTracker;
 use ofproto::types::MacAddr;
 use policy::Program;
 
@@ -86,6 +91,70 @@ impl Defense {
     }
 }
 
+/// An adaptive attacker on h3 (the [`netsim::adversary`] engine), used
+/// instead of the open-loop [`AttackProtocol`] floods when set. Every
+/// variant targets the victim h2 with h3's identity.
+#[derive(Debug, Clone, Copy)]
+pub enum AdversaryProfile {
+    /// Slowloris-style connection drain against the victim's SYN state.
+    SlowDrain(SlowDrainConfig),
+    /// On/off bursts tuned to duck the detector's rate window.
+    PulsedFlood(PulsedFloodConfig),
+    /// Closed-loop threshold search with forged reserved-band TOS tags.
+    ProbeAndEvade(ProbeAndEvadeConfig),
+    /// Botnet-scale spoofed flood cycling millions of distinct 5-tuples.
+    BotnetFlood(BotnetFloodConfig),
+}
+
+impl AdversaryProfile {
+    /// Every adversary at its default tuning (the matrix rows).
+    pub fn all() -> Vec<AdversaryProfile> {
+        vec![
+            AdversaryProfile::SlowDrain(SlowDrainConfig::default()),
+            AdversaryProfile::PulsedFlood(PulsedFloodConfig::default()),
+            AdversaryProfile::ProbeAndEvade(ProbeAndEvadeConfig::default()),
+            AdversaryProfile::BotnetFlood(BotnetFloodConfig::default()),
+        ]
+    }
+
+    /// Stable lowercase identifier (the adversary's own name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryProfile::SlowDrain(_) => "slow_drain",
+            AdversaryProfile::PulsedFlood(_) => "pulsed_flood",
+            AdversaryProfile::ProbeAndEvade(_) => "probe_evade",
+            AdversaryProfile::BotnetFlood(_) => "botnet_flood",
+        }
+    }
+
+    /// Builds the attacker with h3's identity toward the victim h2,
+    /// returning the boxed source and a handle to its counters.
+    fn build(&self) -> (Box<dyn TrafficSource>, StatsHandle) {
+        match self {
+            AdversaryProfile::SlowDrain(cfg) => {
+                let a = SlowDrain::new(*cfg, H3_MAC, H3_IP, H2_MAC, H2_IP);
+                let h = a.stats_handle();
+                (Box::new(a), h)
+            }
+            AdversaryProfile::PulsedFlood(cfg) => {
+                let a = PulsedFlood::new(*cfg, H3_MAC);
+                let h = a.stats_handle();
+                (Box::new(a), h)
+            }
+            AdversaryProfile::ProbeAndEvade(cfg) => {
+                let a = ProbeAndEvade::new(*cfg, H3_MAC, H3_IP, H2_MAC, H2_IP);
+                let h = a.stats_handle();
+                (Box::new(a), h)
+            }
+            AdversaryProfile::BotnetFlood(cfg) => {
+                let a = BotnetFlood::new(*cfg, H3_MAC);
+                let h = a.stats_handle();
+                (Box::new(a), h)
+            }
+        }
+    }
+}
+
 /// Observability attachment for a scenario run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ObsMode {
@@ -130,6 +199,13 @@ pub struct Scenario {
     pub attack_stop: f64,
     /// Attack protocol.
     pub attack_protocol: AttackProtocol,
+    /// Adaptive attacker on h3 (replaces the open-loop flood; composes
+    /// with `attack_pps == 0.0`). The attacker never completes handshakes
+    /// offered to it.
+    pub adversary: Option<AdversaryProfile>,
+    /// Override for the victim h2's half-open tracker capacity (exercises
+    /// the bounded-state eviction path under connection-drain attacks).
+    pub victim_syn_capacity: Option<usize>,
     /// Run the closed-loop bulk (iperf) pair h1→h2.
     pub bulk: bool,
     /// Packets per simulated bulk batch (event-count control).
@@ -176,6 +252,8 @@ impl Scenario {
             attack_start: 1.0,
             attack_stop: 4.0,
             attack_protocol: AttackProtocol::Udp,
+            adversary: None,
+            victim_syn_capacity: None,
             bulk: true,
             bulk_batch: 50,
             probes: Vec::new(),
@@ -218,6 +296,20 @@ impl Scenario {
     #[must_use]
     pub fn with_apps(mut self, apps: Vec<Program>) -> Scenario {
         self.apps = apps;
+        self
+    }
+
+    /// Sets the adaptive attacker on h3.
+    #[must_use]
+    pub fn with_adversary(mut self, adversary: AdversaryProfile) -> Scenario {
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// Bounds the victim h2's half-open tracker capacity.
+    #[must_use]
+    pub fn with_victim_syn_capacity(mut self, capacity: usize) -> Scenario {
+        self.victim_syn_capacity = Some(capacity);
         self
     }
 
@@ -283,6 +375,8 @@ pub struct Outcome {
     /// Normalized per-defense counters ([`arena::DefenseStats`]), when a
     /// defense was attached.
     pub defense_stats: Option<arena::DefenseStats>,
+    /// Final counters of the adaptive attacker, when one was attached.
+    pub adversary_stats: Option<AdversaryStats>,
     /// The obs hub, when the scenario attached one ([`Scenario::obs`]).
     pub obs: Option<obs::ObsHandle>,
 }
@@ -389,6 +483,17 @@ pub fn run(scenario: &Scenario) -> Outcome {
             }
         }
     }
+    let adversary_handle = scenario.adversary.as_ref().map(|profile| {
+        let (source, handle) = profile.build();
+        // The attacker never completes handshakes it is offered: SlowDrain's
+        // whole point is leaving the victim's half-open slots occupied.
+        sim.host_mut(h3).complete_handshakes = false;
+        sim.host_mut(h3).add_source(source);
+        handle
+    });
+    if let Some(capacity) = scenario.victim_syn_capacity {
+        sim.host_mut(h2).syn = SynTracker::new(capacity, 5.0);
+    }
     let mut probe_ids = Vec::new();
     for (i, &at) in scenario.probes.iter().enumerate() {
         let id = i as u32 + 1;
@@ -474,6 +579,7 @@ pub fn run(scenario: &Scenario) -> Outcome {
         })
         .unwrap_or_default();
     let defense_stats = defense.as_ref().map(|d| d.stats());
+    let adversary_stats = adversary_handle.map(|h| h.get());
     Outcome {
         bandwidth_bps,
         baseline_bps,
@@ -483,6 +589,7 @@ pub fn run(scenario: &Scenario) -> Outcome {
         controller,
         cache: fg_handle,
         defense_stats,
+        adversary_stats,
         obs: hub,
         sim,
     }

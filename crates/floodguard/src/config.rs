@@ -46,6 +46,14 @@ pub struct DetectionConfig {
     /// Half-life (seconds) of the exponential decay applied to stale
     /// utilization readings.
     pub utilization_half_life: f64,
+    /// Half-life (seconds) of the peak-hold applied to the anomaly score:
+    /// the score never falls below its recent peak discounted by
+    /// `0.5^(elapsed/half_life)`, and the attack-end test refuses to fire
+    /// while that floor is still above `score_threshold`. An on/off flood
+    /// alternating supra-threshold bursts with silences longer than the
+    /// rate window therefore cannot walk the defense through a
+    /// teardown/re-migrate cycle on every period.
+    pub score_hold_half_life: f64,
 }
 
 impl Default for DetectionConfig {
@@ -64,6 +72,10 @@ impl Default for DetectionConfig {
             // means the feed is gone.
             utilization_timeout: 0.25,
             utilization_half_life: 0.25,
+            // Long enough that a pulsed flood's off-phase (necessarily
+            // longer than the rate window) cannot fully clear the score,
+            // short enough that a real calm period decays in ~1 s.
+            score_hold_half_life: 0.5,
         }
     }
 }

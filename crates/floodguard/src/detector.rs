@@ -20,6 +20,10 @@ pub struct Detector {
     utilization_at: Option<f64>,
     calm_since: Option<f64>,
     last_score: f64,
+    /// Peak-hold state: the highest instantaneous score seen recently and
+    /// when it was seen (see [`Detector::held_score`]).
+    held_peak: f64,
+    held_at: f64,
 }
 
 impl Detector {
@@ -34,6 +38,8 @@ impl Detector {
             utilization_at: None,
             calm_since: None,
             last_score: 0.0,
+            held_peak: 0.0,
+            held_at: 0.0,
         }
     }
 
@@ -97,8 +103,35 @@ impl Detector {
         self.arrivals.len() as f64 / self.config.window
     }
 
+    /// The recent score peak discounted by `0.5^(elapsed/half_life)` — a
+    /// decaying floor under the instantaneous score.
+    ///
+    /// Without this floor an on/off flood sees the score cliff back to
+    /// zero in every off-phase: the rate window empties in `window`
+    /// seconds, so a pulsed attacker alternating supra-threshold bursts
+    /// with short silences would walk the FSM through a spurious
+    /// end-of-attack (and a full teardown/re-migrate cycle) every period.
+    /// The held score keeps the evidence of the last burst alive across
+    /// the gap, and [`Detector::is_over`] refuses to declare the attack
+    /// finished while the floor is still above the detection threshold.
+    pub fn held_score(&self, now: f64) -> f64 {
+        if self.held_peak <= 0.0 {
+            return 0.0;
+        }
+        let half_life = self.config.score_hold_half_life.max(1e-9);
+        let factor = 0.5f64.powf((now - self.held_at).max(0.0) / half_life);
+        // Same guard rails as `staleness_factor`: the discount must stay in
+        // [0, 1] and underflow to exactly 0 on long idle stretches.
+        if factor.is_finite() {
+            self.held_peak * factor.clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
     /// The current anomaly score in [0, 1+]: weighted sum of normalized
-    /// rate, buffer utilization and controller utilization.
+    /// rate, buffer utilization and controller utilization, floored by the
+    /// decaying recent peak ([`Detector::held_score`]).
     pub fn score(&mut self, now: f64) -> f64 {
         // Guard the capacity divisor: a zero-capacity misconfiguration would
         // make 0/0 = NaN here, and `NaN.min(2.0)` silently yields 2.0.
@@ -106,12 +139,18 @@ impl Detector {
         let fresh = self.staleness_factor(now);
         // The idle baseline is 0: with no arrivals in the window and decayed
         // utilization the score must settle at exactly 0.0, never below it.
-        let score = (self.config.rate_weight * rate_term
+        let instant = (self.config.rate_weight * rate_term
             + fresh
                 * (self.config.buffer_weight * self.buffer_utilization
                     + self.config.datapath_weight * self.datapath_utilization
                     + self.config.controller_weight * self.controller_utilization))
             .max(0.0);
+        let score = instant.max(self.held_score(now));
+        if instant >= score {
+            // A fresh peak (or a tie): restart the hold clock from here.
+            self.held_peak = instant;
+            self.held_at = now;
+        }
         self.last_score = score;
         score
     }
@@ -125,7 +164,10 @@ impl Detector {
     /// migration is active, the cache sees the flood, not the controller).
     ///
     /// Returns `true` when the rate has stayed below the end threshold for
-    /// the configured hysteresis.
+    /// the configured hysteresis *and* the held anomaly score has decayed
+    /// below the detection threshold — a pulsed flood whose bursts keep
+    /// refreshing the peak cannot slip an end-of-attack through one of its
+    /// off-phases. Declaring the attack over releases the hold.
     pub fn is_over(&mut self, observed_rate_pps: f64, now: f64) -> bool {
         let calm = observed_rate_pps < self.config.end_fraction * self.config.rate_capacity_pps;
         match (calm, self.calm_since) {
@@ -137,7 +179,14 @@ impl Detector {
                 self.calm_since = Some(now);
                 false
             }
-            (true, Some(since)) => now - since >= self.config.end_hysteresis,
+            (true, Some(since)) => {
+                let over = now - since >= self.config.end_hysteresis
+                    && self.held_score(now) < self.config.score_threshold;
+                if over {
+                    self.held_peak = 0.0;
+                }
+                over
+            }
         }
     }
 
@@ -325,5 +374,132 @@ mod tests {
         assert!(!d.is_over(0.0, 1.0));
         d.reset_end_tracking();
         assert!(!d.is_over(0.0, 1.31), "clock restarted");
+    }
+
+    /// Regression pin on the default half-lives: the stale-telemetry
+    /// discount is exactly 1/2 one half-life past the timeout, and the held
+    /// score is exactly half its peak one `score_hold_half_life` later.
+    /// A silent change to either constant shifts every end-of-attack time
+    /// in the scenario suite.
+    #[test]
+    fn decay_half_lives_are_pinned() {
+        let config = DetectionConfig::default();
+        assert_eq!(config.utilization_half_life, 0.25);
+        assert_eq!(config.score_hold_half_life, 0.5);
+
+        let mut d = Detector::new(config);
+        d.record_utilization(1.0, 1.0, 1.0, 0.0);
+        // timeout (0.25) + one half-life (0.25) => factor 1/2.
+        assert!((d.staleness_factor(0.5) - 0.5).abs() < 1e-12);
+
+        let mut d = Detector::new(config);
+        for i in 0..50 {
+            d.record_packet_in(i as f64 * 0.005);
+        }
+        let peak = d.score(0.25);
+        assert!(peak > 0.5);
+        // One hold half-life with an empty rate window => exactly peak/2.
+        let held = d.held_score(0.25 + 0.5);
+        assert!((held - peak / 2.0).abs() < 1e-12, "{held} vs {peak}");
+        assert_eq!(d.score(0.75), held, "held floor carries the score");
+    }
+
+    #[test]
+    fn held_score_floors_score_while_window_is_empty() {
+        let mut d = detector();
+        for i in 0..50 {
+            d.record_packet_in(i as f64 * 0.005); // 200 pps burst
+        }
+        let peak = d.score(0.25);
+        assert!(peak >= 1.0);
+        // The rate window empties 0.25 s after the last packet, but the
+        // score holds (decaying) instead of cliffing to zero.
+        assert_eq!(d.rate(0.6), 0.0);
+        let s = d.score(0.6);
+        assert!(s > 0.5, "held floor keeps the score up: {s}");
+        assert!(s < peak, "…but it decays");
+    }
+
+    /// The tentpole pulsed-flood defense: supra-threshold bursts separated
+    /// by silences longer than the rate window must not let `is_over` fire
+    /// during an off-phase (the observed rate there is 0 — calm — and the
+    /// hysteresis may well have elapsed).
+    #[test]
+    fn pulsed_flood_cannot_end_attack_through_off_phase() {
+        let mut d = detector();
+        let period = 0.4; // 0.1 s burst at 300 pps, 0.3 s silence
+        for burst in 0..5 {
+            let t0 = burst as f64 * period;
+            for i in 0..30 {
+                d.record_packet_in(t0 + i as f64 * 0.1 / 30.0);
+            }
+            d.score(t0 + 0.1); // telemetry tick refreshes the peak-hold
+            assert!(d.is_attack(t0 + 0.1), "burst {burst} over threshold");
+            // Deep in the off-phase: rate is calm and by the second period
+            // the hysteresis (0.3 s) has elapsed, yet the held score blocks
+            // the end-of-attack.
+            assert!(
+                !d.is_over(0.0, t0 + period - 0.01),
+                "burst {burst}: off-phase must not end the attack"
+            );
+        }
+        // Pulses stop for real: the hold decays and the end test fires.
+        d.reset_end_tracking();
+        assert!(!d.is_over(0.0, 5.0 * period), "calm clock restarts");
+        assert!(d.is_over(0.0, 5.0 * period + 2.0), "genuine calm ends it");
+    }
+
+    #[test]
+    fn declaring_attack_over_releases_the_hold() {
+        let mut d = detector();
+        for i in 0..50 {
+            d.record_packet_in(i as f64 * 0.005);
+        }
+        assert!(d.score(0.25) >= 1.0);
+        assert!(!d.is_over(0.0, 3.0), "calm clock starts");
+        assert!(d.is_over(0.0, 3.5), "hold decayed, hysteresis elapsed");
+        assert_eq!(d.held_score(3.5), 0.0, "end-of-attack clears the hold");
+        assert_eq!(d.score(3.5), 0.0, "score is back to the idle baseline");
+    }
+
+    proptest::proptest! {
+        /// Satellite: under ANY pulse duty cycle, period and burst rate the
+        /// score stays finite, non-negative and bounded by the structural
+        /// maximum (rate term saturates at 2× its weight; each utilization
+        /// term at 1× its weight) — and the held floor obeys the same bound.
+        #[test]
+        fn score_is_bounded_under_any_duty_cycle(
+            period in 0.01f64..5.0,
+            duty in 0.0f64..1.0,
+            rate_pps in 0.0f64..5000.0,
+            util in 0.0f64..1.0,
+            cycles in 1usize..25,
+        ) {
+            let config = DetectionConfig::default();
+            let bound = config.rate_weight * 2.0
+                + config.buffer_weight
+                + config.datapath_weight
+                + config.controller_weight;
+            let mut d = Detector::new(config);
+            for c in 0..cycles {
+                let t0 = c as f64 * period;
+                let on = period * duty;
+                let n = ((rate_pps * on) as usize).min(1500);
+                for i in 0..n {
+                    d.record_packet_in(t0 + on * i as f64 / n as f64);
+                }
+                d.record_utilization(util, util, util, t0 + on);
+                for &t in &[t0 + on, t0 + period * 0.5, t0 + period] {
+                    let s = d.score(t);
+                    proptest::prop_assert!(s.is_finite(), "score NaN/inf at {t}");
+                    proptest::prop_assert!((0.0..=bound).contains(&s), "score {s} at {t}");
+                    let h = d.held_score(t);
+                    proptest::prop_assert!(h.is_finite() && (0.0..=bound).contains(&h));
+                }
+            }
+            // Long after the train stops, everything decays to the baseline.
+            let end = cycles as f64 * period + 1e4;
+            proptest::prop_assert_eq!(d.score(end), 0.0);
+        }
     }
 }

@@ -250,7 +250,9 @@ impl FloodGuard {
     /// Publishes the current defense state into the attached obs hub.
     fn publish_obs(&mut self, now: f64) {
         let Some(o) = self.obs.as_mut() else { return };
-        o.score.set(self.detector.score(now));
+        // `on_telemetry` already evaluated the score this tick; reusing it
+        // keeps obs a pure reader (attaching it must not perturb detection).
+        o.score.set(self.detector.last_score());
         o.packet_in_rate.set(self.detector.rate(now));
         o.state.set(match self.sm.state() {
             State::Idle => 0.0,
@@ -734,6 +736,10 @@ impl ControlPlane for FloodGuard {
             .fold(0.0_f64, f64::max);
         self.detector
             .record_utilization(buffer, datapath, telemetry.controller_utilization, now);
+        // Advance the detector's peak-hold every tick, in every state: the
+        // attack-end test consults the held score, so it must be refreshed
+        // from cache arrivals during Defense whether or not obs is attached.
+        self.detector.score(now);
         // Failure recovery runs before the FSM step: health and table audits
         // may change what the lifecycle logic below is allowed to do.
         self.audit_tables(telemetry, now);

@@ -156,6 +156,14 @@ mod tests {
     }
 
     #[test]
+    fn switch_ingress_strip_band_matches_tag_band() {
+        // The simulated switch strips exactly the band this module reserves:
+        // if the two constants drift apart, either forged tags survive to
+        // the cache or legitimate port encodings get zeroed at ingress.
+        assert_eq!(RESERVED_TAG_MIN, netsim::switch::RESERVED_TOS_MIN);
+    }
+
+    #[test]
     fn paper_example_six_ports_need_three_bits() {
         assert_eq!(bits_needed(6), 3);
         assert_eq!(bits_needed(1), 1);

@@ -252,6 +252,7 @@ struct EngineObs {
     /// attach). Indexed by global switch id.
     switch_buffer: Vec<obs::Gauge>,
     switch_miss_rate: Vec<obs::Gauge>,
+    switch_spoofed_tags: Vec<obs::Gauge>,
     last_misses: Vec<u64>,
     last_events: u64,
     last_at: f64,
@@ -877,6 +878,7 @@ impl Simulation {
             snapshot_interval,
             switch_buffer: Vec::new(),
             switch_miss_rate: Vec::new(),
+            switch_spoofed_tags: Vec::new(),
             last_misses: Vec::new(),
             last_events: 0,
             last_at: 0.0,
@@ -930,6 +932,11 @@ impl Simulation {
                 );
                 o.switch_miss_rate
                     .push(o.hub.registry.gauge(&format!("switch{j}.miss_rate")));
+                o.switch_spoofed_tags.push(
+                    o.hub
+                        .registry
+                        .gauge(&format!("switch{j}.spoofed_tag_stripped")),
+                );
                 o.last_misses.push(0);
             }
             let loc = self.topo.sw_loc[gid];
@@ -942,6 +949,7 @@ impl Simulation {
             if dt > 0.0 {
                 o.switch_miss_rate[gid].set((s.stats.misses - o.last_misses[gid]) as f64 / dt);
             }
+            o.switch_spoofed_tags[gid].set(s.stats.spoofed_tag_stripped as f64);
             o.last_misses[gid] = s.stats.misses;
         }
         o.pool_occupancy.set(pool as f64);

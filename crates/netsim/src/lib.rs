@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod engine;
 pub mod faults;
 pub mod host;
@@ -62,6 +63,10 @@ pub mod switch;
 pub mod synstate;
 pub mod topo;
 
+pub use adversary::{
+    Adversary, AdversaryStats, BotnetFlood, BotnetFloodConfig, ProbeAndEvade, ProbeAndEvadeConfig,
+    PulsedFlood, PulsedFloodConfig, SlowDrain, SlowDrainConfig,
+};
 pub use engine::{Endpoint, Partitioner, Simulation, SwitchId};
 pub use faults::{Fault, FaultLogEntry, FaultScript};
 pub use host::{Host, HostId, TrafficSource};

@@ -16,6 +16,18 @@ use crate::packet::Packet;
 use crate::pool::{Slab, SlabHandle};
 use crate::profile::SwitchProfile;
 
+/// First TOS value of the reserved migration-tag band (`0xfb..=0xff`).
+///
+/// FloodGuard's migration encodes ingress ports into TOS values `1..=0xfa`
+/// and keeps this band for future control meanings; no legitimate wire
+/// packet ever carries it (tag encoding refuses the band, and tagged
+/// packets travel switch→cache as controller bytes, not through `process`).
+/// A reserved-band TOS arriving on an ordinary port is therefore always a
+/// forgery and is stripped at ingress. Mirrors
+/// `floodguard::migration::tag::RESERVED_TAG_MIN` — a cross-crate test pins
+/// the two constants together (netsim cannot depend on floodguard).
+pub const RESERVED_TOS_MIN: u8 = 0xfb;
+
 /// Counters describing what a switch has done so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwitchStats {
@@ -35,6 +47,9 @@ pub struct SwitchStats {
     pub amplified_packet_ins: u64,
     /// Buffered packets dropped because the controller never released them.
     pub buffer_timeouts: u64,
+    /// Packets that arrived with a forged reserved-band TOS tag
+    /// (`>= RESERVED_TOS_MIN`) and had it stripped at ingress.
+    pub spoofed_tag_stripped: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -274,6 +289,15 @@ impl Switch {
 
     /// Processes one packet through the flow table.
     pub fn process(&mut self, in_port: u16, packet: Packet, now: f64) -> ProcessResult {
+        let mut packet = packet;
+        // Strict ingress tag validation: the reserved TOS band never occurs
+        // on the wire legitimately (see [`RESERVED_TOS_MIN`]), so an
+        // attacker forging migration tags is neutralized before the lookup
+        // — the packet continues as ordinary traffic with TOS cleared.
+        if packet.tos().is_some_and(|tos| tos >= RESERVED_TOS_MIN) {
+            packet.set_tos(0);
+            self.stats.spoofed_tag_stripped += u64::from(packet.batch);
+        }
         let keys = packet.flow_keys(in_port);
         let batch = f64::from(packet.batch);
         match self.table.lookup(&keys, now, packet.wire_len) {
@@ -636,6 +660,32 @@ mod tests {
         assert!(res.forwards.is_empty());
         assert!(res.packet_in.is_none());
         assert_eq!(sw.stats.action_drops, 1);
+    }
+
+    #[test]
+    fn reserved_band_tos_is_stripped_and_counted_at_ingress() {
+        let mut sw = test_switch();
+        sw.add_rule(
+            OfMatch::any().with_dl_dst(MacAddr::from_u64(2)),
+            vec![Action::Output(PortNo::Physical(2))],
+            100,
+            0.0,
+        )
+        .unwrap();
+        for (i, tos) in (RESERVED_TOS_MIN..=0xff).enumerate() {
+            let mut pkt = udp_pkt(1, 2).with_batch(2);
+            pkt.set_tos(tos);
+            let res = sw.process(1, pkt, 0.0);
+            // The forged tag is gone before the lookup and never forwarded.
+            assert_eq!(res.forwards[0].1.tos(), Some(0));
+            assert_eq!(sw.stats.spoofed_tag_stripped, 2 * (i as u64 + 1));
+        }
+        // The band below the reserved range is legitimate and untouched.
+        let mut pkt = udp_pkt(1, 2);
+        pkt.set_tos(RESERVED_TOS_MIN - 1);
+        let res = sw.process(1, pkt, 0.0);
+        assert_eq!(res.forwards[0].1.tos(), Some(RESERVED_TOS_MIN - 1));
+        assert_eq!(sw.stats.spoofed_tag_stripped, 10);
     }
 
     #[test]

@@ -23,7 +23,10 @@ use crate::packet::{Packet, Payload, Transport};
 
 /// Connection 4-tuple in *initiator orientation*: `src` is always the side
 /// that sent the first SYN, so both endpoints key the same flow identically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` impl exists so capacity eviction can break timestamp ties
+/// deterministically instead of leaking `HashMap` iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HandshakeKey {
     /// Initiator address.
     pub src: Ipv4Addr,
@@ -55,8 +58,10 @@ pub struct SynStateStats {
     pub stray_syn_acks: u64,
     /// Final ACKs received with no matching half-open responder entry.
     pub stray_acks: u64,
-    /// Entries discarded because the tracker was full.
-    pub overflow: u64,
+    /// Half-open entries evicted to make room at capacity (oldest
+    /// incomplete handshake first) — the signal a slow connection-drain
+    /// attack leaves behind.
+    pub evicted_incomplete: u64,
 }
 
 /// Default cap on concurrently tracked half-open handshakes.
@@ -130,13 +135,34 @@ impl SynTracker {
         self.established.contains_key(key)
     }
 
+    /// Whether the 4-tuple (initiator orientation) is tracked half-open.
+    pub fn is_half_open(&self, key: &HandshakeKey) -> bool {
+        self.half_open.contains_key(key)
+    }
+
     fn insert_half_open(&mut self, key: HandshakeKey, role: Role, now: f64) {
-        if self.half_open.len() >= self.capacity {
+        if self.half_open.len() >= self.capacity && !self.half_open.contains_key(&key) {
             let timeout = self.timeout;
             self.half_open.retain(|_, (_, t)| now - *t < timeout);
             if self.half_open.len() >= self.capacity {
-                self.stats.overflow += 1;
-                return;
+                // Still full of live entries: evict the oldest incomplete
+                // handshake so the *new* connection attempt proceeds — a
+                // drain attack refreshing its keepalives therefore loses
+                // its stalest connection to every legitimate newcomer
+                // instead of locking legitimate clients out. Timestamp
+                // ties break on the key so the choice never depends on
+                // `HashMap` iteration order.
+                let victim = self
+                    .half_open
+                    .iter()
+                    .min_by(|(ka, (_, ta)), (kb, (_, tb))| {
+                        ta.total_cmp(tb).then_with(|| ka.cmp(kb))
+                    })
+                    .map(|(k, _)| *k);
+                if let Some(victim) = victim {
+                    self.half_open.remove(&victim);
+                    self.stats.evicted_incomplete += 1;
+                }
             }
         }
         self.half_open.insert(key, (role, now));
@@ -350,25 +376,74 @@ mod tests {
         assert_eq!(t.established(), 0);
     }
 
+    fn syn_with_sport(sport: u16) -> Packet {
+        let mut p = syn();
+        if let Payload::Ipv4 {
+            transport: Transport::Tcp {
+                ref mut src_port, ..
+            },
+            ..
+        } = p.payload
+        {
+            *src_port = sport;
+        }
+        p
+    }
+
     #[test]
     fn capacity_bounds_half_open_state() {
         let mut t = SynTracker::new(2, 100.0);
-        for sport in [1u16, 2, 3] {
-            let mut p = syn();
-            if let Payload::Ipv4 {
-                transport:
-                    Transport::Tcp {
-                        ref mut src_port, ..
-                    },
-                ..
-            } = p.payload
-            {
-                *src_port = sport;
-            }
-            t.note_sent(A, &p, 0.0);
+        for (i, sport) in [1u16, 2, 3].into_iter().enumerate() {
+            t.note_sent(A, &syn_with_sport(sport), i as f64);
         }
+        // The newcomer got in; the oldest entry (sport 1) was evicted.
         assert_eq!(t.half_open(), 2);
-        assert_eq!(t.stats().overflow, 1);
+        assert_eq!(t.stats().evicted_incomplete, 1);
+        assert!(!t.is_half_open(&key(1)));
+        assert!(t.is_half_open(&key(2)) && t.is_half_open(&key(3)));
+    }
+
+    fn key(sport: u16) -> HandshakeKey {
+        HandshakeKey {
+            src: A,
+            dst: B,
+            sport,
+            dport: 80,
+        }
+    }
+
+    #[test]
+    fn eviction_picks_oldest_then_smallest_key() {
+        let mut t = SynTracker::new(3, 100.0);
+        // Two entries tie on the oldest timestamp; the smaller key loses.
+        t.note_sent(A, &syn_with_sport(7), 0.0);
+        t.note_sent(A, &syn_with_sport(5), 0.0);
+        t.note_sent(A, &syn_with_sport(9), 1.0);
+        t.note_sent(A, &syn_with_sport(11), 2.0);
+        assert_eq!(t.half_open(), 3);
+        assert_eq!(t.stats().evicted_incomplete, 1);
+        assert!(!t.is_half_open(&key(5)), "sport 5 lost the tie-break");
+        for sport in [7, 9, 11] {
+            assert!(t.is_half_open(&key(sport)));
+        }
+    }
+
+    #[test]
+    fn refreshing_existing_key_at_capacity_evicts_nothing() {
+        let mut t = SynTracker::new(2, 100.0);
+        t.note_sent(A, &syn_with_sport(1), 0.0);
+        t.note_sent(A, &syn_with_sport(2), 1.0);
+        // A keepalive re-SYN of a tracked connection is an overwrite, not a
+        // new entry: no eviction may happen.
+        t.note_sent(A, &syn_with_sport(1), 2.0);
+        assert_eq!(t.half_open(), 2);
+        assert_eq!(t.stats().evicted_incomplete, 0);
+        // The refresh moved sport 1 off the oldest slot: a newcomer now
+        // evicts sport 2 instead.
+        t.note_sent(A, &syn_with_sport(3), 3.0);
+        assert_eq!(t.stats().evicted_incomplete, 1);
+        assert!(t.is_half_open(&key(1)), "refreshed entry survived");
+        assert!(!t.is_half_open(&key(2)), "stale entry was the victim");
     }
 
     #[test]
@@ -385,9 +460,10 @@ mod tests {
         {
             *src_port = 999;
         }
-        // Past the timeout the stale entry is evicted, not the new SYN.
+        // Past the timeout the stale entry is reclaimed for free — no
+        // forced eviction needed.
         t.note_sent(A, &p, 5.0);
         assert_eq!(t.half_open(), 1);
-        assert_eq!(t.stats().overflow, 0);
+        assert_eq!(t.stats().evicted_incomplete, 0);
     }
 }

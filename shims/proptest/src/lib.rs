@@ -273,6 +273,17 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize);
 
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            // 53 uniform mantissa bits give a double in [0, 1).
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             #[allow(non_snake_case)]
