@@ -1,93 +1,293 @@
-//! Criterion companion to Fig. 13: proactive-flow-rule generation time per
-//! application (Algorithm 2), plus the offline Algorithm 1 cost and the
-//! scaling of conversion with state size.
+//! Analyzer-pipeline benchmark at production scale: incremental
+//! re-analysis, parallel conversion and TCAM-budgeted rule compression,
+//! with a JSON report and a regression gate.
+//!
+//! Custom harness (`harness = false`), not the criterion shim, because
+//! this bench also writes `results/BENCH_analyzer.json` and compares
+//! against a checked-in baseline.
+//!
+//! **App-count scaling** — cold `Analyzer::convert` over synthetic
+//! populations ([`bench::synthetic`]) of 8, 100 and 1000 apps.
+//!
+//! **Incremental re-analysis** — the tentpole workload: among 1000 apps,
+//! one changes per round. The conversion cache must serve the other 999
+//! (hit rate ≥ 99%) and the incremental convert must beat a cold convert
+//! by ≥ 10x.
+//!
+//! **Compression** — the merged 1000-app rule set compressed under the
+//! `hardware` switch profile's 4096-entry TCAM budget; reports the
+//! before/after counts and the ratio, and requires the set to fit.
+//!
+//! **Thread determinism** — the same cold convert at 1, 2 and 8 worker
+//! threads must return identical rule vectors; the parallel speedup is
+//! reported, and gated only on machines with ≥ 8 cores (the ratio is
+//! meaningless on fewer).
+//!
+//! **Regression gate** — compares against `FG_ANALYZER_BASELINE` (default
+//! `results/BENCH_analyzer_baseline.json`) and exits non-zero when a
+//! gated ratio drops more than 25%. All gated quantities are ratios of
+//! numbers measured in the same process, so the gate is portable across
+//! machines of different speeds.
+//!
+//! `--test` (what `cargo test` passes to bench targets) runs a tiny smoke
+//! version: no JSON written, no gate, exit 0.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
-use controller::apps;
-use controller::platform::App;
+use bench::report::{extract_number, read_report, write_report, Json};
+use bench::synthetic;
 use floodguard::analyzer::Analyzer;
-use ofproto::types::MacAddr;
-use symexec::generate_path_conditions;
+use symexec::CompressionConfig;
 
-fn seeded_apps() -> Vec<(&'static str, App)> {
-    let mut l2 = App::new(apps::l2_learning::program());
-    for i in 0..60u64 {
-        apps::l2_learning::learn_host(
-            &mut l2.env,
-            MacAddr::from_u64(0x1000 + i),
-            (i % 8 + 1) as u16,
-        );
-    }
-    let mut l3 = App::new(apps::l3_learning::program());
-    for i in 0..60u32 {
-        apps::l3_learning::learn_host(
-            &mut l3.env,
-            std::net::Ipv4Addr::from(0x0a00_0100 + i),
-            (i % 8 + 1) as u16,
-        );
-    }
-    let balancer = App::new(apps::ip_balancer::program());
-    let mut firewall = App::new(apps::of_firewall::program());
-    apps::of_firewall::seed(&mut firewall.env, 400);
-    let mut blocker = App::new(apps::mac_blocker::program());
-    apps::mac_blocker::seed(&mut blocker.env, 60);
-    vec![
-        ("l2_learning", l2),
-        ("ip_balancer", balancer),
-        ("l3_learning", l3),
-        ("of_firewall", firewall),
-        ("mac_blocker", blocker),
-    ]
+/// Tolerated drop before the gate fails (25%).
+const GATE_TOLERANCE: f64 = 0.75;
+
+/// The `hardware` switch profile's flow-table capacity (see
+/// `netsim::SwitchProfile::hardware`): the TCAM budget the compressed
+/// 1000-app rule set must fit.
+const TCAM_BUDGET: usize = 4096;
+
+/// Minimum cache hit rate when 1 app of 1000 changes.
+const HIT_RATE_FLOOR: f64 = 0.99;
+
+/// Minimum cold/incremental speedup for the same workload.
+const INCR_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Median of `reps` timed runs of `f`, in seconds.
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
 }
 
-fn bench_fig13_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_rule_generation");
-    for (name, app) in seeded_apps() {
-        let apps_slice = std::slice::from_ref(&app);
-        let mut analyzer = Analyzer::offline(apps_slice);
-        group.bench_function(name, |b| {
-            b.iter(|| analyzer.convert(std::hint::black_box(apps_slice)))
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (fleet, scaling_sizes, reps): (usize, &[usize], usize) = if smoke {
+        (100, &[8, 50], 3)
+    } else {
+        (1000, &[8, 100, 1000], 9)
+    };
+
+    // --- App-count scaling: cold convert wall time. -----------------------
+    println!("# analyzer bench — cold convert scaling (apps -> median ms)");
+    let mut scaling_rows = Vec::new();
+    for &n in scaling_sizes {
+        let apps = synthetic::population(n);
+        let mut analyzer = Analyzer::offline(&apps);
+        let mut rules = 0usize;
+        let cold_s = median_secs(reps, || {
+            analyzer.clear_conversion_cache();
+            rules = analyzer.convert(&apps).len();
         });
+        println!("apps={n:>5}: {:>9.3} ms, {rules} rules", cold_s * 1e3);
+        scaling_rows.push((n, cold_s * 1e3, rules));
     }
-    group.finish();
-}
 
-fn bench_offline_symbolic_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm1_offline");
-    for program in apps::evaluation_apps() {
-        group.bench_function(program.name.clone(), |b| {
-            b.iter(|| generate_path_conditions(std::hint::black_box(&program)))
+    // --- Incremental re-analysis: 1 changed app among `fleet`. ------------
+    let mut apps = synthetic::population(fleet);
+    let mut analyzer = Analyzer::offline(&apps);
+    let cold_s = median_secs(reps, || {
+        analyzer.clear_conversion_cache();
+        analyzer.convert(&apps);
+    });
+    let mut round = 0u64;
+    let incr_s = median_secs(reps.max(5), || {
+        round += 1;
+        synthetic::touch(&mut apps[0], round);
+        analyzer.convert(&apps);
+    });
+    let last_hits = analyzer.cache_stats().last_hits;
+    let last_misses = analyzer.cache_stats().last_misses;
+    let hit_rate = last_hits as f64 / (last_hits + last_misses) as f64;
+    let incr_speedup = cold_s / incr_s;
+    println!("# incremental — 1 of {fleet} apps changed per round");
+    println!(
+        "cold: {:>9.3} ms | incremental: {:>9.3} ms | speedup {incr_speedup:.1}x \
+         | cache hit rate {hit_rate:.4} ({last_hits} hits / {last_misses} miss)",
+        cold_s * 1e3,
+        incr_s * 1e3
+    );
+
+    // --- Compression under the hardware TCAM budget. ----------------------
+    let raw = {
+        analyzer.set_compression(None);
+        analyzer.clear_conversion_cache();
+        analyzer.convert(&apps)
+    };
+    analyzer.set_compression(Some(CompressionConfig::default().with_budget(TCAM_BUDGET)));
+    analyzer.clear_conversion_cache();
+    let compressed = analyzer.convert(&apps);
+    let cstats = analyzer.last_compression.expect("compression ran");
+    analyzer.set_compression(None);
+    println!("# compression — default passes, TCAM budget {TCAM_BUDGET}");
+    println!(
+        "raw: {} rules | compressed: {} rules | ratio {:.2}x | shadows {} | merges {} \
+         | evicted {} | fits budget: {}",
+        raw.len(),
+        compressed.len(),
+        cstats.ratio(),
+        cstats.shadows_removed,
+        cstats.prefixes_merged,
+        cstats.rules_evicted,
+        cstats.fits_budget
+    );
+    assert_eq!(cstats.rules_in, raw.len());
+    assert_eq!(cstats.rules_out, compressed.len());
+
+    // --- Thread-count determinism + parallel conversion speedup. ----------
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 8] };
+    let mut par_rows: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<Vec<policy::ProactiveRule>> = None;
+    println!("# parallel conversion — {fleet} apps, cold ({cores} cores available)");
+    for &threads in thread_counts {
+        analyzer.set_threads(threads);
+        let mut out = Vec::new();
+        let t_s = median_secs(reps, || {
+            analyzer.clear_conversion_cache();
+            out = analyzer.convert(&apps);
         });
-    }
-    group.finish();
-}
-
-fn bench_conversion_scaling(c: &mut Criterion) {
-    // Rule generation is linear in the learned state; this pins the curve.
-    let mut group = c.benchmark_group("conversion_scaling_l2");
-    for n in [10u64, 100, 1000] {
-        let mut app = App::new(apps::l2_learning::program());
-        for i in 0..n {
-            apps::l2_learning::learn_host(
-                &mut app.env,
-                MacAddr::from_u64(1 + i),
-                (i % 8 + 1) as u16,
-            );
+        match &reference {
+            Some(expected) => assert_eq!(
+                &out, expected,
+                "thread count {threads} changed the converted rules — determinism is broken"
+            ),
+            None => reference = Some(out),
         }
-        let apps_slice = std::slice::from_ref(&app);
-        let mut analyzer = Analyzer::offline(apps_slice);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| analyzer.convert(std::hint::black_box(apps_slice)))
-        });
+        println!(
+            "threads={threads}: {:>9.3} ms (speedup {:.2}x)",
+            t_s * 1e3,
+            par_rows.first().map_or(1.0, |&(_, t1)| t1 / t_s)
+        );
+        par_rows.push((threads, t_s));
     }
-    group.finish();
-}
+    analyzer.set_threads(0);
+    let par_speedup = par_rows[0].1 / par_rows.last().expect("non-empty").1;
 
-criterion_group!(
-    benches,
-    bench_fig13_generation,
-    bench_offline_symbolic_execution,
-    bench_conversion_scaling
-);
-criterion_main!(benches);
+    if smoke {
+        // The hard bars still bind in smoke mode — a broken cache or an
+        // over-budget rule set must fail `cargo test`, not just the full
+        // bench run — but timings are single-digit samples, so the
+        // speedup floors stay out of it.
+        assert!(
+            hit_rate >= HIT_RATE_FLOOR,
+            "cache hit rate {hit_rate:.4} < {HIT_RATE_FLOOR}"
+        );
+        assert!(cstats.fits_budget, "compressed set exceeds the TCAM budget");
+        println!("analyzer bench: ok (smoke mode, no report/gate)");
+        return;
+    }
+
+    // Hard acceptance bars (machine-independent).
+    let mut failed = false;
+    if hit_rate < HIT_RATE_FLOOR {
+        eprintln!("REGRESSION: cache hit rate {hit_rate:.4} < {HIT_RATE_FLOOR}");
+        failed = true;
+    }
+    if incr_speedup < INCR_SPEEDUP_FLOOR {
+        eprintln!("REGRESSION: incremental speedup {incr_speedup:.1}x < {INCR_SPEEDUP_FLOOR}x");
+        failed = true;
+    }
+    if !cstats.fits_budget {
+        eprintln!(
+            "REGRESSION: compressed set ({} rules) exceeds the {TCAM_BUDGET}-entry TCAM budget",
+            compressed.len()
+        );
+        failed = true;
+    }
+
+    let mut report = Json::obj()
+        .set("bench", "analyzer")
+        .set(
+            "scenario",
+            format!(
+                "{fleet} synthetic apps (9:1 route:l2): incremental re-analysis, \
+                 compression @ TCAM {TCAM_BUDGET}, parallel conversion"
+            )
+            .as_str(),
+        )
+        .set("apps", fleet)
+        .set("cold_ms", cold_s * 1e3)
+        .set("incremental_ms", incr_s * 1e3)
+        .set("incr_speedup", incr_speedup)
+        .set("cache_hit_rate", hit_rate)
+        .set("rules_raw", raw.len())
+        .set("rules_compressed", compressed.len())
+        .set("compression_ratio", cstats.ratio())
+        .set("shadows_removed", cstats.shadows_removed)
+        .set("prefixes_merged", cstats.prefixes_merged)
+        .set("rules_evicted", cstats.rules_evicted)
+        .set("fits_budget", cstats.fits_budget)
+        .set("tcam_budget", TCAM_BUDGET)
+        .set("par_speedup", par_speedup)
+        .set("par_cores_available", cores);
+    for &(threads, t_s) in &par_rows {
+        report = report.set(format!("par_ms_t{threads}").as_str(), t_s * 1e3);
+    }
+    for &(n, ms, rules) in &scaling_rows {
+        report = report
+            .set(format!("cold_ms_n{n}").as_str(), ms)
+            .set(format!("rules_n{n}").as_str(), rules);
+    }
+    match write_report("analyzer", &report) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_analyzer.json: {err}"),
+    }
+
+    let baseline_path = std::env::var("FG_ANALYZER_BASELINE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| bench::report::results_dir().join("BENCH_analyzer_baseline.json"));
+    let baseline = match read_report(&baseline_path) {
+        Ok(body) => body,
+        Err(err) => {
+            println!(
+                "# no baseline at {} ({err}); gate skipped",
+                baseline_path.display()
+            );
+            if failed {
+                std::process::exit(1);
+            }
+            return;
+        }
+    };
+    let mut gates = vec![
+        ("incr_speedup", incr_speedup),
+        ("cache_hit_rate", hit_rate),
+        ("compression_ratio", cstats.ratio()),
+    ];
+    // The thread-scaling ratio is only comparable to the baseline when the
+    // machine can actually run the workers in parallel.
+    if cores >= 8 {
+        gates.push(("par_speedup", par_speedup));
+    } else {
+        println!("# gate par_speedup: skipped ({cores} cores < 8)");
+    }
+    for (label, measured) in gates {
+        let Some(expected) = extract_number(&baseline, label) else {
+            eprintln!(
+                "warning: baseline {} has no \"{label}\" field",
+                baseline_path.display()
+            );
+            continue;
+        };
+        let floor = expected * GATE_TOLERANCE;
+        if measured < floor {
+            eprintln!(
+                "REGRESSION: {label} {measured:.3} < {floor:.3} \
+                 (baseline {expected:.3} - 25% tolerance)"
+            );
+            failed = true;
+        } else {
+            println!("# gate {label}: {measured:.3} vs baseline {expected:.3} — ok");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

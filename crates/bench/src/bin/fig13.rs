@@ -84,6 +84,10 @@ fn main() {
         let mut times = Vec::new();
         let mut rules = 0usize;
         for _ in 0..21 {
+            // Measure a cold Algorithm 2 run each iteration — with the
+            // conversion cache warm, unchanged state would be served in
+            // O(1) and the figure would time a hash lookup.
+            analyzer.clear_conversion_cache();
             let t0 = Instant::now();
             let converted = analyzer.convert(apps_slice);
             times.push(t0.elapsed());

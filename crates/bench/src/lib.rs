@@ -12,6 +12,7 @@ pub mod arena;
 pub mod par;
 pub mod report;
 pub mod scenario;
+pub mod synthetic;
 pub mod timeline;
 
 pub use netsim::faults::Fault;

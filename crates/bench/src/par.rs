@@ -1,106 +1,8 @@
-//! Scoped-thread parallel map for independent scenario runs.
+//! Scoped-thread parallel map — re-exported from [`symexec::par`].
 //!
-//! The offline workspace has no `rayon`, so the figure sweeps use plain
-//! `std::thread::scope` workers pulling indices off a shared atomic
-//! counter. Results come back in input order, so a parallelized sweep
-//! prints rows exactly as the serial version did.
-//!
-//! Determinism note: every scenario run is seeded and self-contained (its
-//! own `Simulation` + `StdRng`), so running them on worker threads changes
-//! wall-clock time only — never the numbers.
+//! The implementation moved into `symexec` so the analyzer can fan
+//! per-app conversions across workers without `bench` (which depends on
+//! `floodguard`) appearing in the dependency graph of the defense
+//! itself. Bench sweeps keep using this path unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Worker count: `FG_BENCH_THREADS` if set (and > 0), else the machine's
-/// available parallelism, capped at the number of items.
-pub fn thread_count(items: usize) -> usize {
-    let configured = std::env::var("FG_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-    configured.min(items.max(1))
-}
-
-/// Maps `f` over `items` on scoped worker threads, preserving input order
-/// in the returned vector.
-///
-/// Work is claimed dynamically (one shared counter), so a slow item — say
-/// the 500 PPS flood in a rate sweep — doesn't leave the other workers
-/// idle behind a static partition.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    par_map_with(thread_count(items.len()), items, f)
-}
-
-/// [`par_map`] with an explicit worker count (testable without env vars).
-pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let next = &next;
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut own = Vec::new();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(idx) else { break };
-                        own.push((idx, f(item)));
-                    }
-                    own
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("bench worker panicked"))
-            .collect()
-    });
-    tagged.sort_by_key(|&(idx, _)| idx);
-    tagged.into_iter().map(|(_, r)| r).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn matches_serial_map_and_preserves_order() {
-        let items: Vec<u64> = (0..37).collect();
-        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
-        for threads in [1, 2, 4, 16] {
-            let parallel = par_map_with(threads, &items, |&x| x * x + 1);
-            assert_eq!(parallel, serial, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn handles_empty_and_single_item() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(par_map_with(8, &empty, |&x| x).is_empty());
-        assert_eq!(par_map_with(8, &[7u32], |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        let items = [1u32, 2, 3];
-        assert_eq!(par_map_with(64, &items, |&x| x * 10), vec![10, 20, 30]);
-    }
-}
+pub use symexec::par::{par_map, par_map_with, thread_count};

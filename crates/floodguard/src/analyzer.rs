@@ -1,28 +1,93 @@
 //! The proactive flow rule analyzer (paper §IV-B, Fig. 4): symbolic
 //! execution engine (offline), application tracker and proactive flow rule
 //! dispatcher (runtime).
+//!
+//! Production-scale pipeline: Algorithm 1 results are shared through the
+//! process-wide [`symexec::memo`] (a thousand copies of a template app run
+//! symbolic execution once), per-app Algorithm 2 conversions are cached
+//! keyed on `(handler hash, env version)` so a convert re-solves only the
+//! apps whose globals actually moved, and stale apps are converted on
+//! worker threads ([`symexec::par`]) with a deterministic app-order merge —
+//! the rule vector is byte-identical at any thread count.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use controller::platform::App;
 use ofproto::flow_mod::FlowMod;
 use policy::ProactiveRule;
-use symexec::{convert_to_rules, generate_path_conditions, ConversionStats, PathConditions};
+use symexec::compress::{compress, CompressionConfig, CompressionStats};
+use symexec::{
+    convert_to_rules, generate_path_conditions_cached, handler_hash, Conversion, ConversionStats,
+    PathConditions,
+};
 
 use crate::config::UpdateStrategy;
+
+/// One app's cached Algorithm 2 result, valid while its handler and its
+/// tracked globals are unchanged.
+#[derive(Debug)]
+struct CachedConversion {
+    handler_hash: u64,
+    env_version: u64,
+    conversion: Arc<Conversion>,
+}
+
+impl CachedConversion {
+    fn fresh(&self, handler_hash: u64, env_version: u64) -> bool {
+        self.handler_hash == handler_hash && self.env_version == env_version
+    }
+}
+
+/// Conversion-cache counters (per-app Algorithm 2 results).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// App conversions served from cache across the analyzer's lifetime.
+    pub hits: u64,
+    /// App conversions that re-ran Algorithm 2 across the lifetime.
+    pub misses: u64,
+    /// Cache hits in the most recent [`Analyzer::convert`] call.
+    pub last_hits: u64,
+    /// Cache misses in the most recent [`Analyzer::convert`] call.
+    pub last_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lifetime app conversions served from cache (0 when no
+    /// conversion has run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// The analyzer: holds each application's offline path conditions, tracks
 /// the live values of their state-sensitive variables, and dispatches
 /// proactive flow rules.
 #[derive(Debug)]
 pub struct Analyzer {
-    path_conditions: Vec<PathConditions>,
+    path_conditions: Vec<Arc<PathConditions>>,
+    app_hashes: Vec<u64>,
+    conversion_cache: Vec<Option<CachedConversion>>,
     last_versions: HashMap<String, u64>,
     installed: Vec<ProactiveRule>,
     pending_changes: u64,
     last_update_at: f64,
-    /// Cumulative conversion statistics.
+    cache_stats: CacheStats,
+    threads: usize,
+    compression: Option<CompressionConfig>,
+    truncation_warned: HashSet<String>,
+    /// Cumulative conversion statistics from the last convert (summed over
+    /// every app, cached or not).
     pub last_stats: ConversionStats,
+    /// Statistics of the last compression pass, when compression is on.
+    pub last_compression: Option<CompressionStats>,
+    /// Rule count of the last convert before compression.
+    pub last_rules_raw: usize,
     /// Number of conversions run.
     pub conversions: u64,
 }
@@ -53,26 +118,69 @@ impl Analyzer {
     /// application.
     ///
     /// The paper runs this "in advance" — it is the expensive part (symbolic
-    /// execution) and adds no runtime overhead.
+    /// execution) and adds no runtime overhead. Results are shared through
+    /// the process-wide Algorithm 1 memo, so duplicate handlers (a fleet
+    /// instantiated from a few templates) are analyzed once.
     pub fn offline(apps: &[App]) -> Analyzer {
-        let path_conditions = apps
+        let path_conditions: Vec<Arc<PathConditions>> = apps
             .iter()
-            .map(|app| generate_path_conditions(&app.program))
+            .map(|app| generate_path_conditions_cached(&app.program))
             .collect();
+        let app_hashes = apps.iter().map(|app| handler_hash(&app.program)).collect();
+        let conversion_cache = apps.iter().map(|_| None).collect();
         Analyzer {
             path_conditions,
+            app_hashes,
+            conversion_cache,
             last_versions: HashMap::new(),
             installed: Vec::new(),
             pending_changes: 0,
             last_update_at: f64::NEG_INFINITY,
+            cache_stats: CacheStats::default(),
+            threads: 0,
+            compression: None,
+            truncation_warned: HashSet::new(),
             last_stats: ConversionStats::default(),
+            last_compression: None,
+            last_rules_raw: 0,
             conversions: 0,
         }
     }
 
     /// The per-application path conditions.
-    pub fn path_conditions(&self) -> &[PathConditions] {
+    pub fn path_conditions(&self) -> &[Arc<PathConditions>] {
         &self.path_conditions
+    }
+
+    /// Pins the worker count for parallel conversion (0 = automatic:
+    /// `FG_BENCH_THREADS` or the machine's available parallelism).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Enables (`Some`) or disables (`None`) rule compression on the
+    /// converted rule set.
+    pub fn set_compression(&mut self, config: Option<CompressionConfig>) {
+        self.compression = config;
+    }
+
+    /// The active compression configuration, if any.
+    pub fn compression(&self) -> Option<&CompressionConfig> {
+        self.compression.as_ref()
+    }
+
+    /// Conversion-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// Drops every cached per-app conversion (cold-start benchmarking; the
+    /// next convert re-runs Algorithm 2 for all apps). Lifetime hit/miss
+    /// counters are kept.
+    pub fn clear_conversion_cache(&mut self) {
+        for slot in &mut self.conversion_cache {
+            *slot = None;
+        }
     }
 
     /// Application tracker: returns `true` when any app's globals changed
@@ -111,48 +219,149 @@ impl Analyzer {
         }
     }
 
+    /// Re-hashes every app's handler and refreshes the path conditions and
+    /// conversion cache of those whose body changed.
+    ///
+    /// Handlers are registered once and treated as immutable by
+    /// [`Analyzer::convert`] (re-hashing a thousand ASTs on every convert
+    /// would dwarf the incremental win); call this after editing a
+    /// registered program in place.
+    pub fn refresh_handlers(&mut self, apps: &[App]) {
+        debug_assert_eq!(self.app_hashes.len(), apps.len());
+        for (i, app) in apps.iter().enumerate() {
+            let hash = handler_hash(&app.program);
+            if hash != self.app_hashes[i] {
+                self.path_conditions[i] = generate_path_conditions_cached(&app.program);
+                self.app_hashes[i] = hash;
+                self.conversion_cache[i] = None;
+            }
+        }
+    }
+
     /// Runs Algorithm 2 over every application with its current globals,
     /// producing the full proactive rule set.
+    ///
+    /// Incremental: an app whose `(handler hash, env version)` matches its
+    /// cached conversion is served from cache; only stale apps are
+    /// re-solved, on worker threads. The returned vector is in registration
+    /// order and byte-identical at any thread count. With compression
+    /// enabled the merged set is compressed before being returned. Handler
+    /// bodies are assumed fixed since [`Analyzer::offline`] (or the last
+    /// [`Analyzer::refresh_handlers`]); only env versions are re-checked.
     pub fn convert(&mut self, apps: &[App]) -> Vec<ProactiveRule> {
-        let mut rules = Vec::new();
+        debug_assert_eq!(self.path_conditions.len(), apps.len());
+        let mut stale = Vec::new();
+        for (i, app) in apps.iter().enumerate() {
+            let fresh = match &self.conversion_cache[i] {
+                Some(cached) => cached.fresh(self.app_hashes[i], app.env.version()),
+                None => false,
+            };
+            if !fresh {
+                stale.push(i);
+            }
+        }
+        self.cache_stats.last_hits = (apps.len() - stale.len()) as u64;
+        self.cache_stats.last_misses = stale.len() as u64;
+        self.cache_stats.hits += self.cache_stats.last_hits;
+        self.cache_stats.misses += self.cache_stats.last_misses;
+
+        // Re-solve stale apps in parallel; each job reads only its own
+        // app's path conditions and env, so worker count changes wall-clock
+        // time only, never the merged output.
+        let path_conditions = &self.path_conditions;
+        let threads = if self.threads == 0 {
+            symexec::par::thread_count(stale.len())
+        } else {
+            self.threads
+        };
+        let converted = symexec::par::par_map_with(threads, &stale, |&i| {
+            convert_to_rules(&path_conditions[i], &apps[i].env)
+        });
+        for (&i, conversion) in stale.iter().zip(converted) {
+            self.conversion_cache[i] = Some(CachedConversion {
+                handler_hash: self.app_hashes[i],
+                env_version: apps[i].env.version(),
+                conversion: Arc::new(conversion),
+            });
+        }
+
+        // Deterministic merge in registration order, aggregating stats over
+        // every app (cached or re-solved) so `last_stats` always describes
+        // the whole returned set.
+        let total: usize = self
+            .conversion_cache
+            .iter()
+            .map(|c| c.as_ref().map_or(0, |c| c.conversion.rules.len()))
+            .sum();
+        let mut rules = Vec::with_capacity(total);
         let mut stats = ConversionStats::default();
-        for (pcs, app) in self.path_conditions.iter().zip(apps) {
-            debug_assert_eq!(pcs.app, app.program.name);
+        for (i, app) in apps.iter().enumerate() {
             // The conversion reflects this exact state: baseline the
             // tracker here so later mutations are seen as changes.
-            self.last_versions
-                .insert(app.program.name.clone(), app.env.version());
-            let conversion = convert_to_rules(pcs, &app.env);
-            stats.paths_total += conversion.stats.paths_total;
-            stats.paths_modify_state += conversion.stats.paths_modify_state;
-            stats.paths_converted += conversion.stats.paths_converted;
-            stats.paths_skipped += conversion.stats.paths_skipped;
-            stats.candidates_rejected += conversion.stats.candidates_rejected;
-            stats.truncated |= conversion.stats.truncated;
-            rules.extend(conversion.rules);
+            match self.last_versions.get_mut(&app.program.name) {
+                Some(v) => *v = app.env.version(),
+                None => {
+                    self.last_versions
+                        .insert(app.program.name.clone(), app.env.version());
+                }
+            }
+            let cached = self.conversion_cache[i]
+                .as_ref()
+                .expect("every app converted above");
+            stats.merge(&cached.conversion.stats);
+            if cached.conversion.stats.truncated()
+                && self.truncation_warned.insert(app.program.name.clone())
+            {
+                eprintln!(
+                    "floodguard analyzer: app `{}`: conversion truncated \
+                     (paths_truncated={}, rules_truncated={}); proactive rules incomplete",
+                    app.program.name,
+                    cached.conversion.stats.paths_truncated,
+                    cached.conversion.stats.rules_truncated,
+                );
+            }
+            rules.extend_from_slice(&cached.conversion.rules);
         }
         self.last_stats = stats;
+        self.last_rules_raw = rules.len();
         self.conversions += 1;
-        rules
+
+        match &self.compression {
+            Some(config) => {
+                let (compressed, cstats) = compress(&rules, config);
+                self.last_compression = Some(cstats);
+                compressed
+            }
+            None => {
+                self.last_compression = None;
+                rules
+            }
+        }
     }
 
     /// Dispatcher: diffs `new_rules` against the installed set and returns
     /// the flow-mods realizing the difference, stamping them with `cookie`.
     ///
     /// §IV-D: "The variation should be quite simple as adding or removing a
-    /// few matching rules."
+    /// few matching rules." The diff is hash-set membership on whole rules
+    /// (O(n) instead of the old O(n²) `Vec::contains` scan), emitting
+    /// removals in installed order and additions in `new_rules` order.
     pub fn dispatch(&mut self, new_rules: Vec<ProactiveRule>, cookie: u64, now: f64) -> RuleUpdate {
         let mut update = RuleUpdate::default();
-        for rule in &self.installed {
-            if !new_rules.contains(rule) {
-                update
-                    .to_remove
-                    .push(FlowMod::delete_strict(rule.of_match, rule.priority));
+        {
+            let new_set: HashSet<&ProactiveRule> = new_rules.iter().collect();
+            let old_set: HashSet<&ProactiveRule> = self.installed.iter().collect();
+            for rule in &self.installed {
+                if !new_set.contains(rule) {
+                    update
+                        .to_remove
+                        .push(FlowMod::delete_strict(rule.of_match, rule.priority));
+                }
             }
-        }
-        for rule in &new_rules {
-            if !self.installed.contains(rule) {
-                update.to_add.push(rule.to_flow_mod().with_cookie(cookie));
+            for rule in &new_rules {
+                if !old_set.contains(rule) {
+                    update.to_add.push(rule.to_flow_mod().with_cookie(cookie));
+                }
             }
         }
         self.installed = new_rules;
@@ -301,5 +510,69 @@ mod tests {
             mods[0].command,
             ofproto::flow_mod::FlowModCommand::DeleteStrict
         );
+    }
+
+    #[test]
+    fn conversion_cache_serves_unchanged_apps() {
+        let mut app = l2_app();
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xa), 1);
+        let mut analyzer = Analyzer::offline(std::slice::from_ref(&app));
+        let first = analyzer.convert(std::slice::from_ref(&app));
+        assert_eq!(analyzer.cache_stats().last_misses, 1);
+        // Unchanged state: served entirely from cache, identical output.
+        let second = analyzer.convert(std::slice::from_ref(&app));
+        assert_eq!(analyzer.cache_stats().last_hits, 1);
+        assert_eq!(analyzer.cache_stats().last_misses, 0);
+        assert_eq!(first, second);
+        // A state change invalidates exactly this app.
+        apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0xb), 2);
+        let third = analyzer.convert(std::slice::from_ref(&app));
+        assert_eq!(analyzer.cache_stats().last_misses, 1);
+        assert_eq!(third.len(), 2);
+        // Clearing the cache forces a cold re-convert with the same output.
+        analyzer.clear_conversion_cache();
+        let cold = analyzer.convert(std::slice::from_ref(&app));
+        assert_eq!(analyzer.cache_stats().last_misses, 1);
+        assert_eq!(cold, third);
+        assert!(analyzer.cache_stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn convert_is_identical_across_thread_counts() {
+        let mut apps_vec: Vec<App> = (0..6).map(|_| l2_app()).collect();
+        for (i, app) in apps_vec.iter_mut().enumerate() {
+            apps::l2_learning::learn_host(&mut app.env, MacAddr::from_u64(0x10 + i as u64), 1);
+        }
+        let mut baseline = Analyzer::offline(&apps_vec);
+        baseline.set_threads(1);
+        let expected = baseline.convert(&apps_vec);
+        for threads in [2, 8] {
+            let mut analyzer = Analyzer::offline(&apps_vec);
+            analyzer.set_threads(threads);
+            assert_eq!(analyzer.convert(&apps_vec), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_duplicate_rules() {
+        // Two identical apps produce duplicate rules; compression dedups
+        // them while plain convert keeps both.
+        let mut a = l2_app();
+        apps::l2_learning::learn_host(&mut a.env, MacAddr::from_u64(0xa), 1);
+        let b = a.clone();
+        let apps_vec = vec![a, b];
+        let mut analyzer = Analyzer::offline(&apps_vec);
+        let raw = analyzer.convert(&apps_vec);
+        assert_eq!(raw.len(), 2);
+        assert!(analyzer.last_compression.is_none());
+        analyzer.set_compression(Some(CompressionConfig::default()));
+        analyzer.clear_conversion_cache();
+        let compressed = analyzer.convert(&apps_vec);
+        assert_eq!(compressed.len(), 1);
+        assert_eq!(analyzer.last_rules_raw, 2);
+        let stats = analyzer.last_compression.expect("compression ran");
+        assert_eq!(stats.rules_in, 2);
+        assert_eq!(stats.rules_out, 1);
+        assert_eq!(stats.duplicates_removed, 1);
     }
 }

@@ -1,6 +1,7 @@
 //! FloodGuard configuration.
 
 use serde::{Deserialize, Serialize};
+use symexec::CompressionConfig;
 
 /// How often the proactive rules are refreshed when application state
 /// changes (the paper's §IV-D performance/accuracy tradeoff).
@@ -192,6 +193,13 @@ pub struct FloodGuardConfig {
     pub target_controller_utilization: f64,
     /// Failure recovery: rule repair and cache failover.
     pub recovery: RecoveryConfig,
+    /// Optional proactive-rule compression (shadow elimination, prefix
+    /// merging, priority flattening, TCAM budget) applied to every
+    /// converted rule set before dispatch. `None` installs the raw
+    /// converted rules — the paper's behavior and the default; hardware
+    /// deployments set a budget matching their switch profile's table
+    /// capacity.
+    pub compression: Option<CompressionConfig>,
 }
 
 impl Default for FloodGuardConfig {
@@ -210,6 +218,7 @@ impl Default for FloodGuardConfig {
             remove_proactive_on_idle: false,
             target_controller_utilization: 0.5,
             recovery: RecoveryConfig::default(),
+            compression: None,
         }
     }
 }

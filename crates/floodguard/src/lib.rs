@@ -74,6 +74,7 @@ pub use crate::config::{
     UpdateStrategy,
 };
 pub use crate::state::{State, StateMachine};
+pub use symexec::{CompressionConfig, CompressionStats};
 
 /// Module name under which FloodGuard's own CPU time is accounted.
 pub const MODULE_NAME: &str = "floodguard";
@@ -149,6 +150,11 @@ struct FgObs {
     reraised_total: obs::Gauge,
     rules_installed: obs::Gauge,
     rules_repaired: obs::Gauge,
+    conversion_time_us: obs::Histogram,
+    conv_cache_hits: obs::Counter,
+    conv_cache_misses: obs::Counter,
+    rules_converted: obs::Gauge,
+    rules_compressed: obs::Gauge,
     last_reraised: u64,
     last_at: f64,
     traced_transitions: usize,
@@ -194,7 +200,8 @@ impl FloodGuard {
         config: FloodGuardConfig,
         cache_port: u16,
     ) -> FloodGuard {
-        let analyzer = Analyzer::offline(platform.apps());
+        let mut analyzer = Analyzer::offline(platform.apps());
+        analyzer.set_compression(config.compression);
         let cache_handle = new_handle(&config.cache);
         let agent = MigrationAgent::new(config, cache_handle.clone(), cache_port);
         FloodGuard {
@@ -240,6 +247,11 @@ impl FloodGuard {
             reraised_total: reg.gauge("floodguard.reraised"),
             rules_installed: reg.gauge("floodguard.rules_installed"),
             rules_repaired: reg.gauge("floodguard.rules_repaired"),
+            conversion_time_us: reg.histogram("floodguard.conversion_time_us"),
+            conv_cache_hits: reg.counter("floodguard.conversion_cache_hits"),
+            conv_cache_misses: reg.counter("floodguard.conversion_cache_misses"),
+            rules_converted: reg.gauge("floodguard.rules_converted"),
+            rules_compressed: reg.gauge("floodguard.rules_compressed"),
             last_reraised: 0,
             last_at: 0.0,
             traced_transitions: 0,
@@ -379,9 +391,6 @@ impl FloodGuard {
         &self.analyzer
     }
 
-    /// CPU cost charged for one rule-generation round: a base plus a
-    /// per-state-entry term, the deterministic stand-in for the measured
-    /// generation times of Fig. 13.
     /// Rewrites `Flood`/`All` outputs in outgoing packet-outs into explicit
     /// port lists that exclude the cache port.
     ///
@@ -416,6 +425,9 @@ impl FloodGuard {
         }
     }
 
+    /// CPU cost charged for one rule-generation round: a base plus a
+    /// per-state-entry term, the deterministic stand-in for the measured
+    /// generation times of Fig. 13.
     fn conversion_cost(&self) -> f64 {
         let entries: usize = self
             .platform
@@ -451,7 +463,23 @@ impl FloodGuard {
         if !update.is_empty() {
             self.stats.updates += 1;
         }
-        out.charge(MODULE_NAME, self.conversion_cost());
+        let cost = self.conversion_cost();
+        if let Some(o) = self.obs.as_ref() {
+            // Modeled conversion cost (the deterministic Fig. 13 stand-in),
+            // recorded in µs — never wall-clock, so the published timeline
+            // stays byte-identical across machines and thread counts.
+            o.conversion_time_us.record((cost * 1e6) as u64);
+            let cache = self.analyzer.cache_stats();
+            o.conv_cache_hits.add(cache.last_hits);
+            o.conv_cache_misses.add(cache.last_misses);
+            o.rules_converted.set(self.analyzer.last_rules_raw as f64);
+            let installed = match self.analyzer.last_compression {
+                Some(c) => c.rules_out,
+                None => self.analyzer.last_rules_raw,
+            };
+            o.rules_compressed.set(installed as f64);
+        }
+        out.charge(MODULE_NAME, cost);
         match self.config.rule_placement {
             RulePlacement::Switch => {
                 for (dpid, _) in &self.switch_ports {

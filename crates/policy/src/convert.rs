@@ -14,7 +14,7 @@ use ofproto::flow_match::FlowKeys;
 /// A concrete flow rule produced from a template — either by the concrete
 /// interpreter (reactive installation) or by the symbolic engine's runtime
 /// conversion (a *proactive flow rule*, the paper's central concept).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProactiveRule {
     /// The rule's match.
     pub of_match: OfMatch,

@@ -91,7 +91,7 @@ impl fmt::Display for Field {
 }
 
 /// An expression over packet fields, global variables and constants.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Expr {
     /// A constant value.
     Const(Value),

@@ -9,7 +9,7 @@ use crate::stmt::Stmt;
 use crate::value::Value;
 
 /// Declaration of one global variable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct GlobalSpec {
     /// Variable name.
     pub name: String,
@@ -24,7 +24,7 @@ pub struct GlobalSpec {
 }
 
 /// A `packet_in` handler program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct Program {
     /// Application name (e.g. `l2_learning`).
     pub name: String,

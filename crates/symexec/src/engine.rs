@@ -22,29 +22,35 @@ pub const MAX_PATHS: usize = 4096;
 /// the pre-state of each invocation.
 pub fn generate_path_conditions(program: &Program) -> PathConditions {
     let mut paths = Vec::new();
+    let mut paths_truncated = 0;
     explore(
         &program.body,
         &mut Vec::new(),
         &mut Vec::new(),
         &mut paths,
         &mut Vec::new(),
+        &mut paths_truncated,
     );
     PathConditions {
         app: program.name.clone(),
         paths,
+        paths_truncated,
     }
 }
 
 /// Explores `stmts`; `rest_stack` holds the statement slices to execute
 /// after the current block completes (continuations of enclosing blocks).
+/// `truncated` counts exploration branches abandoned at [`MAX_PATHS`].
 fn explore(
     stmts: &[Stmt],
     constraints: &mut Vec<Constraint>,
     writes: &mut Vec<String>,
     paths: &mut Vec<Path>,
     rest_stack: &mut Vec<Vec<Stmt>>,
+    truncated: &mut usize,
 ) {
     if paths.len() >= MAX_PATHS {
+        *truncated += 1;
         return;
     }
     match stmts.split_first() {
@@ -52,7 +58,7 @@ fn explore(
             // Block done: continue with the enclosing continuation if any.
             match rest_stack.pop() {
                 Some(rest) => {
-                    explore(&rest, constraints, writes, paths, rest_stack);
+                    explore(&rest, constraints, writes, paths, rest_stack, truncated);
                     rest_stack.push(rest);
                 }
                 None => paths.push(Path {
@@ -70,19 +76,19 @@ fn explore(
                         expr: cond.clone(),
                         polarity,
                     });
-                    explore(branch, constraints, writes, paths, rest_stack);
+                    explore(branch, constraints, writes, paths, rest_stack, truncated);
                     constraints.pop();
                 }
                 rest_stack.pop();
             }
             Stmt::Learn { map, .. } => {
                 writes.push(map.clone());
-                explore(rest, constraints, writes, paths, rest_stack);
+                explore(rest, constraints, writes, paths, rest_stack, truncated);
                 writes.pop();
             }
             Stmt::SetGlobal { name, .. } => {
                 writes.push(name.clone());
-                explore(rest, constraints, writes, paths, rest_stack);
+                explore(rest, constraints, writes, paths, rest_stack, truncated);
                 writes.pop();
             }
             Stmt::Emit(decision) => {

@@ -48,10 +48,17 @@
 
 #![warn(missing_docs)]
 
+pub mod compress;
 pub mod engine;
+pub mod memo;
+pub mod par;
 pub mod path;
 pub mod solve;
 
+pub use compress::{compress, winner, CompressionConfig, CompressionStats};
 pub use engine::{generate_path_conditions, MAX_PATHS};
+pub use memo::{
+    clear_path_memo, generate_path_conditions_cached, handler_hash, path_memo_stats, PathMemoStats,
+};
 pub use path::{Constraint, Path, PathConditions};
 pub use solve::{convert_to_rules, Conversion, ConversionStats, MAX_RULES};

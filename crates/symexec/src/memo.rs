@@ -1,0 +1,120 @@
+//! Memoization of Algorithm 1 by handler hash.
+//!
+//! Offline symbolic execution is a pure function of the handler program, so
+//! its output can be shared process-wide: re-registering an app (or
+//! registering a thousand copies of a template app) runs Algorithm 1 once
+//! per distinct handler. The analyzer keys its per-app conversion cache on
+//! the same hash, so a changed handler body invalidates both layers at
+//! once.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use policy::Program;
+
+use crate::engine::generate_path_conditions;
+use crate::path::PathConditions;
+
+/// Cap on memoized handlers; reaching it clears the memo (a fleet larger
+/// than this re-runs Algorithm 1 occasionally rather than growing without
+/// bound).
+pub const MAX_MEMO_ENTRIES: usize = 65536;
+
+static MEMO: OnceLock<Mutex<HashMap<u64, Arc<PathConditions>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn memo() -> &'static Mutex<HashMap<u64, Arc<PathConditions>>> {
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Structural hash of a handler program (name, globals and body).
+///
+/// Two programs with equal hashes are treated as the same handler by the
+/// Algorithm 1 memo and by the analyzer's conversion cache.
+pub fn handler_hash(program: &Program) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    program.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// [`generate_path_conditions`] with a process-wide memo keyed on
+/// [`handler_hash`]: the first call per distinct handler runs Algorithm 1,
+/// later calls return the shared result.
+pub fn generate_path_conditions_cached(program: &Program) -> Arc<PathConditions> {
+    let hash = handler_hash(program);
+    let mut memo = memo().lock().expect("path memo poisoned");
+    if let Some(pcs) = memo.get(&hash) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(pcs);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    if memo.len() >= MAX_MEMO_ENTRIES {
+        memo.clear();
+    }
+    let pcs = Arc::new(generate_path_conditions(program));
+    memo.insert(hash, Arc::clone(&pcs));
+    pcs
+}
+
+/// Counters of the process-wide Algorithm 1 memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathMemoStats {
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Lookups that ran Algorithm 1.
+    pub misses: u64,
+    /// Distinct handlers currently memoized.
+    pub entries: usize,
+}
+
+/// Current memo counters.
+pub fn path_memo_stats() -> PathMemoStats {
+    PathMemoStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: memo().lock().expect("path memo poisoned").len(),
+    }
+}
+
+/// Empties the memo (tests and cold-start benchmarking).
+pub fn clear_path_memo() {
+    memo().lock().expect("path memo poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy::builder::*;
+    use policy::Program;
+
+    fn flood_program(name: &str) -> Program {
+        Program::new(name, vec![], vec![emit(Decision::PacketOutFlood)])
+    }
+
+    #[test]
+    fn hash_distinguishes_name_and_body() {
+        let a = flood_program("a");
+        let b = flood_program("b");
+        let c = Program::new("a", vec![], vec![emit(Decision::Drop)]);
+        assert_ne!(handler_hash(&a), handler_hash(&b));
+        assert_ne!(handler_hash(&a), handler_hash(&c));
+        assert_eq!(handler_hash(&a), handler_hash(&flood_program("a")));
+    }
+
+    #[test]
+    fn memo_shares_results_across_calls() {
+        let p = flood_program("memo_shares_results_across_calls");
+        let before = path_memo_stats();
+        let first = generate_path_conditions_cached(&p);
+        let second = generate_path_conditions_cached(&p);
+        assert!(Arc::ptr_eq(&first, &second), "second call must be a hit");
+        let after = path_memo_stats();
+        assert_eq!(after.misses, before.misses + 1);
+        assert!(after.hits > before.hits);
+        assert_eq!(*first, generate_path_conditions(&p));
+    }
+}

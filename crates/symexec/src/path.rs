@@ -75,6 +75,10 @@ pub struct PathConditions {
     pub app: String,
     /// All feasible paths.
     pub paths: Vec<Path>,
+    /// Number of exploration branches Algorithm 1 abandoned because the
+    /// [`crate::engine::MAX_PATHS`] cap was reached; 0 means `paths` is
+    /// exhaustive.
+    pub paths_truncated: usize,
 }
 
 impl PathConditions {
@@ -113,6 +117,7 @@ mod tests {
         let pcs = PathConditions {
             app: "x".into(),
             paths: vec![install, flood, noop],
+            paths_truncated: 0,
         };
         assert_eq!(pcs.modify_state_paths().count(), 1);
     }

@@ -365,8 +365,32 @@ pub struct ConversionStats {
     pub paths_skipped: usize,
     /// Candidate assignments rejected by consistency checks.
     pub candidates_rejected: usize,
-    /// Whether [`MAX_RULES`] truncated enumeration.
-    pub truncated: bool,
+    /// Exploration branches Algorithm 1 abandoned at its path cap (copied
+    /// from [`PathConditions::paths_truncated`]); 0 means the path set is
+    /// exhaustive.
+    pub paths_truncated: usize,
+    /// Enumeration items (alternatives, candidate bindings, candidate
+    /// instantiations) dropped because [`MAX_RULES`] capped this conversion;
+    /// 0 means no rule was lost to the cap.
+    pub rules_truncated: usize,
+}
+
+impl ConversionStats {
+    /// Whether any cap truncated this conversion.
+    pub fn truncated(&self) -> bool {
+        self.paths_truncated > 0 || self.rules_truncated > 0
+    }
+
+    /// Accumulates `other` into `self` (per-app stats into a fleet total).
+    pub fn merge(&mut self, other: &ConversionStats) {
+        self.paths_total += other.paths_total;
+        self.paths_modify_state += other.paths_modify_state;
+        self.paths_converted += other.paths_converted;
+        self.paths_skipped += other.paths_skipped;
+        self.candidates_rejected += other.candidates_rejected;
+        self.paths_truncated += other.paths_truncated;
+        self.rules_truncated += other.rules_truncated;
+    }
 }
 
 /// The output of Algorithm 2: proactive flow rules plus statistics.
@@ -383,6 +407,7 @@ pub struct Conversion {
 pub fn convert_to_rules(pcs: &PathConditions, env: &Env) -> Conversion {
     let mut conversion = Conversion::default();
     conversion.stats.paths_total = pcs.paths.len();
+    conversion.stats.paths_truncated = pcs.paths_truncated;
     for path in &pcs.paths {
         if !path.is_modify_state() {
             continue;
@@ -420,7 +445,7 @@ fn convert_path(path: &Path, env: &Env, out: &mut Conversion) -> Result<usize, E
         let atomized = atomize(&residual, constraint.polarity);
         alternatives = conjoin(alternatives, atomized);
         if alternatives.len() > MAX_RULES {
-            out.stats.truncated = true;
+            out.stats.rules_truncated += alternatives.len() - MAX_RULES;
             alternatives.truncate(MAX_RULES);
         }
     }
@@ -495,13 +520,13 @@ fn solve_conjunction(
     for (key, values) in enumerations {
         let mut next = Vec::new();
         for candidate in &candidates {
-            for value in values {
+            for (vi, value) in values.iter().enumerate() {
                 let mut c = candidate.clone();
                 if c.bind(key, value) {
                     next.push(c);
                 }
                 if next.len() > MAX_RULES {
-                    out.stats.truncated = true;
+                    out.stats.rules_truncated += values.len() - vi - 1;
                     break;
                 }
             }
@@ -509,9 +534,10 @@ fn solve_conjunction(
         candidates = next;
     }
     let mut produced = 0;
-    'candidates: for candidate in candidates {
+    let candidate_total = candidates.len();
+    'candidates: for (ci, candidate) in candidates.into_iter().enumerate() {
         if out.rules.len() >= MAX_RULES {
-            out.stats.truncated = true;
+            out.stats.rules_truncated += candidate_total - ci;
             break;
         }
         if !candidate.prefixes_consistent() {

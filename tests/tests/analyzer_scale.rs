@@ -1,0 +1,182 @@
+//! Production-scale analyzer pipeline equivalence suite.
+//!
+//! Locks the three invariants the incremental/parallel/compressed pipeline
+//! must preserve over the plain seed pipeline:
+//!
+//! 1. **Incrementality is invisible** — any interleaving of per-app env
+//!    mutations and `Analyzer::convert` calls ends in exactly the rule set
+//!    a cold analyzer produces from the same final state. The conversion
+//!    cache may skip work, never change output.
+//! 2. **Compression is packet-equivalent** — for random rule populations
+//!    and probe packets, the winning rule's actions are identical before
+//!    and after `symexec::compress` (with no TCAM budget; eviction is the
+//!    one pass that is *allowed* to change semantics, tested separately).
+//! 3. **Thread count is invisible** — the converted rule vector is
+//!    byte-identical at 1, 2, 3 and 8 worker threads.
+
+use std::net::Ipv4Addr;
+
+use bench::synthetic;
+use floodguard::analyzer::Analyzer;
+use ofproto::actions::Action;
+use ofproto::flow_match::{FlowKeys, OfMatch};
+use ofproto::types::{ethertype, MacAddr, PortNo};
+use policy::ProactiveRule;
+use proptest::prelude::*;
+use symexec::{compress, winner, CompressionConfig};
+
+/// Population size for the interleaving proptest — small enough to keep
+/// 32 cases fast, large enough that the cache serves a real majority.
+const FLEET: usize = 12;
+
+// --- 1. Incremental re-analysis == cold reconvert -------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn interleaved_mutation_and_convert_equals_cold_reconvert(
+        script in proptest::collection::vec((0usize..FLEET, 0u8..3), 1..24)
+    ) {
+        let mut apps = synthetic::population(FLEET);
+        let mut warm = Analyzer::offline(&apps);
+        warm.convert(&apps); // prime every cache slot
+        let mut round = 0u64;
+        for (idx, op) in script {
+            round += 1;
+            synthetic::touch(&mut apps[idx], round);
+            // op: 0 = batch further mutations, 1/2 = convert now (biased
+            // toward converting so most cases exercise warm re-analysis).
+            if op != 0 {
+                warm.convert(&apps);
+            }
+        }
+        let warm_rules = warm.convert(&apps);
+        let cold_rules = Analyzer::offline(&apps).convert(&apps);
+        prop_assert_eq!(&warm_rules, &cold_rules);
+
+        // Same invariant with the compression passes enabled end to end.
+        warm.set_compression(Some(CompressionConfig::default()));
+        let warm_compressed = warm.convert(&apps);
+        let mut cold = Analyzer::offline(&apps);
+        cold.set_compression(Some(CompressionConfig::default()));
+        prop_assert_eq!(&warm_compressed, &cold.convert(&apps));
+        prop_assert!(warm_compressed.len() <= warm_rules.len());
+    }
+}
+
+// --- 2. Compression preserves per-packet winner actions -------------------
+
+/// Rules drawn from a deliberately small universe (a handful of /16–/32
+/// prefixes under 10.0.0.0/8, four MACs, four ports, three priorities) so
+/// duplicates, shadows and mergeable siblings all occur often.
+fn arb_rule() -> impl Strategy<Value = ProactiveRule> {
+    (0u8..5, 0u8..4, 0u8..3, 0u8..4, 0u8..3).prop_map(|(shape, hi, len_sel, port, prio)| {
+        let net = Ipv4Addr::new(10, 0, hi, 0);
+        let len = [16, 23, 24][len_sel as usize];
+        let of_match = match shape {
+            0 => OfMatch::any().with_nw_dst_prefix(net, len),
+            1 => OfMatch::any().with_nw_src_prefix(net, len),
+            2 => OfMatch::any()
+                .with_nw_dst_prefix(Ipv4Addr::new(10, 0, hi, 7), 32)
+                .with_tp_dst(80 + u16::from(hi)),
+            3 => OfMatch::any().with_dl_dst(MacAddr::from_u64(0x0200 + u64::from(hi))),
+            _ => OfMatch::any(),
+        };
+        ProactiveRule {
+            of_match,
+            actions: vec![Action::Output(PortNo::Physical(u16::from(port) + 1))],
+            priority: [100, 200, 32768][prio as usize],
+            idle_timeout: 0,
+            hard_timeout: 0,
+        }
+    })
+}
+
+/// Probe packets over the same universe, plus off-universe noise so "no
+/// winner" cases are exercised too.
+fn arb_probe() -> impl Strategy<Value = FlowKeys> {
+    (0u8..5, 0u8..5, 0u8..10, 0u8..6, 0u16..90).prop_map(|(shi, dhi, lo, mac, tp)| FlowKeys {
+        dl_dst: MacAddr::from_u64(0x0200 + u64::from(mac)),
+        dl_type: ethertype::IPV4,
+        nw_src: Ipv4Addr::new(10, 0, shi, lo),
+        nw_dst: Ipv4Addr::new(if dhi == 4 { 11 } else { 10 }, 0, dhi, lo),
+        tp_dst: tp,
+        ..FlowKeys::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn compression_preserves_winner_actions(
+        rules in proptest::collection::vec(arb_rule(), 0..40),
+        probes in proptest::collection::vec(arb_probe(), 1..24),
+    ) {
+        // No budget: every pass must be semantics-preserving.
+        let (compressed, stats) = compress(&rules, &CompressionConfig::default());
+        prop_assert_eq!(stats.rules_in, rules.len());
+        prop_assert_eq!(stats.rules_out, compressed.len());
+        prop_assert_eq!(stats.rules_evicted, 0);
+        prop_assert!(stats.fits_budget);
+        for keys in &probes {
+            let before = winner(&rules, keys).map(|r| &r.actions);
+            let after = winner(&compressed, keys).map(|r| &r.actions);
+            prop_assert_eq!(before, after, "winner diverged for {:?}", keys);
+        }
+    }
+}
+
+// --- 3. Thread-count determinism ------------------------------------------
+
+#[test]
+fn thread_count_does_not_change_converted_rules() {
+    let apps = synthetic::population(24);
+    let mut analyzer = Analyzer::offline(&apps);
+    analyzer.set_threads(1);
+    let reference = analyzer.convert(&apps);
+    for threads in [2, 3, 8] {
+        analyzer.set_threads(threads);
+        analyzer.clear_conversion_cache();
+        assert_eq!(
+            analyzer.convert(&apps),
+            reference,
+            "thread count {threads} changed the converted rules"
+        );
+    }
+}
+
+// --- 4. TCAM budget eviction is bounded and counted -----------------------
+
+#[test]
+fn tcam_budget_bounds_output_and_counts_evictions() {
+    let apps = synthetic::population(40);
+    let mut analyzer = Analyzer::offline(&apps);
+    let raw = analyzer.convert(&apps).len();
+
+    let budget = 16;
+    analyzer.set_compression(Some(CompressionConfig::default().with_budget(budget)));
+    analyzer.clear_conversion_cache();
+    let out = analyzer.convert(&apps);
+    let stats = analyzer.last_compression.expect("compression ran");
+    assert!(raw > budget, "population too small to exercise eviction");
+    assert_eq!(out.len(), budget, "budget must bound the installed set");
+    assert!(!stats.fits_budget);
+    assert_eq!(stats.rules_out, out.len());
+    assert_eq!(
+        stats.rules_in - stats.rules_out,
+        stats.duplicates_removed
+            + stats.shadows_removed
+            + stats.prefixes_merged
+            + stats.rules_evicted,
+        "every dropped rule must be attributed to exactly one pass"
+    );
+
+    // A budget the compressed set fits under evicts nothing.
+    analyzer.set_compression(Some(CompressionConfig::default().with_budget(4096)));
+    analyzer.clear_conversion_cache();
+    let roomy = analyzer.convert(&apps);
+    let stats = analyzer.last_compression.expect("compression ran");
+    assert!(stats.fits_budget);
+    assert_eq!(stats.rules_evicted, 0);
+    assert!(roomy.len() > budget);
+}
