@@ -1,0 +1,271 @@
+//! Live administrative control over a running FloodGuard instance.
+//!
+//! The REST admin API (crate `ops`) runs on its own threads while
+//! FloodGuard itself lives inside the controller endpoint's event loop, so
+//! commands travel through a shared [`AdminHandle`]:
+//!
+//! * **Blocklists** — operator-ordered drops by source IPv4 address or by
+//!   ingress port. FloodGuard consults them on every `packet_in` *before*
+//!   the packet reaches the controller applications, so a blocked attacker
+//!   cannot pollute application state (e.g. poison the l2-learning table),
+//!   and counts what it dropped.
+//! * **Detector thresholds** — the anomaly-score threshold and the nominal
+//!   `packet_in` capacity can be retuned live. Updates are staged in the
+//!   handle and applied at the next telemetry tick, on FloodGuard's own
+//!   clock, so the detector never sees a half-applied config mid-scoring.
+//!
+//! Reads (current blocklists, drop counters, applied thresholds) are
+//! lock-cheap snapshots safe to serve from HTTP handler threads.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::DetectionConfig;
+
+/// The live-tunable subset of [`DetectionConfig`], as reported to and
+/// accepted from the admin API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Anomaly-score threshold in (0, 1]; crossing it signals attack start.
+    pub score_threshold: f64,
+    /// `packet_in` rate considered nominal capacity, packets/second.
+    pub rate_capacity_pps: f64,
+}
+
+/// A staged threshold update; `None` fields keep their current value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThresholdUpdate {
+    /// New score threshold, if changing.
+    pub score_threshold: Option<f64>,
+    /// New rate capacity, if changing.
+    pub rate_capacity_pps: Option<f64>,
+}
+
+impl ThresholdUpdate {
+    fn is_empty(&self) -> bool {
+        self.score_threshold.is_none() && self.rate_capacity_pps.is_none()
+    }
+}
+
+/// Snapshot of the admin state for status endpoints.
+#[derive(Debug, Clone)]
+pub struct AdminSnapshot {
+    /// Blocked source addresses, sorted.
+    pub blocked_ips: Vec<Ipv4Addr>,
+    /// Blocked ingress ports, sorted.
+    pub blocked_ports: Vec<u16>,
+    /// Packets dropped because their source address was blocked.
+    pub dropped_by_ip: u64,
+    /// Packets dropped because their ingress port was blocked.
+    pub dropped_by_port: u64,
+    /// Thresholds currently applied to the detector.
+    pub thresholds: Thresholds,
+}
+
+#[derive(Debug)]
+struct AdminShared {
+    blocked_ips: Mutex<BTreeSet<Ipv4Addr>>,
+    blocked_ports: Mutex<BTreeSet<u16>>,
+    dropped_by_ip: AtomicU64,
+    dropped_by_port: AtomicU64,
+    /// Threshold change staged by the API, consumed at the next telemetry
+    /// tick.
+    pending: Mutex<ThresholdUpdate>,
+    /// What the detector is actually running with, refreshed after apply.
+    applied: Mutex<Thresholds>,
+}
+
+/// Cloneable handle linking the admin API to a [`crate::FloodGuard`].
+///
+/// Obtain it from [`crate::FloodGuard::admin_handle`]; every clone shares
+/// the same state.
+#[derive(Debug, Clone)]
+pub struct AdminHandle {
+    shared: Arc<AdminShared>,
+}
+
+impl AdminHandle {
+    pub(crate) fn new(detection: &DetectionConfig) -> AdminHandle {
+        AdminHandle {
+            shared: Arc::new(AdminShared {
+                blocked_ips: Mutex::new(BTreeSet::new()),
+                blocked_ports: Mutex::new(BTreeSet::new()),
+                dropped_by_ip: AtomicU64::new(0),
+                dropped_by_port: AtomicU64::new(0),
+                pending: Mutex::new(ThresholdUpdate::default()),
+                applied: Mutex::new(Thresholds {
+                    score_threshold: detection.score_threshold,
+                    rate_capacity_pps: detection.rate_capacity_pps,
+                }),
+            }),
+        }
+    }
+
+    /// Blocks `packet_in`s whose parsed source address is `ip`. Returns
+    /// whether the address was newly blocked.
+    pub fn block_ip(&self, ip: Ipv4Addr) -> bool {
+        self.shared.blocked_ips.lock().insert(ip)
+    }
+
+    /// Unblocks `ip`; returns whether it was blocked.
+    pub fn unblock_ip(&self, ip: Ipv4Addr) -> bool {
+        self.shared.blocked_ips.lock().remove(&ip)
+    }
+
+    /// Blocks `packet_in`s arriving on physical port `port`. Returns
+    /// whether the port was newly blocked.
+    pub fn block_port(&self, port: u16) -> bool {
+        self.shared.blocked_ports.lock().insert(port)
+    }
+
+    /// Unblocks `port`; returns whether it was blocked.
+    pub fn unblock_port(&self, port: u16) -> bool {
+        self.shared.blocked_ports.lock().remove(&port)
+    }
+
+    /// Stages a detector threshold change; FloodGuard applies it on its
+    /// next telemetry tick. Later stages override earlier unapplied ones
+    /// field-by-field.
+    pub fn set_thresholds(&self, update: ThresholdUpdate) {
+        let mut pending = self.shared.pending.lock();
+        if let Some(v) = update.score_threshold {
+            pending.score_threshold = Some(v);
+        }
+        if let Some(v) = update.rate_capacity_pps {
+            pending.rate_capacity_pps = Some(v);
+        }
+    }
+
+    /// Current admin state (sorted blocklists, drop counters, applied
+    /// thresholds).
+    pub fn snapshot(&self) -> AdminSnapshot {
+        AdminSnapshot {
+            blocked_ips: self.shared.blocked_ips.lock().iter().copied().collect(),
+            blocked_ports: self.shared.blocked_ports.lock().iter().copied().collect(),
+            dropped_by_ip: self.shared.dropped_by_ip.load(Ordering::Relaxed),
+            dropped_by_port: self.shared.dropped_by_port.load(Ordering::Relaxed),
+            thresholds: *self.shared.applied.lock(),
+        }
+    }
+
+    /// Whether anything is blocked at all — the fast-path gate FloodGuard
+    /// checks before parsing packet bytes.
+    pub(crate) fn any_blocks(&self) -> bool {
+        !self.shared.blocked_ips.lock().is_empty() || !self.shared.blocked_ports.lock().is_empty()
+    }
+
+    /// Whether a `packet_in` from `src` on `in_port` must be dropped;
+    /// counts the drop when so.
+    pub(crate) fn should_drop(&self, src: Option<Ipv4Addr>, in_port: Option<u16>) -> bool {
+        if let Some(port) = in_port {
+            if self.shared.blocked_ports.lock().contains(&port) {
+                self.shared.dropped_by_port.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        if let Some(ip) = src {
+            if self.shared.blocked_ips.lock().contains(&ip) {
+                self.shared.dropped_by_ip.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Takes the staged update, if any, and returns the detection config it
+    /// produces from `current`; records the result as applied.
+    pub(crate) fn take_pending(&self, current: &DetectionConfig) -> Option<DetectionConfig> {
+        let staged = {
+            let mut pending = self.shared.pending.lock();
+            if pending.is_empty() {
+                return None;
+            }
+            std::mem::take(&mut *pending)
+        };
+        let mut next = *current;
+        if let Some(v) = staged.score_threshold {
+            next.score_threshold = v.clamp(1e-6, 1.0);
+        }
+        if let Some(v) = staged.rate_capacity_pps {
+            next.rate_capacity_pps = v.max(1.0);
+        }
+        *self.shared.applied.lock() = Thresholds {
+            score_threshold: next.score_threshold,
+            rate_capacity_pps: next.rate_capacity_pps,
+        };
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocklists_round_trip() {
+        let admin = AdminHandle::new(&DetectionConfig::default());
+        assert!(!admin.any_blocks());
+        assert!(admin.block_ip(Ipv4Addr::new(10, 0, 0, 9)));
+        assert!(!admin.block_ip(Ipv4Addr::new(10, 0, 0, 9)), "idempotent");
+        assert!(admin.block_port(3));
+        assert!(admin.any_blocks());
+
+        assert!(admin.should_drop(Some(Ipv4Addr::new(10, 0, 0, 9)), Some(1)));
+        assert!(admin.should_drop(None, Some(3)));
+        assert!(!admin.should_drop(Some(Ipv4Addr::new(10, 0, 0, 8)), Some(1)));
+
+        let snap = admin.snapshot();
+        assert_eq!(snap.blocked_ips, vec![Ipv4Addr::new(10, 0, 0, 9)]);
+        assert_eq!(snap.blocked_ports, vec![3]);
+        assert_eq!(snap.dropped_by_ip, 1);
+        assert_eq!(snap.dropped_by_port, 1);
+
+        assert!(admin.unblock_ip(Ipv4Addr::new(10, 0, 0, 9)));
+        assert!(admin.unblock_port(3));
+        assert!(!admin.any_blocks());
+        assert!(!admin.unblock_port(3), "already removed");
+    }
+
+    #[test]
+    fn threshold_updates_stage_and_apply() {
+        let config = DetectionConfig::default();
+        let admin = AdminHandle::new(&config);
+        assert!(admin.take_pending(&config).is_none(), "nothing staged");
+
+        admin.set_thresholds(ThresholdUpdate {
+            score_threshold: Some(0.9),
+            rate_capacity_pps: None,
+        });
+        admin.set_thresholds(ThresholdUpdate {
+            score_threshold: None,
+            rate_capacity_pps: Some(5000.0),
+        });
+        let next = admin.take_pending(&config).expect("staged update");
+        assert_eq!(next.score_threshold, 0.9);
+        assert_eq!(next.rate_capacity_pps, 5000.0);
+        // Untouched fields survive.
+        assert_eq!(next.window, config.window);
+
+        let snap = admin.snapshot();
+        assert_eq!(snap.thresholds.score_threshold, 0.9);
+        assert_eq!(snap.thresholds.rate_capacity_pps, 5000.0);
+        assert!(admin.take_pending(&next).is_none(), "consumed");
+    }
+
+    #[test]
+    fn threshold_values_are_clamped() {
+        let config = DetectionConfig::default();
+        let admin = AdminHandle::new(&config);
+        admin.set_thresholds(ThresholdUpdate {
+            score_threshold: Some(7.5),
+            rate_capacity_pps: Some(-3.0),
+        });
+        let next = admin.take_pending(&config).expect("staged update");
+        assert_eq!(next.score_threshold, 1.0);
+        assert_eq!(next.rate_capacity_pps, 1.0);
+    }
+}

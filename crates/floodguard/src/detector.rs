@@ -199,6 +199,18 @@ impl Detector {
     pub fn last_score(&self) -> f64 {
         self.last_score
     }
+
+    /// The active detection configuration.
+    pub fn config(&self) -> DetectionConfig {
+        self.config
+    }
+
+    /// Replaces the detection configuration in place, keeping the sliding
+    /// window and utilization state — the live-tuning path used by the
+    /// admin API.
+    pub fn set_config(&mut self, config: DetectionConfig) {
+        self.config = config;
+    }
 }
 
 #[cfg(test)]

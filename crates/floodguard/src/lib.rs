@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod analyzer;
 pub mod cache;
 pub mod config;
@@ -63,12 +64,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::admin::AdminHandle;
 use crate::analyzer::Analyzer;
 use crate::cache::{new_handle, CacheHandle, DataPlaneCache};
 use crate::detector::Detector;
 use crate::migration::{CacheFailover, MigrationAgent};
 use crate::state::Transition;
 
+pub use crate::admin::{AdminSnapshot, ThresholdUpdate, Thresholds};
 pub use crate::config::{
     CacheConfig, CacheFailPolicy, DetectionConfig, FloodGuardConfig, RecoveryConfig, RulePlacement,
     UpdateStrategy,
@@ -173,6 +176,7 @@ pub struct FloodGuard {
     repairs: Vec<(DatapathId, RepairEntry)>,
     /// Datapath each cache device serves, in device-attachment order.
     device_dpids: Vec<DatapathId>,
+    admin: AdminHandle,
     monitor: MonitorHandle,
     obs: Option<FgObs>,
     /// Lifetime counters.
@@ -215,6 +219,7 @@ impl FloodGuard {
             switch_ports: Vec::new(),
             repairs: Vec::new(),
             device_dpids: Vec::new(),
+            admin: AdminHandle::new(&config.detection),
             monitor: Arc::new(Mutex::new(Monitor::default())),
             obs: None,
             stats: FloodGuardStats::default(),
@@ -311,6 +316,13 @@ impl FloodGuard {
     /// counters; refreshed on every telemetry tick.
     pub fn monitor_handle(&self) -> MonitorHandle {
         self.monitor.clone()
+    }
+
+    /// The live administration handle: source/port blocklists enforced on
+    /// every `packet_in`, and detector thresholds retunable at the next
+    /// telemetry tick. Hand it to the `ops` REST server.
+    pub fn admin_handle(&self) -> AdminHandle {
+        self.admin.clone()
     }
 
     /// Builds the data plane cache device sharing this instance's handle.
@@ -679,6 +691,22 @@ impl FloodGuard {
             }
         }
     }
+
+    /// Whether the admin blocklists order this `packet_in` dropped. Runs
+    /// before the applications see the packet, so a blocked attacker cannot
+    /// pollute application state; the detector still counts the arrival
+    /// (the channel carried it either way).
+    fn admin_drops(&self, pi: &ofproto::messages::PacketIn) -> bool {
+        if !self.admin.any_blocks() {
+            return false;
+        }
+        let src = netsim::packet::Packet::parse(&pi.data).and_then(|p| match p.payload {
+            netsim::packet::Payload::Ipv4 { src, .. } => Some(src),
+            netsim::packet::Payload::Arp { sender_ip, .. } => Some(sender_ip),
+            netsim::packet::Payload::Other => None,
+        });
+        self.admin.should_drop(src, pi.in_port.physical())
+    }
 }
 
 impl ControlPlane for FloodGuard {
@@ -716,11 +744,14 @@ impl ControlPlane for FloodGuard {
     }
 
     fn on_message(&mut self, dpid: DatapathId, msg: OfMessage, now: f64, out: &mut ControlOutput) {
-        if matches!(msg.body, OfBody::PacketIn(_)) {
+        if let OfBody::PacketIn(pi) = &msg.body {
             self.detector.record_packet_in(now);
             // The always-on monitor is deliberately cheap (the framework's
             // "lightweight under normal circumstances" requirement).
             out.charge(MODULE_NAME, 5e-6);
+            if self.admin_drops(pi) {
+                return;
+            }
         }
         self.platform.on_message(dpid, msg, now, out);
         self.rewrite_floods(out);
@@ -738,6 +769,11 @@ impl ControlPlane for FloodGuard {
         if let OfBody::PacketIn(pi) = &msg.body {
             self.stats.reraised += 1;
             out.charge(MODULE_NAME, 2e-5);
+            // Blocklists apply on the cache path too — a blocked source must
+            // not reach applications by detouring through migration.
+            if self.admin_drops(pi) {
+                return;
+            }
             let dpid = self
                 .device_dpids
                 .get(_device.0)
@@ -764,6 +800,11 @@ impl ControlPlane for FloodGuard {
             .fold(0.0_f64, f64::max);
         self.detector
             .record_utilization(buffer, datapath, telemetry.controller_utilization, now);
+        // Apply admin threshold retunes on the defense's own clock, so the
+        // detector never sees a half-applied config mid-scoring.
+        if let Some(next) = self.admin.take_pending(&self.detector.config()) {
+            self.detector.set_config(next);
+        }
         // Advance the detector's peak-hold every tick, in every state: the
         // attack-end test consults the held score, so it must be refreshed
         // from cache arrivals during Defense whether or not obs is attached.

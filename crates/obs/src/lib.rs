@@ -36,6 +36,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+pub mod prom;
 pub mod recorder;
 pub mod registry;
 pub mod trace;

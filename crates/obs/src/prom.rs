@@ -1,0 +1,190 @@
+//! Prometheus text exposition (format version 0.0.4) for a [`Registry`].
+//!
+//! The workspace names metrics with dots (`channel.frames_in`); Prometheus
+//! names admit only `[a-zA-Z0-9_:]`, so [`encode`] sanitizes on the way
+//! out. Log2 histograms become native Prometheus histograms: cumulative
+//! `_bucket{le="..."}` series over the power-of-two upper bounds, with the
+//! top bucket folded into the mandatory `le="+Inf"` line (its own bound,
+//! `u64::MAX`, is "everything" already).
+//!
+//! Everything is rendered from one registry snapshot walk; the hot metric
+//! paths stay untouched.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Histogram, Metric, Registry};
+
+/// Rewrites `name` into a valid Prometheus metric name.
+///
+/// Characters outside `[a-zA-Z0-9_:]` become `_`; a leading digit gets a
+/// `_` prefix; an empty name becomes `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let valid = ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || ch.is_ascii_digit();
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` the way Prometheus expects (`+Inf`/`-Inf`/`NaN`).
+fn format_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_owned()
+    } else if value == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{value}")
+    }
+}
+
+fn encode_histogram(out: &mut String, name: &str, hist: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let counts = hist.bucket_counts();
+    // Highest non-empty bucket below the top one; buckets past it add no
+    // information (their cumulative count equals +Inf's).
+    let last = counts[..64]
+        .iter()
+        .rposition(|&c| c > 0)
+        .unwrap_or(0)
+        .max(1);
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate().take(last + 1) {
+        cumulative += c;
+        let le = Histogram::bucket_upper_bound(i);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(out, "{name}_sum {}", hist.sum());
+    let _ = writeln!(out, "{name}_count {}", hist.count());
+}
+
+/// Encodes every metric in `registry` as Prometheus exposition text.
+///
+/// Metrics appear in registration order; each carries its `# TYPE` line.
+pub fn encode(registry: &Registry) -> String {
+    let mut out = String::new();
+    registry.visit(|name, metric| {
+        let name = sanitize_name(name);
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", format_f64(g.get()));
+            }
+            Metric::Histogram(h) => encode_histogram(&mut out, &name, h),
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("channel.frames_in"), "channel_frames_in");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ns:metric"), "ns:metric");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn encodes_counter_and_gauge_with_type_lines() {
+        let reg = Registry::new();
+        reg.counter("channel.frames_in").add(7);
+        reg.gauge("dp.util").set(0.25);
+        let text = encode(&reg);
+        assert!(text.contains("# TYPE channel_frames_in counter\nchannel_frames_in 7\n"));
+        assert!(text.contains("# TYPE dp_util gauge\ndp_util 0.25\n"));
+    }
+
+    #[test]
+    fn gauge_special_values() {
+        let reg = Registry::new();
+        reg.gauge("g").set(f64::INFINITY);
+        assert!(encode(&reg).contains("g +Inf\n"));
+        reg.gauge("g").set(f64::NEG_INFINITY);
+        assert!(encode(&reg).contains("g -Inf\n"));
+        reg.gauge("g").set(f64::NAN);
+        assert!(encode(&reg).contains("g NaN\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        let text = encode(&reg);
+        assert!(text.contains("# TYPE lat histogram"));
+        // 0 → le=0 cum 1; 1 → le=1 cum 2; {2,3} → le=3 cum 4; 100 → le=127.
+        assert!(text.contains("lat_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("lat_bucket{le=\"127\"} 5\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("lat_sum 106\n"));
+        assert!(text.contains("lat_count 5\n"));
+        // Empty buckets past the last occupied one are elided.
+        assert!(!text.contains("le=\"255\""));
+    }
+
+    #[test]
+    fn empty_histogram_still_valid() {
+        let reg = Registry::new();
+        reg.histogram("empty");
+        let text = encode(&reg);
+        assert!(text.contains("empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_sum 0\n"));
+        assert!(text.contains("empty_count 0\n"));
+    }
+
+    #[test]
+    fn registration_order_preserved() {
+        let reg = Registry::new();
+        reg.counter("b");
+        reg.counter("a");
+        let text = encode(&reg);
+        let b = text.find("\nb ").unwrap();
+        let a = text.find("\na ").unwrap();
+        assert!(b < a);
+    }
+}

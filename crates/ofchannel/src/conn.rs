@@ -64,21 +64,66 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// Notifies a waiting endpoint that a connection has new inbound events,
+/// so the endpoint's loop can block instead of polling with a sleep.
+#[derive(Clone)]
+pub struct WakeHandle {
+    notify: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for WakeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WakeHandle")
+    }
+}
+
+impl WakeHandle {
+    /// Wraps an arbitrary wake callback (e.g. a send into the endpoint's
+    /// own command channel). The callback must be cheap and non-blocking;
+    /// it runs on connection reader threads.
+    pub fn from_fn(f: impl Fn() + Send + Sync + 'static) -> WakeHandle {
+        WakeHandle {
+            notify: Arc::new(f),
+        }
+    }
+
+    /// Signals the endpoint; cheap and never blocks.
+    pub fn notify(&self) {
+        (self.notify)();
+    }
+}
+
+/// A coalescing wake channel; share the [`WakeHandle`] across connections
+/// and block on the receiver in the endpoint's event loop. Notifications
+/// coalesce through the bounded(1) queue: any number of `notify` calls
+/// while the endpoint is busy collapse into one pending token.
+pub fn wake_channel() -> (WakeHandle, Receiver<()>) {
+    let (tx, rx) = channel::bounded(1);
+    (
+        WakeHandle::from_fn(move || {
+            let _ = tx.try_send(());
+        }),
+        rx,
+    )
+}
+
 /// A live, framed OpenFlow connection.
 pub struct Connection {
     stream: TcpStream,
-    send_tx: Sender<bytes::Bytes>,
+    /// `None` only while `Drop` runs (taken to disconnect the writer).
+    send_tx: Option<Sender<bytes::Bytes>>,
     events_rx: Receiver<ConnEvent>,
     counters: Arc<ChannelCounters>,
     last_rx: Arc<Mutex<Instant>>,
     peer: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Connection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Connection")
             .field("peer", &self.peer)
-            .field("queued", &self.send_tx.len())
+            .field("queued", &self.queue_len())
             .finish()
     }
 }
@@ -100,6 +145,23 @@ impl Connection {
         counters: Arc<ChannelCounters>,
         residue: BytesMut,
     ) -> std::io::Result<Connection> {
+        Connection::spawn_with_waker(stream, config, counters, residue, None)
+    }
+
+    /// Like [`Connection::spawn`], but the reader additionally signals
+    /// `waker` whenever new events are delivered, so an endpoint serving
+    /// many connections can block on one wake channel instead of polling.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the stream cannot be cloned for the second thread.
+    pub fn spawn_with_waker(
+        stream: TcpStream,
+        config: &ChannelConfig,
+        counters: Arc<ChannelCounters>,
+        residue: BytesMut,
+        waker: Option<WakeHandle>,
+    ) -> std::io::Result<Connection> {
         let peer = stream.peer_addr()?;
         // The handshake may have left a read timeout armed; the reader
         // thread wants plain blocking reads.
@@ -107,6 +169,7 @@ impl Connection {
         let (send_tx, send_rx) = channel::bounded::<bytes::Bytes>(config.send_queue_cap);
         let (events_tx, events_rx) = channel::unbounded::<ConnEvent>();
         let last_rx = Arc::new(Mutex::new(Instant::now()));
+        let mut threads = Vec::with_capacity(2);
 
         let reader_stream = stream.try_clone()?;
         let writer_stream = stream.try_clone()?;
@@ -115,35 +178,41 @@ impl Connection {
         {
             let counters = Arc::clone(&counters);
             let last_rx = Arc::clone(&last_rx);
-            std::thread::Builder::new()
-                .name(format!("ofchannel-read-{peer}"))
-                .spawn(move || {
-                    reader_loop(
-                        reader_stream,
-                        residue,
-                        read_chunk,
-                        counters,
-                        last_rx,
-                        events_tx,
-                    )
-                })
-                .expect("spawn reader thread");
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ofchannel-read-{peer}"))
+                    .spawn(move || {
+                        reader_loop(
+                            reader_stream,
+                            residue,
+                            read_chunk,
+                            counters,
+                            last_rx,
+                            events_tx,
+                            waker,
+                        )
+                    })
+                    .expect("spawn reader thread"),
+            );
         }
         {
             let counters = Arc::clone(&counters);
-            std::thread::Builder::new()
-                .name(format!("ofchannel-write-{peer}"))
-                .spawn(move || writer_loop(writer_stream, send_rx, counters))
-                .expect("spawn writer thread");
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ofchannel-write-{peer}"))
+                    .spawn(move || writer_loop(writer_stream, send_rx, counters))
+                    .expect("spawn writer thread"),
+            );
         }
 
         Ok(Connection {
             stream,
-            send_tx,
+            send_tx: Some(send_tx),
             events_rx,
             counters,
             last_rx,
             peer,
+            threads,
         })
     }
 
@@ -160,15 +229,16 @@ impl Connection {
     /// frame is dropped and counted) and [`SendError::Closed`] when the
     /// writer is gone.
     pub fn send(&self, msg: &OfMessage) -> Result<(), SendError> {
+        let send_tx = self.send_tx.as_ref().ok_or(SendError::Closed)?;
         let frame = wire::encode(msg);
-        match self.send_tx.try_send(frame) {
+        match send_tx.try_send(frame) {
             Ok(()) => {
-                self.counters.observe_queue_depth(self.send_tx.len());
+                self.counters.observe_queue_depth(send_tx.len());
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 self.counters.record_send_blocked();
-                self.counters.observe_queue_depth(self.send_tx.len());
+                self.counters.observe_queue_depth(send_tx.len());
                 Err(SendError::Backpressure)
             }
             Err(TrySendError::Disconnected(_)) => Err(SendError::Closed),
@@ -177,7 +247,7 @@ impl Connection {
 
     /// Frames currently waiting for the writer.
     pub fn queue_len(&self) -> usize {
-        self.send_tx.len()
+        self.send_tx.as_ref().map_or(0, Sender::len)
     }
 
     /// Next inbound event, if one is already waiting.
@@ -207,9 +277,30 @@ impl Connection {
 
 impl Drop for Connection {
     fn drop(&mut self) {
+        // The socket shutdown unblocks the reader (and a writer stuck in
+        // `write_all`); dropping `send_tx` unblocks a writer parked in
+        // `recv`. Then join both threads so a spawn/drop churn cannot
+        // accumulate detached threads — but with a deadline, because a
+        // hung kernel-side close must not deadlock the endpoint.
         self.close();
-        // Dropping `send_tx` unblocks the writer; the socket shutdown
-        // unblocks the reader. Both threads exit on their own.
+        drop(self.send_tx.take());
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for handle in self.threads.drain(..) {
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+            // Else: leak the thread rather than hang; it holds only its
+            // stream clone and exits once the kernel releases the socket.
+        }
+    }
+}
+
+fn notify(waker: &Option<WakeHandle>) {
+    if let Some(waker) = waker {
+        waker.notify();
     }
 }
 
@@ -220,6 +311,7 @@ fn reader_loop(
     counters: Arc<ChannelCounters>,
     last_rx: Arc<Mutex<Instant>>,
     events: Sender<ConnEvent>,
+    waker: Option<WakeHandle>,
 ) {
     let mut chunk = vec![0u8; read_chunk.max(wire::OFP_HEADER_LEN)];
     loop {
@@ -227,17 +319,19 @@ fn reader_loop(
             Ok(msgs) => {
                 if !msgs.is_empty() {
                     *last_rx.lock() = Instant::now();
-                }
-                for msg in msgs {
-                    counters.record_frame_in(wire::wire_len(&msg));
-                    if events.send(ConnEvent::Message(msg)).is_err() {
-                        return; // endpoint dropped the connection
+                    for msg in msgs {
+                        counters.record_frame_in(wire::wire_len(&msg));
+                        if events.send(ConnEvent::Message(msg)).is_err() {
+                            return; // endpoint dropped the connection
+                        }
                     }
+                    notify(&waker);
                 }
             }
             Err(err) => {
                 counters.record_decode_error();
                 let _ = events.send(ConnEvent::Closed(CloseReason::Decode(err)));
+                notify(&waker);
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
             }
@@ -245,11 +339,13 @@ fn reader_loop(
         match stream.read(&mut chunk) {
             Ok(0) => {
                 let _ = events.send(ConnEvent::Closed(CloseReason::Eof));
+                notify(&waker);
                 return;
             }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(err) => {
                 let _ = events.send(ConnEvent::Closed(CloseReason::Io(err.kind())));
+                notify(&waker);
                 return;
             }
         }
@@ -354,5 +450,63 @@ mod tests {
         let snap = counters.snapshot();
         assert!(snap.sends_blocked >= 1);
         assert!(snap.send_queue_hwm >= 4);
+    }
+
+    #[test]
+    fn waker_fires_on_inbound_message() {
+        let (a, b) = pair();
+        let cfg = ChannelConfig::default();
+        let (waker, wake_rx) = wake_channel();
+        let conn_a =
+            Connection::spawn(a, &cfg, Arc::new(ChannelCounters::new()), BytesMut::new()).unwrap();
+        let conn_b = Connection::spawn_with_waker(
+            b,
+            &cfg,
+            Arc::new(ChannelCounters::new()),
+            BytesMut::new(),
+            Some(waker),
+        )
+        .unwrap();
+        let msg = OfMessage::new(Xid(3), OfBody::EchoRequest(bytes::Bytes::from_static(b"x")));
+        conn_a.send(&msg).unwrap();
+        wake_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("waker never fired");
+        match conn_b.try_recv() {
+            Some(ConnEvent::Message(got)) => assert_eq!(got, msg),
+            other => panic!("expected message after wake, got {other:?}"),
+        }
+    }
+
+    /// Counts this process's live threads via `/proc/self/task`.
+    fn live_threads() -> usize {
+        std::fs::read_dir("/proc/self/task").unwrap().count()
+    }
+
+    /// Regression: reader/writer threads used to be detached, so an
+    /// endpoint churning through reconnects accumulated threads blocked in
+    /// `read` until fd/thread exhaustion. Drop now joins them.
+    #[test]
+    fn drop_joins_connection_threads() {
+        let cfg = ChannelConfig::default();
+        let before = live_threads();
+        for _ in 0..100 {
+            let (a, b) = pair();
+            let conn_a =
+                Connection::spawn(a, &cfg, Arc::new(ChannelCounters::new()), BytesMut::new())
+                    .unwrap();
+            let conn_b =
+                Connection::spawn(b, &cfg, Arc::new(ChannelCounters::new()), BytesMut::new())
+                    .unwrap();
+            drop(conn_a);
+            drop(conn_b);
+        }
+        let after = live_threads();
+        // Parallel test threads add noise; 400 leaked threads (4 per
+        // iteration) would dwarf this slack.
+        assert!(
+            after <= before + 8,
+            "thread leak: {before} threads before churn, {after} after"
+        );
     }
 }

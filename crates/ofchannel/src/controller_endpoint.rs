@@ -1,35 +1,63 @@
-//! A control plane driven over live TCP connections.
+//! A control plane driven over live TCP connections, multiplexed on a
+//! small async runtime.
 //!
 //! Owns a [`netsim::iface::ControlPlane`] (the bare POX-style platform or
-//! FloodGuard wrapping it) and maintains one outbound connection per
-//! configured target: switches and data-plane caches both. The features
-//! reply's datapath id decides the role — ids carrying
-//! [`crate::DEVICE_DPID_FLAG`] are cache connections whose messages are
-//! delivered through [`ControlPlane::on_device_message`], completing
-//! FloodGuard's migration loop over real sockets.
+//! FloodGuard wrapping it) and serves it over many concurrent switch and
+//! device connections. The features reply's datapath id decides the role —
+//! ids carrying [`crate::DEVICE_DPID_FLAG`] are cache connections whose
+//! messages are delivered through [`ControlPlane::on_device_message`],
+//! completing FloodGuard's migration loop over real sockets.
 //!
-//! Dead or unreachable targets are redialed with capped exponential
-//! backoff; liveness is watched per-connection through echo keepalive.
-//! Because live mode has no simulation engine to synthesize telemetry, the
-//! endpoint periodically assembles a [`Telemetry`] snapshot from what the
-//! controller can legitimately observe (its own packet_in stream and queue
-//! depths) and feeds it to the control plane — this is what arms
-//! FloodGuard's detector in live deployments.
+//! # Architecture
+//!
+//! One std thread owns the control plane and a tokio runtime. Every
+//! connection gets three lightweight pieces: a reader task decoding frames
+//! off its socket, a writer task draining a **bounded** per-connection
+//! frame queue, and an entry in the control loop's connection table. The
+//! reader answers echo keepalive on its own and forwards everything else
+//! to the control loop over one shared event channel, so the control plane
+//! (which is `!Sync` by design) stays single-threaded while thousands of
+//! sockets make progress in parallel.
+//!
+//! Backpressure is two-layered: each connection's send queue is bounded by
+//! [`ChannelConfig::send_queue_cap`], and all queues together draw from a
+//! global budget of [`ControllerConfig::global_send_budget`] in-flight
+//! frames. A slow switch fills its own queue (frames to it drop, counted
+//! as `sends_blocked`); a slow *everything* exhausts the global budget
+//! (counted as `budget_exhausted`) instead of growing memory without
+//! bound.
+//!
+//! Endpoints either dial a fixed target list ([`ControllerEndpoint::spawn`],
+//! with capped exponential backoff redial) or accept inbound switches on a
+//! listener ([`ControllerEndpoint::listen`], the many-switch shape). Both
+//! preserve the blocking path's semantics: echo keepalive with a liveness
+//! timeout, and post-reconnect flow-mod replay from a bounded per-identity
+//! ring. Because live mode has no simulation engine to synthesize
+//! telemetry, the endpoint periodically assembles a [`Telemetry`] snapshot
+//! from what the controller can legitimately observe and feeds it to the
+//! control plane — this is what arms FloodGuard's detector in live
+//! deployments.
 
-use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::{Bytes, BytesMut};
 use netsim::iface::{ControlOutput, ControlPlane, DeviceId, SwitchTelemetry, Telemetry};
-use ofproto::messages::{OfBody, OfMessage};
+use ofproto::flow_match::OfMatch;
+use ofproto::flow_mod::{FlowMod, FlowModCommand};
+use ofproto::messages::{FeaturesReply, OfBody, OfMessage};
 use ofproto::types::{DatapathId, Xid};
+use ofproto::wire;
 use parking_lot::Mutex;
+use tokio::sync::mpsc;
 
 use crate::config::{next_backoff, ChannelConfig};
-use crate::conn::{ConnEvent, Connection, SendError};
+use crate::conn::SendError;
 use crate::counters::{ChannelCounters, CountersSnapshot};
 use crate::{handshake, parse_device_dpid};
 
@@ -40,6 +68,10 @@ pub struct ControllerConfig {
     pub channel: ChannelConfig,
     /// How often synthesized telemetry is fed to the control plane.
     pub telemetry_interval: Duration,
+    /// Async runtime worker threads (minimum 1).
+    pub worker_threads: usize,
+    /// Endpoint-wide cap on frames queued across all connections.
+    pub global_send_budget: usize,
 }
 
 impl Default for ControllerConfig {
@@ -47,6 +79,8 @@ impl Default for ControllerConfig {
         ControllerConfig {
             channel: ChannelConfig::default(),
             telemetry_interval: Duration::from_millis(100),
+            worker_threads: 2,
+            global_send_budget: 4096,
         }
     }
 }
@@ -60,11 +94,57 @@ pub struct ControllerStatus {
     pub connected_devices: Vec<DeviceId>,
 }
 
+/// One rule in the controller's mirror of a switch's flow table.
+///
+/// The mirror is maintained from the flow-mods the endpoint itself sends
+/// (an observability aid for the ops surface, not ground truth from the
+/// switch): non-strict deletes are approximated by exact match equality.
+#[derive(Debug, Clone)]
+pub struct FlowRuleView {
+    /// The rule's match.
+    pub of_match: OfMatch,
+    /// Matching precedence; higher wins.
+    pub priority: u16,
+    /// Controller-assigned cookie.
+    pub cookie: u64,
+    /// How many actions the rule applies (0 = drop).
+    pub n_actions: usize,
+}
+
+/// A cloneable read-only view of a live endpoint: counters, connection
+/// table, and the mirrored flow tables. Survives for as long as any clone
+/// does, even past the endpoint's shutdown (values then freeze).
+#[derive(Clone)]
+pub struct ControllerView {
+    counters: Arc<ChannelCounters>,
+    status: Arc<Mutex<ControllerStatus>>,
+    tables: Arc<Mutex<HashMap<u64, Vec<FlowRuleView>>>>,
+}
+
+impl ControllerView {
+    /// Current transport counters.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Current connection table.
+    pub fn status(&self) -> ControllerStatus {
+        self.status.lock().clone()
+    }
+
+    /// The mirrored flow tables, keyed by raw datapath id.
+    pub fn flow_tables(&self) -> HashMap<u64, Vec<FlowRuleView>> {
+        self.tables.lock().clone()
+    }
+}
+
 /// Handle to a control plane served over TCP.
 pub struct ControllerEndpoint {
     counters: Arc<ChannelCounters>,
     status: Arc<Mutex<ControllerStatus>>,
+    tables: Arc<Mutex<HashMap<u64, Vec<FlowRuleView>>>>,
     shutdown: Arc<AtomicBool>,
+    local_addr: Option<SocketAddr>,
     handle: Option<JoinHandle<Box<dyn ControlPlane>>>,
 }
 
@@ -79,30 +159,69 @@ impl std::fmt::Debug for ControllerEndpoint {
 impl ControllerEndpoint {
     /// Starts dialing `targets` and serving `control` over the resulting
     /// connections. Targets may be switch or device listeners in any
-    /// order; roles are learned from the handshake.
+    /// order; roles are learned from the handshake. Unreachable or dead
+    /// targets are redialed with capped exponential backoff.
     pub fn spawn(
         control: Box<dyn ControlPlane>,
         targets: Vec<SocketAddr>,
         config: ControllerConfig,
     ) -> ControllerEndpoint {
+        ControllerEndpoint::start(control, Peers::Dial(targets), config)
+            .expect("spawn controller endpoint thread")
+    }
+
+    /// Binds `addr` and serves `control` over every inbound connection —
+    /// the many-switch deployment shape. The bound address is available
+    /// immediately via [`ControllerEndpoint::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot bind.
+    pub fn listen(
+        control: Box<dyn ControlPlane>,
+        addr: SocketAddr,
+        config: ControllerConfig,
+    ) -> io::Result<ControllerEndpoint> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        ControllerEndpoint::start(control, Peers::Listen(listener), config)
+    }
+
+    fn start(
+        control: Box<dyn ControlPlane>,
+        peers: Peers,
+        config: ControllerConfig,
+    ) -> io::Result<ControllerEndpoint> {
         let counters = Arc::new(ChannelCounters::new());
         let status = Arc::new(Mutex::new(ControllerStatus::default()));
+        let tables = Arc::new(Mutex::new(HashMap::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let local_addr = match &peers {
+            Peers::Dial(_) => None,
+            Peers::Listen(listener) => Some(listener.local_addr()?),
+        };
         let handle = {
             let counters = Arc::clone(&counters);
             let status = Arc::clone(&status);
+            let tables = Arc::clone(&tables);
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("ofchannel-controller".to_owned())
-                .spawn(move || run(control, targets, config, counters, status, shutdown))
-                .expect("spawn controller endpoint thread")
+                .spawn(move || run(control, peers, config, counters, status, tables, shutdown))?
         };
-        ControllerEndpoint {
+        Ok(ControllerEndpoint {
             counters,
             status,
+            tables,
             shutdown,
+            local_addr,
             handle: Some(handle),
-        }
+        })
+    }
+
+    /// The listener's bound address ([`ControllerEndpoint::listen`] mode
+    /// only).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
     }
 
     /// Current transport counters.
@@ -110,9 +229,23 @@ impl ControllerEndpoint {
         self.counters.snapshot()
     }
 
+    /// The shared counters themselves, for observers that outlive calls.
+    pub fn counters_handle(&self) -> Arc<ChannelCounters> {
+        Arc::clone(&self.counters)
+    }
+
     /// Current connection table.
     pub fn status(&self) -> ControllerStatus {
         self.status.lock().clone()
+    }
+
+    /// A cloneable read-only view for dashboards and the ops surface.
+    pub fn view(&self) -> ControllerView {
+        ControllerView {
+            counters: Arc::clone(&self.counters),
+            status: Arc::clone(&self.status),
+            tables: Arc::clone(&self.tables),
+        }
     }
 
     /// Stops the endpoint and returns the control plane for inspection.
@@ -135,158 +268,414 @@ impl Drop for ControllerEndpoint {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Peers {
+    Dial(Vec<SocketAddr>),
+    Listen(std::net::TcpListener),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Identity {
     Switch(DatapathId),
     Device(DeviceId),
 }
 
-struct Slot {
-    addr: SocketAddr,
-    conn: Option<(Connection, Identity)>,
-    backoff: Duration,
-    next_attempt: Instant,
-    ever_connected: bool,
+/// The endpoint-wide pool of in-flight frame permits.
+struct SendBudget {
+    permits: AtomicUsize,
+}
+
+impl SendBudget {
+    fn new(permits: usize) -> Arc<SendBudget> {
+        Arc::new(SendBudget {
+            permits: AtomicUsize::new(permits.max(1)),
+        })
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.permits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.permits.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Queues encoded frames toward one connection's writer task, enforcing
+/// both the per-connection bound and the global budget.
+#[derive(Clone)]
+struct FrameSender {
+    tx: mpsc::Sender<Bytes>,
+    budget: Arc<SendBudget>,
+    counters: Arc<ChannelCounters>,
+}
+
+impl FrameSender {
+    fn send(&self, msg: &OfMessage) -> Result<(), SendError> {
+        if !self.budget.try_acquire() {
+            self.counters.record_budget_exhausted();
+            return Err(SendError::Backpressure);
+        }
+        let frame = wire::encode(msg);
+        match self.tx.try_send(frame) {
+            Ok(()) => {
+                let depth = self.tx.max_capacity() - self.tx.capacity();
+                self.counters.observe_queue_depth(depth);
+                Ok(())
+            }
+            Err(mpsc::error::TrySendError::Full(_)) => {
+                self.budget.release();
+                self.counters.record_send_blocked();
+                self.counters.observe_queue_depth(self.tx.max_capacity());
+                Err(SendError::Backpressure)
+            }
+            Err(mpsc::error::TrySendError::Closed(_)) => {
+                self.budget.release();
+                Err(SendError::Closed)
+            }
+        }
+    }
+}
+
+/// What connection tasks report to the control loop. Events for one `key`
+/// are ordered: `Connected`, then `Inbound`s, then exactly one `Closed`.
+enum Event {
+    Connected {
+        key: u64,
+        identity: Identity,
+        features: FeaturesReply,
+        sender: FrameSender,
+        /// A dup of the socket kept for liveness-timeout teardown.
+        closer: std::net::TcpStream,
+        /// Milliseconds since the endpoint epoch of the last inbound frame.
+        last_rx: Arc<AtomicU64>,
+    },
+    Inbound {
+        key: u64,
+        msg: OfMessage,
+    },
+    Closed {
+        key: u64,
+    },
+}
+
+struct ConnState {
+    identity: Identity,
+    sender: FrameSender,
+    closer: std::net::TcpStream,
+    last_rx: Arc<AtomicU64>,
     last_echo: Instant,
-    /// Who answered the last completed handshake on this target.
-    last_identity: Option<Identity>,
-    /// Recent flow-mod frames, in send order, kept for post-reconnect
-    /// replay (bounded by `ChannelConfig::resync_replay_cap`).
-    replay: VecDeque<OfMessage>,
+    timed_out: bool,
 }
 
 const EVENT_BUDGET: usize = 512;
+const EVENT_CHANNEL_CAP: usize = 4096;
+
+/// Everything the connection tasks share.
+#[derive(Clone)]
+struct Shared {
+    cfg: ChannelConfig,
+    counters: Arc<ChannelCounters>,
+    budget: Arc<SendBudget>,
+    events: mpsc::Sender<Event>,
+    epoch: Instant,
+    keys: Arc<AtomicU64>,
+}
 
 fn run(
-    mut control: Box<dyn ControlPlane>,
-    targets: Vec<SocketAddr>,
+    control: Box<dyn ControlPlane>,
+    peers: Peers,
     config: ControllerConfig,
     counters: Arc<ChannelCounters>,
     status: Arc<Mutex<ControllerStatus>>,
+    tables: Arc<Mutex<HashMap<u64, Vec<FlowRuleView>>>>,
     shutdown: Arc<AtomicBool>,
 ) -> Box<dyn ControlPlane> {
-    let start = Instant::now();
-    let cfg = config.channel;
-    let mut slots: Vec<Slot> = targets
-        .into_iter()
-        .map(|addr| Slot {
-            addr,
-            conn: None,
-            backoff: cfg.reconnect_base,
-            next_attempt: Instant::now(),
-            ever_connected: false,
-            last_echo: Instant::now(),
-            last_identity: None,
-            replay: VecDeque::new(),
-        })
-        .collect();
-    let mut xid: u32 = 1;
-    let mut last_telemetry = Instant::now();
-    let mut last_tick = start.elapsed().as_secs_f64();
-
-    while !shutdown.load(Ordering::SeqCst) {
-        let now = start.elapsed().as_secs_f64();
-
-        // Dial targets that are down and due.
-        let mut connect_out = ControlOutput::new();
-        for slot in &mut slots {
-            if slot.conn.is_some() || Instant::now() < slot.next_attempt {
-                continue;
-            }
-            match dial(slot.addr, &cfg, &counters) {
-                Ok((conn, features)) => {
-                    let identity = match parse_device_dpid(features.datapath_id) {
-                        Some(device) => Identity::Device(device),
-                        None => Identity::Switch(features.datapath_id),
-                    };
-                    let rejoining = slot.ever_connected;
-                    if rejoining {
-                        counters.record_reconnect();
-                    }
-                    slot.ever_connected = true;
-                    slot.backoff = cfg.reconnect_base;
-                    slot.last_echo = Instant::now();
-                    if slot.last_identity != Some(identity) {
-                        // A different peer answered on this target: the
-                        // recorded frames belong to someone else's table.
-                        slot.replay.clear();
-                    }
-                    slot.last_identity = Some(identity);
-                    if let Identity::Switch(dpid) = identity {
-                        control.on_switch_connect(dpid, features, now, &mut connect_out);
-                    }
-                    // State resync: the peer may have restarted with an empty
-                    // flow table, so drain-and-replay the recorded flow-mods
-                    // (idempotent — identical match+priority replaces in
-                    // place) before any fresh traffic.
-                    if rejoining && !slot.replay.is_empty() {
-                        counters.record_resync(slot.replay.len());
-                        for frame in &slot.replay {
-                            match conn.send(frame) {
-                                Ok(()) | Err(SendError::Backpressure) | Err(SendError::Closed) => {}
-                            }
-                        }
-                    }
-                    slot.conn = Some((conn, identity));
-                }
-                Err(()) => {
-                    counters.record_connect_failure();
-                    slot.next_attempt = Instant::now() + slot.backoff;
-                    slot.backoff = next_backoff(&cfg, slot.backoff);
-                }
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(config.worker_threads.max(1))
+        .enable_all()
+        .build()
+        .expect("build controller runtime");
+    let (events_tx, events_rx) = mpsc::channel::<Event>(EVENT_CHANNEL_CAP);
+    let shared = Shared {
+        cfg: config.channel,
+        counters: Arc::clone(&counters),
+        budget: SendBudget::new(config.global_send_budget),
+        events: events_tx,
+        epoch: Instant::now(),
+        keys: Arc::new(AtomicU64::new(0)),
+    };
+    match peers {
+        Peers::Dial(targets) => {
+            for addr in targets {
+                let shared = shared.clone();
+                rt.spawn(dial_loop(addr, shared));
             }
         }
-        flush(&mut slots, connect_out, cfg.resync_replay_cap);
+        Peers::Listen(listener) => {
+            let shared = shared.clone();
+            rt.spawn(async move {
+                if let Ok(listener) = tokio::net::TcpListener::from_std(listener) {
+                    accept_loop(listener, shared).await;
+                }
+            });
+        }
+    }
+    // The control loop holds the only receiver; connection tasks run on
+    // the workers while it blocks here.
+    drop(shared);
+    let control = rt.block_on(control_loop(
+        control, events_rx, config, counters, status, tables, shutdown,
+    ));
+    drop(rt);
+    control
+}
 
-        // Drain inbound messages.
-        let mut pending = ControlOutput::new();
-        for slot in &mut slots {
-            let mut died = false;
-            for _ in 0..EVENT_BUDGET {
-                let Some((conn, identity)) = &slot.conn else {
-                    break;
-                };
-                match conn.try_recv() {
-                    Some(ConnEvent::Message(msg)) => match msg.body {
-                        OfBody::EchoRequest(data) => {
-                            let _ = conn.send(&OfMessage::new(msg.xid, OfBody::EchoReply(data)));
-                        }
-                        OfBody::EchoReply(_) => {}
-                        _ => match *identity {
-                            Identity::Switch(dpid) => {
-                                control.on_message(dpid, msg, now, &mut pending);
-                            }
-                            Identity::Device(device) => {
-                                control.on_device_message(device, msg, now, &mut pending);
-                            }
-                        },
-                    },
-                    Some(ConnEvent::Closed(_)) => {
-                        died = true;
+async fn dial_loop(addr: SocketAddr, shared: Shared) {
+    let mut backoff = shared.cfg.reconnect_base;
+    loop {
+        match dial_once(addr, &shared.cfg).await {
+            Ok((stream, features, residue)) => {
+                backoff = shared.cfg.reconnect_base;
+                if !serve_connection(stream, features, residue, &shared).await {
+                    return; // endpoint is gone
+                }
+                // The connection died; pause one base interval before
+                // redialing so a crash-looping peer is not hammered.
+                tokio::time::sleep(shared.cfg.reconnect_base).await;
+            }
+            Err(()) => {
+                shared.counters.record_connect_failure();
+                tokio::time::sleep(backoff).await;
+                backoff = next_backoff(&shared.cfg, backoff);
+            }
+        }
+    }
+}
+
+async fn dial_once(
+    addr: SocketAddr,
+    cfg: &ChannelConfig,
+) -> Result<(tokio::net::TcpStream, FeaturesReply, BytesMut), ()> {
+    let connect = tokio::net::TcpStream::connect(addr);
+    let mut stream = match tokio::time::timeout(cfg.connect_timeout, connect).await {
+        Ok(Ok(stream)) => stream,
+        Ok(Err(_)) | Err(_) => return Err(()),
+    };
+    let _ = stream.set_nodelay(true);
+    let (features, residue) = handshake::initiate_async(&mut stream, cfg)
+        .await
+        .map_err(|_| ())?;
+    Ok((stream, features, residue))
+}
+
+async fn accept_loop(listener: tokio::net::TcpListener, shared: Shared) {
+    loop {
+        let Ok((mut stream, _peer)) = listener.accept().await else {
+            // Transient accept errors (e.g. fd pressure): back off briefly.
+            tokio::time::sleep(Duration::from_millis(10)).await;
+            continue;
+        };
+        let shared = shared.clone();
+        tokio::spawn(async move {
+            let _ = stream.set_nodelay(true);
+            match handshake::initiate_async(&mut stream, &shared.cfg).await {
+                Ok((features, residue)) => {
+                    serve_connection(stream, features, residue, &shared).await;
+                }
+                Err(_) => shared.counters.record_connect_failure(),
+            }
+        });
+    }
+}
+
+/// Runs one handshaken connection to completion: spawns its writer task
+/// and reads frames inline until the socket dies. Returns `false` when the
+/// control loop is gone (callers should stop redialing).
+async fn serve_connection(
+    stream: tokio::net::TcpStream,
+    features: FeaturesReply,
+    residue: BytesMut,
+    shared: &Shared,
+) -> bool {
+    let identity = match parse_device_dpid(features.datapath_id) {
+        Some(device) => Identity::Device(device),
+        None => Identity::Switch(features.datapath_id),
+    };
+    let Ok(closer) = stream.try_clone_std() else {
+        return true;
+    };
+    let Ok(local_closer) = stream.try_clone_std() else {
+        return true;
+    };
+    let Ok((mut read_half, mut write_half)) = stream.into_split() else {
+        return true;
+    };
+    let key = shared.keys.fetch_add(1, Ordering::Relaxed);
+    let (tx, mut rx) = mpsc::channel::<Bytes>(shared.cfg.send_queue_cap);
+    let sender = FrameSender {
+        tx,
+        budget: Arc::clone(&shared.budget),
+        counters: Arc::clone(&shared.counters),
+    };
+    let last_rx = Arc::new(AtomicU64::new(shared.epoch.elapsed().as_millis() as u64));
+    let connected = Event::Connected {
+        key,
+        identity,
+        features,
+        sender: sender.clone(),
+        closer,
+        last_rx: Arc::clone(&last_rx),
+    };
+    if shared.events.send(connected).await.is_err() {
+        return false;
+    }
+
+    let writer = {
+        let budget = Arc::clone(&shared.budget);
+        let counters = Arc::clone(&shared.counters);
+        tokio::spawn(async move {
+            while let Some(frame) = rx.recv().await {
+                let result = write_half.write_all(&frame).await;
+                budget.release();
+                match result {
+                    Ok(()) => counters.record_frame_out(frame.len()),
+                    Err(_) => {
+                        // Make sure the reader notices too.
+                        let _ = write_half.shutdown_now(Shutdown::Both);
                         break;
                     }
-                    None => break,
                 }
             }
-            if died {
-                if let Some((_, Identity::Switch(dpid))) = slot.conn {
-                    control.on_switch_disconnect(dpid, now, &mut pending);
+            // Frames still queued when the writer stops hold permits.
+            while rx.try_recv().is_ok() {
+                budget.release();
+            }
+        })
+    };
+
+    let mut buf = residue;
+    let mut chunk = vec![0u8; shared.cfg.read_chunk.max(wire::OFP_HEADER_LEN)];
+    'conn: loop {
+        match wire::decode_frames(&mut buf) {
+            Ok(msgs) => {
+                if !msgs.is_empty() {
+                    last_rx.store(shared.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
                 }
-                slot.conn = None;
-                slot.backoff = cfg.reconnect_base;
-                slot.next_attempt = Instant::now() + slot.backoff;
+                for msg in msgs {
+                    shared.counters.record_frame_in(wire::wire_len(&msg));
+                    match msg.body {
+                        // Keepalive is answered here so a busy control
+                        // loop cannot fail its own liveness probes.
+                        OfBody::EchoRequest(data) => {
+                            let _ = sender.send(&OfMessage::new(msg.xid, OfBody::EchoReply(data)));
+                        }
+                        OfBody::EchoReply(_) => {}
+                        _ => {
+                            if shared
+                                .events
+                                .send(Event::Inbound { key, msg })
+                                .await
+                                .is_err()
+                            {
+                                break 'conn;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                shared.counters.record_decode_error();
+                break;
             }
         }
-        flush(&mut slots, pending, cfg.resync_replay_cap);
+        match read_half.read(&mut chunk).await {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    // Unblock a writer stuck mid-write and end the peer's read.
+    let _ = local_closer.shutdown(Shutdown::Both);
+    drop(sender);
+    drop(writer);
+    shared.events.send(Event::Closed { key }).await.is_ok()
+}
+
+#[allow(clippy::too_many_lines)]
+async fn control_loop(
+    mut control: Box<dyn ControlPlane>,
+    mut events: mpsc::Receiver<Event>,
+    config: ControllerConfig,
+    counters: Arc<ChannelCounters>,
+    status: Arc<Mutex<ControllerStatus>>,
+    tables: Arc<Mutex<HashMap<u64, Vec<FlowRuleView>>>>,
+    shutdown: Arc<AtomicBool>,
+) -> Box<dyn ControlPlane> {
+    let cfg = config.channel;
+    let epoch = Instant::now();
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    // Identities that completed a handshake at least once; a later
+    // handshake by the same identity is a reconnect needing resync.
+    let mut ever: HashSet<Identity> = HashSet::new();
+    let mut replay: HashMap<Identity, VecDeque<OfMessage>> = HashMap::new();
+    let mut xid: u32 = 1;
+    let mut last_telemetry = Instant::now();
+    let mut last_tick = 0.0f64;
+    let keepalive_scan = (cfg.echo_interval.min(cfg.liveness_timeout) / 4)
+        .clamp(Duration::from_millis(5), Duration::from_millis(250));
+    let mut last_keepalive = Instant::now();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        // Wait for the first event (bounded so timers and shutdown are
+        // honored), then drain a batch without further waiting.
+        let wait = next_wait(
+            config
+                .telemetry_interval
+                .saturating_sub(last_telemetry.elapsed()),
+            keepalive_scan.saturating_sub(last_keepalive.elapsed()),
+        );
+        let now = epoch.elapsed().as_secs_f64();
+        let mut out = ControlOutput::new();
+        let mut batch = 0usize;
+        let mut next = tokio::time::timeout(wait, events.recv())
+            .await
+            .unwrap_or_default();
+        while let Some(event) = next.take() {
+            handle_event(
+                event,
+                &mut control,
+                &mut conns,
+                &mut ever,
+                &mut replay,
+                &counters,
+                now,
+                &mut out,
+            );
+            batch += 1;
+            if batch >= EVENT_BUDGET {
+                break;
+            }
+            next = events.try_recv().ok();
+        }
+        flush(
+            &mut conns,
+            &mut replay,
+            &ever,
+            &tables,
+            out,
+            cfg.resync_replay_cap,
+        );
 
         // Synthesized telemetry: what a live controller can observe.
         if last_telemetry.elapsed() >= config.telemetry_interval {
             last_telemetry = Instant::now();
             let telemetry = Telemetry {
-                switches: slots
-                    .iter()
-                    .filter_map(|s| match s.conn {
-                        Some((_, Identity::Switch(dpid))) => Some(SwitchTelemetry {
+                switches: conns
+                    .values()
+                    .filter_map(|c| match c.identity {
+                        Identity::Switch(dpid) => Some(SwitchTelemetry {
                             dpid,
                             buffer_utilization: 0.0,
                             datapath_utilization: 0.0,
@@ -294,7 +683,7 @@ fn run(
                             misses: 0,
                             flow_count: 0,
                         }),
-                        _ => None,
+                        Identity::Device(_) => None,
                     })
                     .collect(),
                 controller_queue: 0,
@@ -302,7 +691,14 @@ fn run(
             };
             let mut out = ControlOutput::new();
             control.on_telemetry(&telemetry, now, &mut out);
-            flush(&mut slots, out, cfg.resync_replay_cap);
+            flush(
+                &mut conns,
+                &mut replay,
+                &ever,
+                &tables,
+                out,
+                cfg.resync_replay_cap,
+            );
         }
 
         // Control-plane tick.
@@ -311,98 +707,223 @@ fn run(
                 last_tick = now;
                 let mut out = ControlOutput::new();
                 control.on_tick(now, &mut out);
-                flush(&mut slots, out, cfg.resync_replay_cap);
+                flush(
+                    &mut conns,
+                    &mut replay,
+                    &ever,
+                    &tables,
+                    out,
+                    cfg.resync_replay_cap,
+                );
             }
         }
 
         // Keepalive probes and liveness.
-        let mut timeout_out = ControlOutput::new();
-        for slot in &mut slots {
-            let Some((conn, identity)) = &slot.conn else {
-                continue;
-            };
-            if slot.last_echo.elapsed() >= cfg.echo_interval {
-                slot.last_echo = Instant::now();
-                xid = xid.wrapping_add(1);
-                let _ = conn.send(&OfMessage::new(
-                    Xid(xid),
-                    OfBody::EchoRequest(bytes::Bytes::new()),
-                ));
-            }
-            if conn.idle_for() >= cfg.liveness_timeout {
-                counters.record_keepalive_timeout();
-                conn.close();
-                if let Identity::Switch(dpid) = *identity {
-                    control.on_switch_disconnect(dpid, now, &mut timeout_out);
+        if last_keepalive.elapsed() >= keepalive_scan {
+            last_keepalive = Instant::now();
+            let now_ms = epoch.elapsed().as_millis() as u64;
+            for st in conns.values_mut() {
+                if st.last_echo.elapsed() >= cfg.echo_interval {
+                    st.last_echo = Instant::now();
+                    xid = xid.wrapping_add(1);
+                    let _ = st
+                        .sender
+                        .send(&OfMessage::new(Xid(xid), OfBody::EchoRequest(Bytes::new())));
                 }
-                slot.conn = None;
-                slot.backoff = cfg.reconnect_base;
-                slot.next_attempt = Instant::now() + slot.backoff;
+                let idle = Duration::from_millis(
+                    now_ms.saturating_sub(st.last_rx.load(Ordering::Relaxed)),
+                );
+                if !st.timed_out && idle >= cfg.liveness_timeout {
+                    st.timed_out = true;
+                    counters.record_keepalive_timeout();
+                    // The reader observes the shutdown and emits `Closed`,
+                    // which performs the bookkeeping exactly once.
+                    let _ = st.closer.shutdown(Shutdown::Both);
+                }
             }
         }
-        flush(&mut slots, timeout_out, cfg.resync_replay_cap);
 
         // Publish liveness for observers.
         {
+            let mut switches: Vec<DatapathId> = conns
+                .values()
+                .filter_map(|c| match c.identity {
+                    Identity::Switch(dpid) => Some(dpid),
+                    Identity::Device(_) => None,
+                })
+                .collect();
+            switches.sort_unstable();
+            switches.dedup();
+            let mut devices: Vec<DeviceId> = conns
+                .values()
+                .filter_map(|c| match c.identity {
+                    Identity::Device(device) => Some(device),
+                    Identity::Switch(_) => None,
+                })
+                .collect();
+            devices.sort_unstable_by_key(|d| d.0);
+            devices.dedup();
             let mut st = status.lock();
-            st.connected_switches = slots
-                .iter()
-                .filter_map(|s| match s.conn {
-                    Some((_, Identity::Switch(dpid))) => Some(dpid),
-                    _ => None,
-                })
-                .collect();
-            st.connected_devices = slots
-                .iter()
-                .filter_map(|s| match s.conn {
-                    Some((_, Identity::Device(device))) => Some(device),
-                    _ => None,
-                })
-                .collect();
+            st.connected_switches = switches;
+            st.connected_devices = devices;
         }
-
-        std::thread::sleep(Duration::from_millis(1));
     }
     control
 }
 
-fn dial(
-    addr: SocketAddr,
-    cfg: &ChannelConfig,
-    counters: &Arc<ChannelCounters>,
-) -> Result<(Connection, ofproto::messages::FeaturesReply), ()> {
-    let mut stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout).map_err(|_| ())?;
-    let _ = stream.set_nodelay(true);
-    let (features, residue) = handshake::initiate(&mut stream, cfg).map_err(|_| ())?;
-    let conn = Connection::spawn(stream, cfg, Arc::clone(counters), residue).map_err(|_| ())?;
-    Ok((conn, features))
+fn next_wait(until_telemetry: Duration, until_keepalive: Duration) -> Duration {
+    until_telemetry
+        .min(until_keepalive)
+        .clamp(Duration::from_millis(1), Duration::from_millis(50))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_event(
+    event: Event,
+    control: &mut Box<dyn ControlPlane>,
+    conns: &mut HashMap<u64, ConnState>,
+    ever: &mut HashSet<Identity>,
+    replay: &mut HashMap<Identity, VecDeque<OfMessage>>,
+    counters: &ChannelCounters,
+    now: f64,
+    out: &mut ControlOutput,
+) {
+    match event {
+        Event::Connected {
+            key,
+            identity,
+            features,
+            sender,
+            closer,
+            last_rx,
+        } => {
+            let rejoining = ever.contains(&identity);
+            if rejoining {
+                counters.record_reconnect();
+            }
+            ever.insert(identity);
+            if let Identity::Switch(dpid) = identity {
+                control.on_switch_connect(dpid, features, now, out);
+            }
+            // State resync: the peer may have restarted with an empty flow
+            // table, so replay the recorded flow-mods (idempotent —
+            // identical match+priority replaces in place) before any fresh
+            // traffic.
+            if rejoining {
+                if let Some(ring) = replay.get(&identity) {
+                    if !ring.is_empty() {
+                        counters.record_resync(ring.len());
+                        for frame in ring {
+                            match sender.send(frame) {
+                                Ok(()) | Err(SendError::Backpressure) | Err(SendError::Closed) => {}
+                            }
+                        }
+                    }
+                }
+            }
+            conns.insert(
+                key,
+                ConnState {
+                    identity,
+                    sender,
+                    closer,
+                    last_rx,
+                    last_echo: Instant::now(),
+                    timed_out: false,
+                },
+            );
+        }
+        Event::Inbound { key, msg } => {
+            let Some(st) = conns.get(&key) else {
+                return; // raced with teardown
+            };
+            match st.identity {
+                Identity::Switch(dpid) => control.on_message(dpid, msg, now, out),
+                Identity::Device(device) => control.on_device_message(device, msg, now, out),
+            }
+        }
+        Event::Closed { key } => {
+            if let Some(st) = conns.remove(&key) {
+                if let Identity::Switch(dpid) = st.identity {
+                    control.on_switch_disconnect(dpid, now, out);
+                }
+            }
+        }
+    }
 }
 
 /// Routes queued control-plane messages to the connection owning each
 /// datapath. Messages to datapaths that are not connected, plus frames
 /// rejected by backpressure, are dropped — the control plane will observe
 /// the gap the same way it would observe loss on a congested channel.
-/// Flow-mod frames are additionally recorded into the owning slot's bounded
-/// replay ring so a reconnect can resync the switch's table.
-fn flush(slots: &mut [Slot], out: ControlOutput, replay_cap: usize) {
+/// Flow-mod frames are additionally recorded into the owning identity's
+/// bounded replay ring (for post-reconnect resync) and mirrored into the
+/// ops-facing flow tables.
+fn flush(
+    conns: &mut HashMap<u64, ConnState>,
+    replay: &mut HashMap<Identity, VecDeque<OfMessage>>,
+    ever: &HashSet<Identity>,
+    tables: &Mutex<HashMap<u64, Vec<FlowRuleView>>>,
+    out: ControlOutput,
+    replay_cap: usize,
+) {
     for (dpid, msg) in out.messages {
-        let target = slots.iter_mut().find(|s| {
-            matches!(&s.conn, Some((_, Identity::Switch(d))) if *d == dpid)
-                || (s.conn.is_none() && s.last_identity == Some(Identity::Switch(dpid)))
-        });
-        let Some(slot) = target else {
-            continue;
-        };
-        if matches!(msg.body, OfBody::FlowMod(_)) && replay_cap > 0 {
-            if slot.replay.len() >= replay_cap {
-                slot.replay.pop_front();
-            }
-            slot.replay.push_back(msg.clone());
+        let identity = Identity::Switch(dpid);
+        let target = conns.values().find(|c| c.identity == identity);
+        if target.is_none() && !ever.contains(&identity) {
+            continue; // never handshaken: nothing to record or send
         }
-        if let Some((conn, _)) = &slot.conn {
-            match conn.send(&msg) {
+        if let OfBody::FlowMod(fm) = &msg.body {
+            if replay_cap > 0 {
+                let ring = replay.entry(identity).or_default();
+                if ring.len() >= replay_cap {
+                    ring.pop_front();
+                }
+                ring.push_back(msg.clone());
+            }
+            mirror_flow_mod(tables, dpid, fm);
+        }
+        if let Some(st) = target {
+            match st.sender.send(&msg) {
                 Ok(()) | Err(SendError::Backpressure) | Err(SendError::Closed) => {}
             }
+        }
+    }
+}
+
+/// Applies one flow-mod to the ops-facing table mirror.
+fn mirror_flow_mod(
+    tables: &Mutex<HashMap<u64, Vec<FlowRuleView>>>,
+    dpid: DatapathId,
+    fm: &FlowMod,
+) {
+    let mut tables = tables.lock();
+    let table = tables.entry(dpid.0).or_default();
+    match fm.command {
+        FlowModCommand::Add | FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+            let rule = FlowRuleView {
+                of_match: fm.of_match,
+                priority: fm.priority,
+                cookie: fm.cookie,
+                n_actions: fm.actions.len(),
+            };
+            match table
+                .iter_mut()
+                .find(|r| r.of_match == fm.of_match && r.priority == fm.priority)
+            {
+                Some(slot) => *slot = rule,
+                None => table.push(rule),
+            }
+        }
+        FlowModCommand::Delete => {
+            if fm.of_match == OfMatch::any() {
+                table.clear();
+            } else {
+                table.retain(|r| r.of_match != fm.of_match);
+            }
+        }
+        FlowModCommand::DeleteStrict => {
+            table.retain(|r| !(r.of_match == fm.of_match && r.priority == fm.priority));
         }
     }
 }

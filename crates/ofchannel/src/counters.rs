@@ -22,6 +22,7 @@ pub struct ChannelCounters {
     keepalive_timeouts: AtomicU64,
     resyncs: AtomicU64,
     frames_replayed: AtomicU64,
+    budget_exhausted: AtomicU64,
 }
 
 /// A point-in-time copy of [`ChannelCounters`].
@@ -51,6 +52,8 @@ pub struct CountersSnapshot {
     pub resyncs: u64,
     /// Flow-mod frames re-sent during resyncs.
     pub frames_replayed: u64,
+    /// Sends rejected because the endpoint-wide send budget was spent.
+    pub budget_exhausted: u64,
 }
 
 impl ChannelCounters {
@@ -100,6 +103,10 @@ impl ChannelCounters {
             .fetch_add(frames as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_budget_exhausted(&self) {
+        self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current values.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -115,6 +122,7 @@ impl ChannelCounters {
             keepalive_timeouts: self.keepalive_timeouts.load(Ordering::Relaxed),
             resyncs: self.resyncs.load(Ordering::Relaxed),
             frames_replayed: self.frames_replayed.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
         }
     }
 }

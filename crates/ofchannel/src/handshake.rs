@@ -12,7 +12,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use ofproto::messages::{FeaturesReply, OfBody, OfMessage};
@@ -155,7 +155,11 @@ fn read_frame(
         if now >= deadline {
             return Err(HandshakeError::Timeout);
         }
-        stream.set_read_timeout(Some(deadline - now))?;
+        // An almost-expired deadline can round to a zero Duration, which
+        // `set_read_timeout` rejects with InvalidInput; clamp to 1 ms so the
+        // edge reads as a (near-immediate) timeout, not an I/O error.
+        let remaining = (deadline - now).max(Duration::from_millis(1));
+        stream.set_read_timeout(Some(remaining))?;
         match stream.read(&mut chunk) {
             Ok(0) => return Err(HandshakeError::Eof),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
@@ -166,6 +170,137 @@ fn read_frame(
                 return Err(HandshakeError::Timeout);
             }
             Err(e) => return Err(HandshakeError::Io(e)),
+        }
+    }
+}
+
+/// Controller side over an async stream: sends `HELLO` +
+/// `FEATURES_REQUEST`, waits for the peer's `FEATURES_REPLY`.
+///
+/// The async twin of [`initiate`], used by the async
+/// [`crate::controller_endpoint::ControllerEndpoint`] so a handshake in
+/// progress never blocks a runtime worker.
+///
+/// # Errors
+///
+/// Any [`HandshakeError`]; the stream should be discarded on failure.
+pub async fn initiate_async(
+    stream: &mut tokio::net::TcpStream,
+    config: &ChannelConfig,
+) -> Result<(FeaturesReply, BytesMut), HandshakeError> {
+    let deadline = Instant::now() + config.handshake_timeout;
+    write_msg_async(stream, &OfMessage::new(Xid(0), OfBody::Hello), deadline).await?;
+    write_msg_async(
+        stream,
+        &OfMessage::new(Xid(1), OfBody::FeaturesRequest),
+        deadline,
+    )
+    .await?;
+    let mut buf = BytesMut::new();
+    loop {
+        let msg = read_frame_async(stream, &mut buf, deadline).await?;
+        match msg.body {
+            OfBody::Hello => {}
+            OfBody::EchoRequest(data) => {
+                write_msg_async(
+                    stream,
+                    &OfMessage::new(msg.xid, OfBody::EchoReply(data)),
+                    deadline,
+                )
+                .await?;
+            }
+            OfBody::FeaturesReply(features) => return Ok((features, buf)),
+            _ => return Err(HandshakeError::Unexpected("message")),
+        }
+    }
+}
+
+/// Switch/device side over an async stream: sends `HELLO`, answers the
+/// peer's `FEATURES_REQUEST` with `features`.
+///
+/// The async twin of [`accept`], used by simulated switch swarms.
+///
+/// # Errors
+///
+/// Any [`HandshakeError`]; the stream should be discarded on failure.
+pub async fn accept_async(
+    stream: &mut tokio::net::TcpStream,
+    features: &FeaturesReply,
+    config: &ChannelConfig,
+) -> Result<BytesMut, HandshakeError> {
+    let deadline = Instant::now() + config.handshake_timeout;
+    write_msg_async(stream, &OfMessage::new(Xid(0), OfBody::Hello), deadline).await?;
+    let mut buf = BytesMut::new();
+    let mut saw_hello = false;
+    loop {
+        let msg = read_frame_async(stream, &mut buf, deadline).await?;
+        match msg.body {
+            OfBody::Hello => saw_hello = true,
+            OfBody::EchoRequest(data) => {
+                write_msg_async(
+                    stream,
+                    &OfMessage::new(msg.xid, OfBody::EchoReply(data)),
+                    deadline,
+                )
+                .await?;
+            }
+            OfBody::FeaturesRequest => {
+                if !saw_hello {
+                    return Err(HandshakeError::Unexpected("features_request before hello"));
+                }
+                write_msg_async(
+                    stream,
+                    &OfMessage::new(msg.xid, OfBody::FeaturesReply(features.clone())),
+                    deadline,
+                )
+                .await?;
+                return Ok(buf);
+            }
+            _ => return Err(HandshakeError::Unexpected("message")),
+        }
+    }
+}
+
+fn remaining(deadline: Instant) -> Result<Duration, HandshakeError> {
+    let now = Instant::now();
+    if now >= deadline {
+        return Err(HandshakeError::Timeout);
+    }
+    Ok(deadline - now)
+}
+
+async fn write_msg_async(
+    stream: &mut tokio::net::TcpStream,
+    msg: &OfMessage,
+    deadline: Instant,
+) -> Result<(), HandshakeError> {
+    let frame = wire::encode(msg);
+    match tokio::time::timeout(remaining(deadline)?, stream.write_all(&frame)).await {
+        Ok(result) => Ok(result?),
+        Err(_) => Err(HandshakeError::Timeout),
+    }
+}
+
+/// Reads exactly one frame from an async stream, leaving extra bytes in
+/// `buf`.
+async fn read_frame_async(
+    stream: &mut tokio::net::TcpStream,
+    buf: &mut BytesMut,
+    deadline: Instant,
+) -> Result<OfMessage, HandshakeError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(len) = wire::frame_len(&buf[..])? {
+            if buf.len() >= len {
+                let frame = buf.split_to(len);
+                return Ok(wire::decode(&frame[..])?);
+            }
+        }
+        match tokio::time::timeout(remaining(deadline)?, stream.read(&mut chunk)).await {
+            Ok(Ok(0)) => return Err(HandshakeError::Eof),
+            Ok(Ok(n)) => buf.extend_from_slice(&chunk[..n]),
+            Ok(Err(e)) => return Err(HandshakeError::Io(e)),
+            Err(_) => return Err(HandshakeError::Timeout),
         }
     }
 }
@@ -243,5 +378,94 @@ mod tests {
         }
         // Keep the listener alive so the connect cannot be refused.
         drop(listener);
+    }
+
+    /// Regression: a deadline that is almost expired when `read_frame`
+    /// computes the remaining budget used to produce a zero (or sub-tick)
+    /// `Duration`, which `set_read_timeout` either rejects with
+    /// `InvalidInput` or treats as "block forever". Both must surface as
+    /// [`HandshakeError::Timeout`], promptly.
+    #[test]
+    fn almost_expired_deadline_is_timeout_not_io() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let started = std::time::Instant::now();
+        for pad_ns in [0u64, 100, 10_000, 500_000] {
+            let deadline = Instant::now() + Duration::from_nanos(pad_ns);
+            let mut buf = BytesMut::new();
+            match read_frame(&mut client, &mut buf, deadline) {
+                Err(HandshakeError::Timeout) => {}
+                other => panic!("pad {pad_ns}ns: expected timeout, got {other:?}"),
+            }
+        }
+        // "Block forever" would hang well past this bound.
+        assert!(started.elapsed() < Duration::from_secs(2));
+        drop(listener);
+    }
+
+    #[test]
+    fn async_handshake_completes() {
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = tokio::spawn(async move {
+                let (mut stream, _) = listener.accept().await.unwrap();
+                accept_async(&mut stream, &features(), &ChannelConfig::default())
+                    .await
+                    .unwrap()
+            });
+            let mut client = tokio::net::TcpStream::connect(addr).await.unwrap();
+            let cfg = ChannelConfig::default();
+            let (reply, residue) = initiate_async(&mut client, &cfg).await.unwrap();
+            assert_eq!(reply, features());
+            assert!(residue.is_empty());
+            let server_residue = server.await.unwrap();
+            assert!(server_residue.is_empty());
+        });
+    }
+
+    #[test]
+    fn async_silent_peer_times_out() {
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = tokio::net::TcpStream::connect(addr).await.unwrap();
+            let cfg = ChannelConfig {
+                handshake_timeout: Duration::from_millis(100),
+                ..ChannelConfig::default()
+            };
+            match initiate_async(&mut client, &cfg).await {
+                Err(HandshakeError::Timeout) => {}
+                other => panic!("expected timeout, got {other:?}"),
+            }
+            drop(listener);
+        });
+    }
+
+    /// The async accept path must interoperate with the blocking initiate
+    /// path (and vice versa) — the swarm and the legacy `SwitchEndpoint`
+    /// share one wire protocol.
+    #[test]
+    fn blocking_initiate_async_accept_interop() {
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut stream = rt.block_on(async { tokio::net::TcpStream::from_std(stream) })?;
+            rt.block_on(accept_async(
+                &mut stream,
+                &features(),
+                &ChannelConfig::default(),
+            ))
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let cfg = ChannelConfig::default();
+        let (reply, _) = initiate(&mut client, &cfg).unwrap();
+        assert_eq!(reply, features());
+        server.join().unwrap().unwrap();
     }
 }

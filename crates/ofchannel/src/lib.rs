@@ -35,12 +35,16 @@ pub mod controller_endpoint;
 pub mod counters;
 pub mod handshake;
 pub mod obs;
+pub mod swarm;
 pub mod switch_endpoint;
 
 pub use config::ChannelConfig;
-pub use conn::{CloseReason, ConnEvent, Connection, SendError};
-pub use controller_endpoint::{ControllerConfig, ControllerEndpoint, ControllerStatus};
+pub use conn::{wake_channel, CloseReason, ConnEvent, Connection, SendError, WakeHandle};
+pub use controller_endpoint::{
+    ControllerConfig, ControllerEndpoint, ControllerStatus, ControllerView, FlowRuleView,
+};
 pub use counters::{ChannelCounters, CountersSnapshot};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 pub use switch_endpoint::SwitchEndpoint;
 
 use netsim::iface::DeviceId;

@@ -26,6 +26,7 @@ pub struct ChannelObs {
     keepalive_timeouts: obs::Gauge,
     resyncs: obs::Gauge,
     frames_replayed: obs::Gauge,
+    budget_exhausted: obs::Gauge,
 }
 
 impl ChannelObs {
@@ -47,6 +48,7 @@ impl ChannelObs {
             keepalive_timeouts: g("keepalive_timeouts"),
             resyncs: g("resyncs"),
             frames_replayed: g("frames_replayed"),
+            budget_exhausted: g("budget_exhausted"),
         }
     }
 
@@ -64,6 +66,7 @@ impl ChannelObs {
         self.keepalive_timeouts.set(snap.keepalive_timeouts as f64);
         self.resyncs.set(snap.resyncs as f64);
         self.frames_replayed.set(snap.frames_replayed as f64);
+        self.budget_exhausted.set(snap.budget_exhausted as f64);
     }
 }
 
@@ -93,6 +96,6 @@ mod tests {
         );
         assert_eq!(hub.registry.gauge("ofchannel.switch.reconnects").get(), 1.0);
         // One gauge per snapshot field was registered.
-        assert_eq!(hub.registry.len(), 12);
+        assert_eq!(hub.registry.len(), 13);
     }
 }

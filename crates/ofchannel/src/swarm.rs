@@ -1,0 +1,376 @@
+//! A many-switch load harness for the async controller endpoint.
+//!
+//! Simulates a fleet of OpenFlow switches as lightweight async tasks on
+//! one shared runtime: each task dials the controller, completes the
+//! HELLO/FEATURES handshake as datapath `base + i`, then generates
+//! table-miss `packet_in` traffic at a configured per-switch rate while a
+//! companion reader drains (and echo-answers) the controller's frames.
+//!
+//! The driver reports what the paper's scale question needs measured:
+//! connect-to-handshake latency per switch, handshake failures, and the
+//! `packet_in` throughput sustained over a window that starts only after
+//! the whole fleet is connected — connect-phase warmup never inflates it.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use netsim::packet::Packet;
+use ofproto::messages::{FeaturesReply, OfBody, OfMessage, PacketIn, PacketInReason};
+use ofproto::types::{DatapathId, MacAddr, PortNo, Xid};
+use ofproto::wire;
+use parking_lot::Mutex;
+
+use crate::config::ChannelConfig;
+use crate::handshake;
+
+/// Swarm shape and pacing.
+#[derive(Debug, Clone, Copy)]
+pub struct SwarmConfig {
+    /// Number of simulated switches.
+    pub switches: usize,
+    /// `packet_in` generation rate per switch, packets/second (min 1).
+    pub pps_per_switch: f64,
+    /// Length of the measured throughput window, started once the whole
+    /// fleet is connected.
+    pub window: Duration,
+    /// Delay between consecutive connection starts (spreads the dial
+    /// thundering herd).
+    pub connect_stagger: Duration,
+    /// How long to wait for the whole fleet to finish connecting.
+    pub connect_deadline: Duration,
+    /// First simulated datapath id; switch `i` is `base + i`.
+    pub dpid_base: u64,
+    /// Per-connection transport settings (handshake timeout etc.).
+    pub channel: ChannelConfig,
+    /// Runtime worker threads for the swarm side.
+    pub worker_threads: usize,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> SwarmConfig {
+        SwarmConfig {
+            switches: 64,
+            pps_per_switch: 10.0,
+            window: Duration::from_secs(2),
+            connect_stagger: Duration::from_millis(2),
+            connect_deadline: Duration::from_secs(60),
+            dpid_base: 1000,
+            channel: ChannelConfig::default(),
+            worker_threads: 2,
+        }
+    }
+}
+
+/// What one swarm run measured.
+#[derive(Debug, Clone)]
+pub struct SwarmReport {
+    /// Switches that completed the handshake.
+    pub connected: usize,
+    /// Switches whose dial or handshake failed.
+    pub handshake_failures: usize,
+    /// Connect-to-handshake-complete latency per connected switch, sorted
+    /// ascending.
+    pub connect_latencies: Vec<Duration>,
+    /// `packet_in` frames sent during the measured window.
+    pub packet_ins_sent: u64,
+    /// Frames received from the controller during the whole run.
+    pub frames_in: u64,
+    /// Actual measured window length.
+    pub window: Duration,
+}
+
+impl SwarmReport {
+    /// Connect-latency quantile (`q` in [0, 1]) by nearest-rank over the
+    /// sorted latencies; zero when nothing connected.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.connect_latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let n = self.connect_latencies.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        self.connect_latencies[rank - 1]
+    }
+
+    /// Sustained `packet_in` throughput over the measured window.
+    pub fn throughput_pps(&self) -> f64 {
+        let secs = self.window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.packet_ins_sent as f64 / secs
+    }
+}
+
+/// Shared run state between the driver and the switch tasks.
+struct SwarmShared {
+    cfg: SwarmConfig,
+    connected: AtomicUsize,
+    failed: AtomicUsize,
+    sent: AtomicU64,
+    frames_in: AtomicU64,
+    stop: AtomicBool,
+    latencies: Mutex<Vec<Duration>>,
+}
+
+/// Runs one swarm against a listening controller at `addr`, blocking until
+/// the measured window completes.
+///
+/// # Errors
+///
+/// Fails when the runtime cannot start or when not a single switch managed
+/// to connect before the deadline.
+pub fn run_swarm(addr: SocketAddr, config: &SwarmConfig) -> std::io::Result<SwarmReport> {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(config.worker_threads.max(1))
+        .enable_all()
+        .build()?;
+    let shared = Arc::new(SwarmShared {
+        cfg: *config,
+        connected: AtomicUsize::new(0),
+        failed: AtomicUsize::new(0),
+        sent: AtomicU64::new(0),
+        frames_in: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        latencies: Mutex::new(Vec::with_capacity(config.switches)),
+    });
+
+    for i in 0..config.switches {
+        let shared = Arc::clone(&shared);
+        rt.spawn(async move {
+            switch_task(addr, i, shared).await;
+        });
+    }
+
+    let report = rt.block_on(drive(Arc::clone(&shared)));
+    shared.stop.store(true, Ordering::SeqCst);
+    // Give tasks a beat to observe the stop flag before the runtime drops.
+    rt.block_on(tokio::time::sleep(Duration::from_millis(50)));
+    drop(rt);
+    report
+}
+
+/// Waits for the fleet to settle, then measures one throughput window.
+async fn drive(shared: Arc<SwarmShared>) -> std::io::Result<SwarmReport> {
+    let cfg = shared.cfg;
+    let connect_started = Instant::now();
+    loop {
+        let done = shared.connected.load(Ordering::SeqCst) + shared.failed.load(Ordering::SeqCst);
+        if done >= cfg.switches {
+            break;
+        }
+        if connect_started.elapsed() > cfg.connect_deadline {
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+    let connected = shared.connected.load(Ordering::SeqCst);
+    if connected == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "no switch completed the handshake before the deadline",
+        ));
+    }
+
+    let count0 = shared.sent.load(Ordering::SeqCst);
+    let window_started = Instant::now();
+    tokio::time::sleep(cfg.window).await;
+    let window = window_started.elapsed();
+    let count1 = shared.sent.load(Ordering::SeqCst);
+
+    let mut latencies = shared.latencies.lock().clone();
+    latencies.sort_unstable();
+    Ok(SwarmReport {
+        connected,
+        handshake_failures: shared.failed.load(Ordering::SeqCst),
+        connect_latencies: latencies,
+        packet_ins_sent: count1 - count0,
+        frames_in: shared.frames_in.load(Ordering::SeqCst),
+        window,
+    })
+}
+
+/// One simulated switch: dial, handshake, then split into a frame-draining
+/// reader and a paced `packet_in` generator.
+async fn switch_task(addr: SocketAddr, index: usize, shared: Arc<SwarmShared>) {
+    let cfg = shared.cfg;
+    tokio::time::sleep(cfg.connect_stagger * index as u32).await;
+
+    let started = Instant::now();
+    let features = swarm_features(cfg.dpid_base + index as u64);
+    let connect = async {
+        let stream = tokio::net::TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        Ok::<_, std::io::Error>(stream)
+    };
+    let Ok(mut stream) = connect.await else {
+        shared.failed.fetch_add(1, Ordering::SeqCst);
+        return;
+    };
+    let Ok(residue) = handshake::accept_async(&mut stream, &features, &cfg.channel).await else {
+        shared.failed.fetch_add(1, Ordering::SeqCst);
+        return;
+    };
+    shared.latencies.lock().push(started.elapsed());
+    shared.connected.fetch_add(1, Ordering::SeqCst);
+
+    let Ok((read_half, write_half)) = stream.into_split() else {
+        return;
+    };
+    // Echo replies cross from the reader to the writer through a small
+    // queue; the write half stays single-owner.
+    let (reply_tx, mut reply_rx) = tokio::sync::mpsc::channel::<Bytes>(16);
+
+    let reader_shared = Arc::clone(&shared);
+    tokio::task::spawn(async move {
+        reader_loop(read_half, residue, reply_tx, reader_shared).await;
+    });
+
+    sender_loop(write_half, index, &mut reply_rx, &shared).await;
+}
+
+/// Drains controller frames: counts them, answers `echo_request`, discards
+/// the rest (flow-mods installed on a simulated switch have no table to
+/// land in).
+async fn reader_loop(
+    mut read_half: tokio::net::OwnedReadHalf,
+    mut buf: bytes::BytesMut,
+    reply_tx: tokio::sync::mpsc::Sender<Bytes>,
+    shared: Arc<SwarmShared>,
+) {
+    let mut chunk = vec![0u8; 16 * 1024];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let msgs = match wire::decode_frames(&mut buf) {
+            Ok(msgs) => msgs,
+            Err(_) => return,
+        };
+        for msg in msgs {
+            shared.frames_in.fetch_add(1, Ordering::SeqCst);
+            if let OfBody::EchoRequest(data) = msg.body {
+                let reply = wire::encode(&OfMessage::new(msg.xid, OfBody::EchoReply(data)));
+                let _ = reply_tx.try_send(reply);
+            }
+        }
+        match tokio::time::timeout(Duration::from_millis(250), read_half.read(&mut chunk)).await {
+            Ok(Ok(0)) | Ok(Err(_)) => return,
+            Ok(Ok(n)) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => {} // timeout: re-check the stop flag
+        }
+    }
+}
+
+/// Paces `packet_in` generation at the configured rate; each packet is a
+/// fresh table-miss (unique source per sequence number).
+async fn sender_loop(
+    mut write_half: tokio::net::OwnedWriteHalf,
+    index: usize,
+    reply_rx: &mut tokio::sync::mpsc::Receiver<Bytes>,
+    shared: &SwarmShared,
+) {
+    let interval = Duration::from_secs_f64(1.0 / shared.cfg.pps_per_switch.max(1.0));
+    let mut next = Instant::now();
+    let mut seq: u64 = 0;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            let _ = write_half.shutdown_now(std::net::Shutdown::Both);
+            return;
+        }
+        while let Ok(reply) = reply_rx.try_recv() {
+            if write_half.write_all(&reply).await.is_err() {
+                return;
+            }
+        }
+        seq += 1;
+        let frame = packet_in_frame(index, seq);
+        if write_half.write_all(&frame).await.is_err() {
+            return;
+        }
+        shared.sent.fetch_add(1, Ordering::SeqCst);
+        next += interval;
+        let now = Instant::now();
+        if next > now {
+            tokio::time::sleep(next - now).await;
+        } else {
+            // Fell behind (oversubscribed core): don't try to catch up with
+            // a burst, just resume pacing from now.
+            next = now;
+        }
+    }
+}
+
+/// The features a simulated swarm switch announces: two physical ports,
+/// no buffering.
+fn swarm_features(dpid: u64) -> FeaturesReply {
+    FeaturesReply {
+        datapath_id: DatapathId(dpid),
+        n_buffers: 0,
+        n_tables: 1,
+        ports: vec![PortNo::Physical(1), PortNo::Physical(2)],
+    }
+}
+
+/// A unique-source UDP table-miss, encoded as a `packet_in` frame.
+fn packet_in_frame(index: usize, seq: u64) -> Bytes {
+    let src = 0x0a00_0000u32 | ((index as u32) << 12) | (seq as u32 & 0xfff);
+    let pkt = Packet::udp(
+        MacAddr::from_u64(0x5_0000_0000 + ((index as u64) << 16) + (seq & 0xffff)),
+        MacAddr::from_u64(0x6_0000_0001),
+        std::net::Ipv4Addr::from(src),
+        std::net::Ipv4Addr::new(10, 200, 0, 1),
+        4000 + (seq % 1000) as u16,
+        53,
+        128,
+    );
+    let data = pkt.to_bytes();
+    let pi = PacketIn {
+        buffer_id: None,
+        total_len: data.len() as u16,
+        in_port: PortNo::Physical(1),
+        reason: PacketInReason::NoMatch,
+        data,
+    };
+    wire::encode(&OfMessage::new(Xid(seq as u32), OfBody::PacketIn(pi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_by_nearest_rank() {
+        let report = SwarmReport {
+            connected: 4,
+            handshake_failures: 0,
+            connect_latencies: vec![
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_millis(3),
+                Duration::from_millis(100),
+            ],
+            packet_ins_sent: 500,
+            frames_in: 0,
+            window: Duration::from_secs(2),
+        };
+        assert_eq!(report.latency_quantile(0.0), Duration::from_millis(1));
+        assert_eq!(report.latency_quantile(0.5), Duration::from_millis(2));
+        assert_eq!(report.latency_quantile(0.99), Duration::from_millis(100));
+        assert_eq!(report.latency_quantile(1.0), Duration::from_millis(100));
+        assert!((report.throughput_pps() - 250.0).abs() < 1e-9);
+
+        let empty = SwarmReport {
+            connected: 0,
+            handshake_failures: 1,
+            connect_latencies: Vec::new(),
+            packet_ins_sent: 0,
+            frames_in: 0,
+            window: Duration::ZERO,
+        };
+        assert_eq!(empty.latency_quantile(0.5), Duration::ZERO);
+        assert_eq!(empty.throughput_pps(), 0.0);
+    }
+}

@@ -34,7 +34,7 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 
 use crate::config::ChannelConfig;
-use crate::conn::{ConnEvent, Connection, SendError};
+use crate::conn::{wake_channel, ConnEvent, Connection, SendError, WakeHandle};
 use crate::counters::{ChannelCounters, CountersSnapshot};
 use crate::{device_features, handshake};
 
@@ -48,6 +48,7 @@ pub struct SwitchEndpoint {
     switch_addr: SocketAddr,
     device_addrs: Vec<SocketAddr>,
     cmd_tx: Sender<Cmd>,
+    waker: WakeHandle,
     counters: Arc<ChannelCounters>,
     telemetry: Arc<Mutex<SwitchTelemetry>>,
     flow_rules: Arc<Mutex<Vec<(OfMatch, u16, u64)>>>,
@@ -104,6 +105,10 @@ impl SwitchEndpoint {
         }
 
         let (cmd_tx, cmd_rx) = channel::unbounded();
+        // One wake channel serves every wake source: connection readers,
+        // `inject`/`inject_fault` callers, and shutdown. The serving loop
+        // blocks on it instead of polling on a fixed interval.
+        let (waker, wake_rx) = wake_channel();
         let counters = Arc::new(ChannelCounters::new());
         let telemetry = Arc::new(Mutex::new(switch.telemetry(0.0)));
         let flow_rules = Arc::new(Mutex::new(Vec::new()));
@@ -114,6 +119,7 @@ impl SwitchEndpoint {
             let telemetry = Arc::clone(&telemetry);
             let flow_rules = Arc::clone(&flow_rules);
             let shutdown = Arc::clone(&shutdown);
+            let waker = waker.clone();
             std::thread::Builder::new()
                 .name(format!("ofchannel-switch-{}", switch.dpid.0))
                 .spawn(move || {
@@ -123,6 +129,8 @@ impl SwitchEndpoint {
                         device_slots,
                         config,
                         cmd_rx,
+                        waker,
+                        wake_rx,
                         counters,
                         telemetry,
                         flow_rules,
@@ -135,6 +143,7 @@ impl SwitchEndpoint {
             switch_addr,
             device_addrs,
             cmd_tx,
+            waker,
             counters,
             telemetry,
             flow_rules,
@@ -156,6 +165,7 @@ impl SwitchEndpoint {
     /// Feeds one packet into the data plane at `in_port`.
     pub fn inject(&self, in_port: u16, packet: Packet) {
         let _ = self.cmd_tx.send(Cmd::Inject { in_port, packet });
+        self.waker.notify();
     }
 
     /// Injects an infrastructure fault — the same [`Fault`] values a
@@ -176,6 +186,7 @@ impl SwitchEndpoint {
     /// * [`Fault::ControllerStall`] is controller-side and ignored here.
     pub fn inject_fault(&self, fault: Fault) {
         let _ = self.cmd_tx.send(Cmd::Fault(fault));
+        self.waker.notify();
     }
 
     /// Current transport counters.
@@ -198,6 +209,7 @@ impl SwitchEndpoint {
     /// Stops serving and returns the switch for inspection.
     pub fn shutdown(mut self) -> Switch {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.notify();
         self.handle
             .take()
             .expect("endpoint already shut down")
@@ -209,6 +221,7 @@ impl SwitchEndpoint {
 impl Drop for SwitchEndpoint {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.notify();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -283,6 +296,8 @@ fn run(
     mut devices: Vec<DeviceSlot>,
     config: ChannelConfig,
     cmd_rx: Receiver<Cmd>,
+    waker: WakeHandle,
+    wake_rx: Receiver<()>,
     counters: Arc<ChannelCounters>,
     telemetry: Arc<Mutex<SwitchTelemetry>>,
     flow_rules: Arc<Mutex<Vec<(OfMatch, u16, u64)>>>,
@@ -298,6 +313,7 @@ fn run(
     let mut last_util_at = Instant::now();
     let mut datapath_util = 0.0_f64;
     let mut faults = FaultState::new();
+    let mut datapath_pending = false;
 
     while !shutdown.load(Ordering::SeqCst) {
         let now = start.elapsed().as_secs_f64();
@@ -331,6 +347,7 @@ fn run(
                 &mut conn,
                 &mut connected_before,
                 &mut last_echo,
+                &waker,
             );
         }
         for dev in &mut devices {
@@ -342,7 +359,13 @@ fn run(
                 let features = device_features(dev.index);
                 match handshake::accept(&mut stream, &features, &config) {
                     Ok(residue) => {
-                        match Connection::spawn(stream, &config, Arc::clone(&counters), residue) {
+                        match Connection::spawn_with_waker(
+                            stream,
+                            &config,
+                            Arc::clone(&counters),
+                            residue,
+                            Some(waker.clone()),
+                        ) {
                             Ok(new_conn) => {
                                 if dev.connected_before {
                                     counters.record_reconnect();
@@ -359,9 +382,27 @@ fn run(
             }
         }
 
-        // Ingest injected packets and faults; the 1 ms wait paces the loop
-        // when idle.
-        let mut next_cmd = cmd_rx.recv_timeout(Duration::from_millis(1)).ok();
+        // Wait for work: an injected command, a connection wake, or the
+        // next timed duty — no fixed-interval polling when idle. Every
+        // wake source (connection readers, `inject`, shutdown) signals the
+        // shared coalescing wake channel; new TCP dials have no wake
+        // source and ride on the wait cap in `next_wait`.
+        let wait = if datapath_pending {
+            Duration::ZERO
+        } else {
+            next_wait(
+                &config,
+                &conn,
+                &devices,
+                last_echo,
+                last_expire,
+                last_util_at,
+            )
+        };
+        if !wait.is_zero() {
+            let _ = wake_rx.recv_timeout(wait);
+        }
+        let mut next_cmd = cmd_rx.try_recv().ok();
         while let Some(cmd) = next_cmd.take() {
             match cmd {
                 Cmd::Inject { in_port, packet } => {
@@ -376,7 +417,10 @@ fn run(
             next_cmd = cmd_rx.try_recv().ok();
         }
 
-        // Pump the datapath (a crashed switch forwards nothing).
+        // Pump the datapath (a crashed switch forwards nothing). When the
+        // budget runs out with packets still queued, the next iteration
+        // skips its wait.
+        datapath_pending = false;
         if !faults.switch_down {
             for _ in 0..DATAPATH_BUDGET {
                 let Some((in_port, packet)) = switch.start_next() else {
@@ -390,6 +434,7 @@ fn run(
                     send_best_effort(&conn, &OfMessage::new(Xid(xid), OfBody::PacketIn(pi)));
                 }
             }
+            datapath_pending = switch.ingress_len() > 0;
         }
 
         // Control messages from the controller.
@@ -535,8 +580,44 @@ fn run(
     switch
 }
 
+/// How long the loop may sleep before its next timed duty. Bounded by
+/// `ACCEPT_POLL` because pending TCP dials on the (non-blocking) listeners
+/// have no wake channel.
+fn next_wait(
+    config: &ChannelConfig,
+    conn: &Option<Connection>,
+    devices: &[DeviceSlot],
+    last_echo: Instant,
+    last_expire: Instant,
+    last_util_at: Instant,
+) -> Duration {
+    const ACCEPT_POLL: Duration = Duration::from_millis(25);
+    const EXPIRE_INTERVAL: Duration = Duration::from_millis(10);
+    const UTIL_INTERVAL: Duration = Duration::from_millis(50);
+    let mut wait = ACCEPT_POLL;
+    wait = wait.min(EXPIRE_INTERVAL.saturating_sub(last_expire.elapsed()));
+    wait = wait.min(UTIL_INTERVAL.saturating_sub(last_util_at.elapsed()));
+    if conn.is_some() {
+        wait = wait.min(config.echo_interval.saturating_sub(last_echo.elapsed()));
+    }
+    for dev in devices {
+        if !dev.down {
+            wait = wait.min(
+                config
+                    .device_tick_interval
+                    .saturating_sub(dev.last_tick.elapsed()),
+            );
+        }
+        if let Some(at) = dev.restart_at {
+            wait = wait.min(at.saturating_duration_since(Instant::now()));
+        }
+    }
+    wait
+}
+
 /// Accepts a pending controller dial on the switch listener, runs the
 /// handshake and installs the resulting connection.
+#[allow(clippy::too_many_arguments)]
 fn accept_controller(
     listener: &TcpListener,
     switch: &mut Switch,
@@ -545,11 +626,18 @@ fn accept_controller(
     conn: &mut Option<Connection>,
     connected_before: &mut bool,
     last_echo: &mut Instant,
+    waker: &WakeHandle,
 ) {
     if let Ok((mut stream, _)) = listener.accept() {
         let _ = stream.set_nodelay(true);
         match handshake::accept(&mut stream, &switch.features(), config) {
-            Ok(residue) => match Connection::spawn(stream, config, Arc::clone(counters), residue) {
+            Ok(residue) => match Connection::spawn_with_waker(
+                stream,
+                config,
+                Arc::clone(counters),
+                residue,
+                Some(waker.clone()),
+            ) {
                 Ok(new_conn) => {
                     if *connected_before {
                         counters.record_reconnect();

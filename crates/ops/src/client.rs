@@ -1,0 +1,77 @@
+//! A minimal blocking HTTP client for exercising the ops server from
+//! tests, smoke binaries, and scripts — the request/response shapes the
+//! server emits, nothing more.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code and body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body as UTF-8 (lossy).
+    pub body: String,
+}
+
+/// Sends one bodyless request and reads the whole response.
+///
+/// # Errors
+///
+/// Propagates connect/IO failures; a malformed response surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn request(addr: SocketAddr, method: &str, path: &str) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let malformed = || io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(malformed)?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| malformed())?;
+    let status_line = head.lines().next().ok_or_else(malformed)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(malformed)?;
+    Ok(Response {
+        status,
+        body: String::from_utf8_lossy(&raw[head_end + 4..]).into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "hi");
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

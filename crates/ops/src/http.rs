@@ -1,0 +1,192 @@
+//! A tiny HTTP/1.1 request parser and response writer.
+//!
+//! The ops surface serves curl, Prometheus scrapers, and the workspace's
+//! own tests — short, well-formed requests over loopback or a trusted
+//! management network. Hand-rolling the protocol keeps the workspace free
+//! of registry dependencies; the parser reads one request, the server
+//! answers it, and the connection closes (`Connection: close` semantics).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers) in bytes;
+/// longer requests are rejected rather than buffered.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Upper bound on an accepted request body.
+const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, `PUT`, ...).
+    pub method: String,
+    /// Path with the query string stripped.
+    pub path: String,
+    /// Decoded query parameters, last occurrence wins.
+    pub query: HashMap<String, String>,
+    /// Request body (often empty).
+    pub body: Vec<u8>,
+}
+
+/// Percent-decodes a query component (`+` also decodes to space).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits `query` into decoded key/value pairs.
+pub fn parse_query(query: &str) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for pair in query.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        map.insert(percent_decode(k), percent_decode(v));
+    }
+    map
+}
+
+/// Reads and parses one request from `stream`. Returns `None` on malformed
+/// or oversized input (the caller just drops the connection).
+pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return None;
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_ascii_uppercase();
+    let target = parts.next()?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query(q)),
+        None => (target.to_owned(), HashMap::new()),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return None;
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Some(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a full response and flushes. Errors are ignored — the peer may
+/// already be gone, and the connection closes either way.
+pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_strings() {
+        let q = parse_query("ip=10.0.0.1&port=3&empty");
+        assert_eq!(q["ip"], "10.0.0.1");
+        assert_eq!(q["port"], "3");
+        assert_eq!(q["empty"], "");
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn decodes_percent_escapes() {
+        let q = parse_query("a=1%202&b=x%2fy&c=%zz");
+        assert_eq!(q["a"], "1 2");
+        assert_eq!(q["b"], "x/y");
+        assert_eq!(q["c"], "%zz", "bad escape passes through");
+        assert_eq!(parse_query("a=x+y")["a"], "x y");
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline vendored subset of the `tokio` async runtime API.
+//!
+//! The workspace builds with no registry access, so external dependencies
+//! resolve to minimal shims (see the workspace `Cargo.toml`). This shim is a
+//! real — if deliberately small — async runtime rather than a stub, because
+//! `ofchannel`'s many-switch controller endpoint genuinely multiplexes
+//! thousands of TCP connections on a handful of threads:
+//!
+//! - [`runtime`]: a multi-threaded executor built on [`std::task::Wake`]
+//!   with a shared injector queue, plus [`runtime::Runtime::block_on`].
+//! - a reactor thread driving Linux `epoll` (via direct `extern "C"`
+//!   declarations — std already links libc, mirroring how
+//!   `netsim::engine` binds its thread-affinity syscalls) with
+//!   `EPOLLONESHOT` interests re-armed on each await, a timer wheel for
+//!   [`time::sleep`], and an `eventfd` wakeup channel.
+//! - [`net`]: non-blocking [`net::TcpListener`] / [`net::TcpStream`] with
+//!   `into_split` read/write halves (each half owns a dup'ed fd and its own
+//!   epoll registration).
+//! - [`time`]: [`time::sleep`] and [`time::timeout`].
+//! - [`sync`]: bounded/unbounded [`sync::mpsc`] channels and a broadcast
+//!   [`sync::Notify`].
+//!
+//! Only the API surface the workspace uses is provided. Single-waiter
+//! readiness (one task awaiting a given half at a time) is assumed, which
+//! matches both tokio's `&mut self` I/O methods and every call site here.
+
+#![warn(missing_docs)]
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("the vendored tokio shim only supports Linux (epoll)");
+
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+mod reactor;
+mod sys;
+
+pub use task::{spawn, JoinHandle};

@@ -1,0 +1,380 @@
+//! The executor: a shared injector queue drained by worker threads.
+//!
+//! Tasks are `Arc`s implementing [`std::task::Wake`]; waking re-enqueues
+//! the task unless it is already queued (or running, in which case it is
+//! re-queued as soon as the in-flight poll returns `Pending`).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::reactor::ReactorShared;
+
+pub(crate) type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+pub(crate) struct ExecShared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    tasks: Mutex<Vec<Weak<Task>>>,
+}
+
+pub(crate) struct Task {
+    exec: Arc<ExecShared>,
+    st: Mutex<TaskState>,
+}
+
+struct TaskState {
+    future: Option<BoxFuture>,
+    queued: bool,
+    running: bool,
+    woken: bool,
+}
+
+impl Task {
+    fn schedule(self: &Arc<Task>) {
+        {
+            let mut st = self.st.lock().unwrap();
+            if st.queued {
+                return;
+            }
+            // While a poll is in flight the future is checked out of the
+            // state (`future` is `None`), so the running check MUST come
+            // before the liveness check or mid-poll wakes would be lost.
+            if st.running {
+                st.woken = true;
+                return;
+            }
+            if st.future.is_none() {
+                return;
+            }
+            st.queued = true;
+        }
+        self.exec.push(self.clone());
+    }
+
+    fn run(self: &Arc<Task>) {
+        let mut future = {
+            let mut st = self.st.lock().unwrap();
+            st.queued = false;
+            match st.future.take() {
+                Some(f) => {
+                    st.running = true;
+                    st.woken = false;
+                    f
+                }
+                None => return,
+            }
+        };
+        let waker = Waker::from(self.clone());
+        let mut cx = Context::from_waker(&waker);
+        let poll = future.as_mut().poll(&mut cx);
+        let requeue = {
+            let mut st = self.st.lock().unwrap();
+            st.running = false;
+            match poll {
+                Poll::Ready(()) => false,
+                Poll::Pending => {
+                    st.future = Some(future);
+                    if st.woken {
+                        st.woken = false;
+                        st.queued = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        };
+        // `future` (when Ready) drops here, outside the state lock, so any
+        // wakers it releases can re-enter `schedule` safely.
+        if requeue {
+            self.exec.push(self.clone());
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+impl ExecShared {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Handle>> = const { RefCell::new(None) };
+}
+
+struct EnterGuard {
+    prev: Option<Handle>,
+}
+
+fn enter(handle: Handle) -> EnterGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(handle));
+    EnterGuard { prev }
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// A cloneable reference to a runtime's executor and reactor.
+#[derive(Clone)]
+pub struct Handle {
+    pub(crate) exec: Arc<ExecShared>,
+    pub(crate) reactor: Arc<ReactorShared>,
+}
+
+impl Handle {
+    /// The handle of the runtime the current thread is running under.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from outside a runtime context.
+    pub fn current() -> Handle {
+        CURRENT
+            .with(|c| c.borrow().clone())
+            .expect("must be called from within a tokio runtime context")
+    }
+
+    /// The current thread's runtime handle, if inside a runtime context.
+    pub fn try_current() -> Option<Handle> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Spawns a future onto the runtime.
+    pub fn spawn<F>(&self, future: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let (wrapped, join) = crate::task::wrap(future);
+        let task = Arc::new(Task {
+            exec: self.exec.clone(),
+            st: Mutex::new(TaskState {
+                future: Some(wrapped),
+                queued: false,
+                running: false,
+                woken: false,
+            }),
+        });
+        {
+            let mut tasks = self.exec.tasks.lock().unwrap();
+            tasks.push(Arc::downgrade(&task));
+            if tasks.len() > 64 && tasks.len() % 64 == 0 {
+                tasks.retain(|w| w.strong_count() > 0);
+            }
+        }
+        task.schedule();
+        join
+    }
+
+    /// Runs a future to completion on the current thread, driving it with
+    /// a condvar parker while worker threads execute spawned tasks.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _enter = enter(self.clone());
+        let parker = Arc::new(Parker::default());
+        let waker = Waker::from(Arc::new(ParkWaker(parker.clone())));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = std::pin::pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(value) => return value,
+                Poll::Pending => parker.park(),
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Parker {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn park(&self) {
+        let mut flagged = self.flag.lock().unwrap();
+        while !*flagged {
+            flagged = self.cv.wait(flagged).unwrap();
+        }
+        *flagged = false;
+    }
+
+    fn unpark(&self) {
+        *self.flag.lock().unwrap() = true;
+        self.cv.notify_one();
+    }
+}
+
+struct ParkWaker(Arc<Parker>);
+
+impl Wake for ParkWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Configures a [`Runtime`].
+pub struct Builder {
+    worker_threads: usize,
+}
+
+impl Builder {
+    /// A multi-threaded runtime builder (the only flavour provided).
+    pub fn new_multi_thread() -> Builder {
+        Builder { worker_threads: 2 }
+    }
+
+    /// Sets the number of worker threads (minimum 1).
+    pub fn worker_threads(&mut self, n: usize) -> &mut Builder {
+        self.worker_threads = n.max(1);
+        self
+    }
+
+    /// Accepted for tokio compatibility; all drivers are always enabled.
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Builds the runtime: starts the reactor and worker threads.
+    pub fn build(&mut self) -> io::Result<Runtime> {
+        let reactor = ReactorShared::new()?;
+        let exec = Arc::new(ExecShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks: Mutex::new(Vec::new()),
+        });
+        let handle = Handle {
+            exec: exec.clone(),
+            reactor: reactor.clone(),
+        };
+        let reactor_thread = {
+            let reactor = reactor.clone();
+            std::thread::Builder::new()
+                .name("tokio-reactor".into())
+                .spawn(move || reactor.run())?
+        };
+        let mut workers = Vec::with_capacity(self.worker_threads);
+        for i in 0..self.worker_threads {
+            let exec = exec.clone();
+            let handle = handle.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tokio-worker-{i}"))
+                    .spawn(move || worker_loop(exec, handle))?,
+            );
+        }
+        Ok(Runtime {
+            handle,
+            workers,
+            reactor_thread: Some(reactor_thread),
+        })
+    }
+}
+
+fn worker_loop(exec: Arc<ExecShared>, handle: Handle) {
+    let _enter = enter(handle);
+    loop {
+        let task = {
+            let mut queue = exec.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                if exec.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = exec.available.wait(queue).unwrap();
+            }
+        };
+        match task {
+            Some(task) => task.run(),
+            None => return,
+        }
+    }
+}
+
+/// A self-contained executor + reactor pair.
+pub struct Runtime {
+    handle: Handle,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A runtime with default settings (two workers).
+    pub fn new() -> io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// This runtime's handle.
+    pub fn handle(&self) -> &Handle {
+        &self.handle
+    }
+
+    /// See [`Handle::spawn`].
+    pub fn spawn<F>(&self, future: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.handle.spawn(future)
+    }
+
+    /// See [`Handle::block_on`].
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        self.handle.block_on(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // 1. Stop the workers so no task is mid-poll during teardown.
+        self.handle.exec.shutdown.store(true, Ordering::SeqCst);
+        self.handle.exec.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // 2. Drop every live task future (outside its state lock) so
+        //    sockets close and channel peers disconnect deterministically.
+        let registered: Vec<_> = std::mem::take(&mut *self.handle.exec.tasks.lock().unwrap());
+        for weak in registered {
+            if let Some(task) = weak.upgrade() {
+                let future = task.st.lock().unwrap().future.take();
+                drop(future);
+            }
+        }
+        self.handle.exec.queue.lock().unwrap().clear();
+        // 3. Stop the reactor; its teardown drops remaining timer/source
+        //    wakers.
+        self.handle.reactor.request_shutdown();
+        if let Some(reactor) = self.reactor_thread.take() {
+            let _ = reactor.join();
+        }
+        self.handle.exec.queue.lock().unwrap().clear();
+    }
+}

@@ -1,0 +1,117 @@
+//! Task spawning and join handles.
+
+use std::any::Any;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::runtime::{BoxFuture, Handle};
+
+/// Spawns a future onto the current runtime.
+///
+/// # Panics
+///
+/// Panics when called from outside a runtime context.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    Handle::current().spawn(future)
+}
+
+/// The spawned task panicked before completing.
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinCell<T> {
+    st: Mutex<JoinState<T>>,
+}
+
+struct JoinState<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// Awaits a spawned task's output.
+pub struct JoinHandle<T> {
+    cell: Arc<JoinCell<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished (successfully or by panic).
+    pub fn is_finished(&self) -> bool {
+        self.cell.st.lock().unwrap().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.cell.st.lock().unwrap();
+        match st.result.take() {
+            Some(result) => Poll::Ready(result),
+            None => {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Converts poll-time panics into values so a crashing task cannot take a
+/// worker thread down with it.
+struct CatchPanic<F>(F);
+
+impl<F: Future> Future for CatchPanic<F> {
+    type Output = Result<F::Output, Box<dyn Any + Send + 'static>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pin projection of the only field.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(value)) => Poll::Ready(Ok(value)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    }
+}
+
+/// Wraps a user future into the executor's `()` task shape plus the join
+/// handle observing its result.
+pub(crate) fn wrap<F>(future: F) -> (BoxFuture, JoinHandle<F::Output>)
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let cell = Arc::new(JoinCell {
+        st: Mutex::new(JoinState {
+            result: None,
+            waker: None,
+        }),
+    });
+    let out = cell.clone();
+    let wrapped = async move {
+        let result = CatchPanic(future).await.map_err(|_| JoinError(()));
+        let waker = {
+            let mut st = out.st.lock().unwrap();
+            st.result = Some(result);
+            st.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    };
+    (Box::pin(wrapped), JoinHandle { cell })
+}

@@ -1,0 +1,300 @@
+//! Behavioural tests for the vendored tokio shim: executor, timers,
+//! channels, and the epoll-backed TCP types.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tokio::runtime::{Builder, Runtime};
+use tokio::sync::{mpsc, Notify};
+use tokio::time::{sleep, timeout};
+
+fn rt() -> Runtime {
+    Builder::new_multi_thread()
+        .worker_threads(2)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn block_on_returns_value() {
+    assert_eq!(rt().block_on(async { 6 * 7 }), 42);
+}
+
+#[test]
+fn spawn_and_join() {
+    let rt = rt();
+    let out = rt.block_on(async {
+        let handle = tokio::spawn(async { 1 + 2 });
+        handle.await.unwrap()
+    });
+    assert_eq!(out, 3);
+}
+
+#[test]
+fn panicking_task_reports_join_error_without_killing_workers() {
+    let rt = rt();
+    rt.block_on(async {
+        let bad = tokio::spawn(async { panic!("boom") });
+        assert!(bad.await.is_err());
+        // Workers must still run subsequent tasks.
+        let good = tokio::spawn(async { 7 });
+        assert_eq!(good.await.unwrap(), 7);
+    });
+}
+
+#[test]
+fn sleep_waits_roughly_the_requested_time() {
+    let rt = rt();
+    let start = Instant::now();
+    rt.block_on(sleep(Duration::from_millis(50)));
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(50),
+        "woke early: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "woke far too late: {elapsed:?}"
+    );
+}
+
+#[test]
+fn timeout_elapses_and_passes_through() {
+    let rt = rt();
+    rt.block_on(async {
+        assert!(
+            timeout(Duration::from_millis(20), std::future::pending::<()>())
+                .await
+                .is_err()
+        );
+        assert_eq!(
+            timeout(Duration::from_secs(5), async { 9 }).await.unwrap(),
+            9
+        );
+    });
+}
+
+#[test]
+fn mpsc_round_trip_and_close() {
+    let rt = rt();
+    rt.block_on(async {
+        let (tx, mut rx) = mpsc::channel::<u32>(4);
+        let producer = tokio::spawn(async move {
+            for i in 0..100u32 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let mut sum = 0;
+        while let Some(v) = rx.recv().await {
+            sum += v;
+        }
+        producer.await.unwrap();
+        assert_eq!(sum, 4950);
+    });
+}
+
+#[test]
+fn mpsc_try_send_backpressure() {
+    let rt = rt();
+    rt.block_on(async {
+        let (tx, mut rx) = mpsc::channel::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(mpsc::error::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.recv().await, Some(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(mpsc::error::TrySendError::Closed(4))
+        ));
+    });
+}
+
+#[test]
+fn notify_wakes_waiters() {
+    let rt = rt();
+    rt.block_on(async {
+        let notify = Arc::new(Notify::new());
+        let woken = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let notify = notify.clone();
+            let woken = woken.clone();
+            handles.push(tokio::spawn(async move {
+                notify.notified().await;
+                woken.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // Let the waiters register before broadcasting.
+        sleep(Duration::from_millis(30)).await;
+        notify.notify_waiters();
+        for handle in handles {
+            timeout(Duration::from_secs(5), handle)
+                .await
+                .expect("waiter should wake")
+                .unwrap();
+        }
+        assert_eq!(woken.load(Ordering::SeqCst), 4);
+    });
+}
+
+#[test]
+fn tcp_echo_round_trip() {
+    let rt = rt();
+    rt.block_on(async {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (mut conn, _) = listener.accept().await.unwrap();
+            let mut buf = [0u8; 64];
+            loop {
+                let n = conn.read(&mut buf).await.unwrap();
+                if n == 0 {
+                    break;
+                }
+                conn.write_all(&buf[..n]).await.unwrap();
+            }
+        });
+        let mut client = tokio::net::TcpStream::connect(addr).await.unwrap();
+        client.write_all(b"hello epoll").await.unwrap();
+        let mut buf = [0u8; 64];
+        let n = client.read(&mut buf).await.unwrap();
+        assert_eq!(&buf[..n], b"hello epoll");
+        client.shutdown_now(std::net::Shutdown::Both).unwrap();
+        server.await.unwrap();
+    });
+}
+
+#[test]
+fn tcp_split_halves_work_concurrently() {
+    let rt = rt();
+    rt.block_on(async {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (conn, _) = listener.accept().await.unwrap();
+            let (mut rh, mut wh) = conn.into_split().unwrap();
+            let writer = tokio::spawn(async move {
+                for i in 0..50u8 {
+                    wh.write_all(&[i; 16]).await.unwrap();
+                }
+            });
+            let mut total = 0usize;
+            let mut buf = [0u8; 256];
+            while total < 50 * 16 {
+                let n = rh.read(&mut buf).await.unwrap();
+                assert!(n > 0);
+                total += n;
+            }
+            writer.await.unwrap();
+        });
+        let client = tokio::net::TcpStream::connect(addr).await.unwrap();
+        let (mut rh, mut wh) = client.into_split().unwrap();
+        let pump = tokio::spawn(async move {
+            for i in 0..50u8 {
+                wh.write_all(&[i; 16]).await.unwrap();
+            }
+        });
+        let mut total = 0usize;
+        let mut buf = [0u8; 256];
+        while total < 50 * 16 {
+            let n = rh.read(&mut buf).await.unwrap();
+            assert!(n > 0);
+            total += n;
+        }
+        pump.await.unwrap();
+        server.await.unwrap();
+    });
+}
+
+#[test]
+fn connect_to_dead_port_errors() {
+    let rt = rt();
+    rt.block_on(async {
+        // Bind-then-drop to get a port that refuses connections.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        let result = timeout(Duration::from_secs(5), tokio::net::TcpStream::connect(addr)).await;
+        assert!(matches!(result, Ok(Err(_))), "expected refused connect");
+    });
+}
+
+#[test]
+fn many_concurrent_connections() {
+    let rt = Builder::new_multi_thread()
+        .worker_threads(2)
+        .build()
+        .unwrap();
+    rt.block_on(async {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_srv = served.clone();
+        tokio::spawn(async move {
+            loop {
+                let (mut conn, _) = match listener.accept().await {
+                    Ok(pair) => pair,
+                    Err(_) => break,
+                };
+                let served = served_srv.clone();
+                tokio::spawn(async move {
+                    let mut buf = [0u8; 8];
+                    if let Ok(n) = conn.read(&mut buf).await {
+                        let _ = conn.write_all(&buf[..n]).await;
+                        served.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        let mut clients = Vec::new();
+        for i in 0..100u32 {
+            clients.push(tokio::spawn(async move {
+                let mut conn = tokio::net::TcpStream::connect(addr).await.unwrap();
+                conn.write_all(&i.to_be_bytes()).await.unwrap();
+                let mut buf = [0u8; 8];
+                let n = conn.read(&mut buf).await.unwrap();
+                assert_eq!(&buf[..n], &i.to_be_bytes());
+            }));
+        }
+        for client in clients {
+            timeout(Duration::from_secs(10), client)
+                .await
+                .expect("client should finish")
+                .unwrap();
+        }
+        assert_eq!(served.load(Ordering::SeqCst), 100);
+    });
+}
+
+#[test]
+fn runtime_drop_tears_down_parked_tasks() {
+    let rt = rt();
+    let (tx, mut rx) = rt.block_on(async { mpsc::channel::<u8>(1) });
+    // Park a task on a socket read forever; dropping the runtime must not
+    // hang and must drop the task's future.
+    rt.block_on(async {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            let _keep = tx;
+            let mut conn = tokio::net::TcpStream::connect(addr).await.unwrap();
+            let (_held, _) = listener.accept().await.unwrap();
+            let mut buf = [0u8; 8];
+            let _ = conn.read(&mut buf).await;
+        });
+        sleep(Duration::from_millis(50)).await;
+    });
+    drop(rt);
+    // The parked task's future (holding `tx`) was dropped, so the channel
+    // reports disconnection.
+    assert!(matches!(
+        rx.try_recv(),
+        Err(mpsc::error::TryRecvError::Disconnected)
+    ));
+}
